@@ -1,0 +1,35 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper's evaluation
+section.  Each one
+
+* runs the relevant pipeline under ``pytest-benchmark`` (so regressions
+  in the *simulator's own* speed are tracked),
+* prints the table/series the paper reports (the modelled GPU/CPU
+  numbers), and
+* writes the rendered table to ``benchmarks/reports/`` so the artefacts
+  survive the run.
+"""
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture(scope="session")
+def publish(report_dir):
+    """Print a rendered table and persist it under benchmarks/reports/."""
+
+    def _publish(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

@@ -1,0 +1,71 @@
+"""Ablation: RGBA8 packing versus (hypothetical) float textures.
+
+The OpenGL ES 2.0 backend must pack every float into an RGBA8 texel
+(section 5.4); desktop-class devices store float32 natively.  This
+ablation quantifies what the packing costs on the target platform -
+host-side codec time on every transfer - and verifies that the packing
+itself is lossless, i.e. the *only* price is time, not accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.runtime.numerics import decode_float_rgba8, encode_float_rgba8
+from repro.timing import TARGET_PLATFORM
+from repro.timing.platforms import Platform
+
+
+def _platform_without_codec() -> Platform:
+    gpu = TARGET_PLATFORM.gpu.with_overrides(codec_ns_per_byte=0.0)
+    return Platform(
+        name="arm-videocore-iv-float-textures",
+        description="hypothetical target with float texture support",
+        cpu=TARGET_PLATFORM.cpu,
+        gpu=gpu,
+        backend_name="gles2",
+        cpu_vectorized=TARGET_PLATFORM.cpu_vectorized,
+        max_stream_dimension=TARGET_PLATFORM.max_stream_dimension,
+    )
+
+
+def test_ablation_codec_cost_on_transfer_heavy_kernel(benchmark, publish):
+    """The RGBA8 codec measurably slows transfer-dominated applications."""
+    app = benchmark(get_application, "image_filter")
+    rgba8 = TARGET_PLATFORM
+    float_textures = _platform_without_codec()
+    lines = ["Ablation: RGBA8 packing vs hypothetical float textures "
+             "(image_filter, modelled GPU seconds)"]
+    for size in (256, 512, 1024, 2048):
+        workload = app.gpu_workload(size, rgba8)
+        with_codec = rgba8.gpu_time(workload)
+        without_codec = float_textures.gpu_time(workload)
+        overhead = (with_codec / without_codec - 1.0) * 100
+        lines.append(f"  {size:>5}: RGBA8 {with_codec:.4f}s  float {without_codec:.4f}s"
+                     f"  (+{overhead:.1f}%)")
+        assert with_codec > without_codec
+    publish("ablation_numerics", "\n".join(lines))
+
+
+def test_ablation_codec_is_lossless(benchmark):
+    """Unlike a low-precision packing, the DATE'16 scheme loses nothing:
+    the only cost of RGBA8 storage is the conversion time measured here."""
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal((512, 512)).astype(np.float32) * 1e6
+
+    def roundtrip():
+        return decode_float_rgba8(encode_float_rgba8(values))
+
+    decoded = benchmark(roundtrip)
+    np.testing.assert_array_equal(decoded, values)
+
+
+def test_ablation_codec_throughput(benchmark):
+    """Host-side packing throughput for 1 MiB of stream payload."""
+    values = np.random.default_rng(1).standard_normal(262144).astype(np.float32)
+
+    def encode():
+        return encode_float_rgba8(values)
+
+    rgba = benchmark(encode)
+    assert rgba.nbytes == values.size * 4

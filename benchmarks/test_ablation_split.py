@@ -1,0 +1,67 @@
+"""Ablation: kernel splitting versus native multiple render targets.
+
+OpenGL ES 2.0 offers a single colour attachment, so multi-output kernels
+are split into one kernel per output (recomputing the shared work); a
+device with MRT support would run them in one pass.  This ablation
+quantifies what the restriction costs on the two multi-output
+applications of the suite.
+"""
+
+import pytest
+
+from repro.apps import get_application
+from repro.core import compile_source
+from repro.core.analysis.resources import TargetLimits
+from repro.timing import TARGET_PLATFORM
+from repro.timing.gpu_model import GPUWorkload
+
+
+def _with_single_pass(workload: GPUWorkload) -> GPUWorkload:
+    """The hypothetical MRT version: same transfers, half the passes."""
+    return GPUWorkload(
+        passes=workload.passes // 2,
+        elements=workload.elements / 2,
+        flops=workload.flops / 2,
+        texture_fetches=workload.texture_fetches / 2,
+        bytes_to_device=workload.bytes_to_device,
+        bytes_from_device=workload.bytes_from_device,
+        transfer_calls=workload.transfer_calls,
+        efficiency=workload.efficiency,
+    )
+
+
+def test_ablation_split_cost(benchmark, publish):
+    """Splitting costs up to ~2x kernel time on the split applications."""
+    benchmark(get_application("black_scholes").gpu_workload, 1024, TARGET_PLATFORM)
+    lines = ["Ablation: single-render-target splitting vs native MRT "
+             "(modelled GPU seconds, target platform)"]
+    for name, size in (("black_scholes", 1024), ("floyd_warshall", 512)):
+        app = get_application(name)
+        split = app.gpu_workload(size, TARGET_PLATFORM)
+        merged = _with_single_pass(split)
+        split_time = TARGET_PLATFORM.gpu_time(split)
+        merged_time = TARGET_PLATFORM.gpu_time(merged)
+        penalty = split_time / merged_time
+        lines.append(f"  {name:<16} size {size:>5}: split {split_time:.4f}s  "
+                     f"MRT {merged_time:.4f}s  penalty {penalty:.2f}x")
+        assert 1.0 < penalty <= 2.5
+    publish("ablation_split", "\n".join(lines))
+
+
+def test_ablation_split_compile_time(benchmark):
+    """Compiling with splitting enabled stays cheap (compile-time cost of
+    the certifiability restriction)."""
+    source = get_application("black_scholes").brook_source
+
+    def compile_split():
+        return compile_source(source, target=TargetLimits(max_kernel_outputs=1))
+
+    program = benchmark(compile_split)
+    assert len(program.kernel_groups["black_scholes"]) == 2
+
+
+def test_ablation_mrt_target_does_not_split(benchmark):
+    source = get_application("black_scholes").brook_source
+    program = benchmark(compile_source, source,
+                        target=TargetLimits(name="mrt", max_kernel_outputs=4))
+    assert program.kernel_groups["black_scholes"] == ["black_scholes"]

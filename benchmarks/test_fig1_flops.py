@@ -1,0 +1,33 @@
+"""Benchmark regenerating Figure 1: relative GPU/CPU platform capabilities.
+
+Paper: the Flops benchmark (2 GFLOP over 1 MB) shows the GPU 26.7x faster
+than the CPU on the target platform and 23x on the reference platform.
+"""
+
+import pytest
+
+from repro.apps.flops import FlopsApp
+from repro.evaluation import figure1
+
+
+def test_figure1_flops_ratios(benchmark, publish):
+    """Regenerate the Figure 1 table and check the calibration holds."""
+    result = benchmark(figure1.run)
+    publish("figure1", figure1.render(result))
+
+    by_platform = {row.platform: row for row in result.rows}
+    assert by_platform["arm-videocore-iv"].measured_ratio == pytest.approx(26.7, rel=0.1)
+    assert by_platform["x86-core2-hd3400"].measured_ratio == pytest.approx(23.0, rel=0.1)
+    assert result.ratios_same_order
+
+
+def test_figure1_functional_flops_kernel(benchmark):
+    """Functional execution of the Flops kernel on the simulated GL ES 2
+    device (small size; wall-clock tracked for simulator regressions)."""
+    app = FlopsApp(iterations=32)
+
+    def run():
+        return app.run(backend="gles2", size=24, seed=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.valid

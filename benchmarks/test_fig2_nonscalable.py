@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figure 2: the non-scalable GPU programs.
+
+Paper: binomial option pricing, Black-Scholes, prefix sum and SpMV do not
+beat the CPU at any explorable input size; the financial kernels stay
+below 20% of the CPU and the Brook Auto curves improve (slowly) with
+size, unlike the saturated Brook+ x86 ones.
+"""
+
+import pytest
+
+from repro.apps import get_application
+from repro.evaluation import figure2
+
+
+def test_figure2_speedup_series(benchmark, publish):
+    """Regenerate the Figure 2 series and check the paper's claims."""
+    result = benchmark(figure2.run)
+    publish("figure2", figure2.render(result))
+
+    assert result.all_expectations_hold
+    for entry in result.series:
+        assert entry.target_max < 1.0, entry.app
+        assert entry.trend_matches_reference, entry.app
+
+
+@pytest.mark.parametrize("name,size", [
+    ("black_scholes", 24),
+    ("prefix_sum", 24),
+    ("spmv", 96),
+    ("binomial", 16),
+])
+def test_figure2_functional_runs(benchmark, name, size):
+    """Functional validation of each Figure 2 application on the simulated
+    OpenGL ES 2 device (GPU output checked against the CPU reference)."""
+    app = get_application(name)
+
+    def run():
+        return app.run(backend="gles2", size=size, seed=11)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.valid, f"{name}: max rel error {result.max_rel_error:.2e}"

@@ -1,0 +1,60 @@
+"""Benchmark regenerating Figure 3: the scalable GPU programs.
+
+Paper headline numbers: binary search 2.16x at 2048^2, bitonic sort 135x
+at 256^2, Floyd-Warshall plateau ~6.5x, image filter ~2.5x beyond 512^2,
+Mandelbrot up to 31x, sgemm up to 11x.
+"""
+
+import pytest
+
+from repro.apps import get_application
+from repro.evaluation import figure3
+
+
+def test_figure3_speedup_series(benchmark, publish):
+    """Regenerate the Figure 3 series and check every paper claim."""
+    result = benchmark(figure3.run)
+    publish("figure3", figure3.render(result))
+
+    assert result.all_expectations_hold
+    for entry in result.series:
+        assert entry.target_max > 1.0, entry.app
+        assert entry.trend_matches_reference, entry.app
+
+
+def test_figure3_headline_magnitudes(benchmark, publish):
+    """Record paper-vs-modelled headline values (used by EXPERIMENTS.md)."""
+    result = benchmark(figure3.run)
+    lines = ["Figure 3 headline comparison (paper -> this reproduction)"]
+    highlights = {
+        "binary_search": (2.16, result.series_for("binary_search").target_at(2048)),
+        "bitonic_sort": (135.0, result.series_for("bitonic_sort").target_at(256)),
+        "floyd_warshall": (6.5, result.series_for("floyd_warshall").target_final),
+        "image_filter": (2.5, result.series_for("image_filter").target_final),
+        "mandelbrot": (31.0, result.series_for("mandelbrot").target_max),
+        "sgemm": (11.0, result.series_for("sgemm").target_max),
+    }
+    for name, (paper, measured) in highlights.items():
+        lines.append(f"  {name:<16} paper {paper:>7.2f}x   modelled {measured:>7.2f}x")
+        assert measured > 1.0
+    publish("figure3_headlines", "\n".join(lines))
+
+
+@pytest.mark.parametrize("name,size", [
+    ("binary_search", 24),
+    ("bitonic_sort", 16),
+    ("floyd_warshall", 20),
+    ("image_filter", 48),
+    ("mandelbrot", 32),
+    ("sgemm", 24),
+])
+def test_figure3_functional_runs(benchmark, name, size):
+    """Functional validation of each Figure 3 application on the simulated
+    OpenGL ES 2 device."""
+    app = get_application(name)
+
+    def run():
+        return app.run(backend="gles2", size=size, seed=13)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.valid, f"{name}: max rel error {result.max_rel_error:.2e}"

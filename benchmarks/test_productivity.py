@@ -1,0 +1,19 @@
+"""Benchmark regenerating the productivity comparison of section 6.3.
+
+Paper: 70 lines / <2 hours for the Brook sgemm versus 1500 lines / >1 year
+for the hand-written OpenGL ES 2 sgemm - an order-of-magnitude
+productivity gap.
+"""
+
+from repro.evaluation import productivity
+
+
+def test_productivity_loc_ratio(benchmark, publish):
+    result = benchmark(productivity.run)
+    publish("productivity", productivity.render(result))
+
+    assert result.order_of_magnitude_reproduced
+    assert result.measured_ratio >= 5.0
+    brook = next(e for e in result.entries if "Brook" in e.implementation)
+    hand = next(e for e in result.entries if "hand" in e.implementation.lower())
+    assert brook.measured_loc < hand.measured_loc

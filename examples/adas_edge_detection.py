@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""ADAS vision front-end: lane-marking edge detection on an embedded GPU.
+
+The paper motivates Brook Auto with Advanced Driver Assistance Systems:
+camera-based functions need GPU-class throughput but must be certifiable
+against ISO 26262.  This example implements the first stages of a lane
+detection pipeline entirely in the Brook Auto subset:
+
+1. Gaussian smoothing of the camera frame (3x3 convolution),
+2. Sobel gradients and gradient magnitude,
+3. thresholding into a binary edge map.
+
+Every kernel is certifiable (bounded loops, no pointers, statically sized
+streams) and the whole pipeline runs on the simulated OpenGL ES 2.0
+device - the class of GPU found in automotive platforms such as the
+Mali-4xx or VideoCore IV.
+
+Run with::
+
+    python examples/adas_edge_detection.py
+"""
+
+import numpy as np
+
+from repro import BrookRuntime
+
+PIPELINE_SOURCE = """
+// Stage 1: 3x3 Gaussian smoothing with clamp-to-edge borders.
+kernel void smooth(float frame[][], float width, float height,
+                   out float blurred<>) {
+    float2 idx = indexof(blurred);
+    float x0 = max(idx.x - 1.0, 0.0);
+    float x2 = min(idx.x + 1.0, width - 1.0);
+    float y0 = max(idx.y - 1.0, 0.0);
+    float y2 = min(idx.y + 1.0, height - 1.0);
+    float acc = 4.0 * frame[idx.y][idx.x];
+    acc = acc + 2.0 * (frame[idx.y][x0] + frame[idx.y][x2]
+                       + frame[y0][idx.x] + frame[y2][idx.x]);
+    acc = acc + frame[y0][x0] + frame[y0][x2] + frame[y2][x0] + frame[y2][x2];
+    blurred = acc / 16.0;
+}
+
+// Stage 2: Sobel gradient magnitude.
+kernel void sobel(float image[][], float width, float height,
+                  out float magnitude<>) {
+    float2 idx = indexof(magnitude);
+    float x0 = max(idx.x - 1.0, 0.0);
+    float x2 = min(idx.x + 1.0, width - 1.0);
+    float y0 = max(idx.y - 1.0, 0.0);
+    float y2 = min(idx.y + 1.0, height - 1.0);
+    float gx = image[y0][x2] + 2.0 * image[idx.y][x2] + image[y2][x2]
+             - image[y0][x0] - 2.0 * image[idx.y][x0] - image[y2][x0];
+    float gy = image[y2][x0] + 2.0 * image[y2][idx.x] + image[y2][x2]
+             - image[y0][x0] - 2.0 * image[y0][idx.x] - image[y0][x2];
+    magnitude = sqrt(gx * gx + gy * gy);
+}
+
+// Stage 3: binary edge map.
+kernel void threshold(float magnitude<>, float level, out float edges<>) {
+    edges = (magnitude > level) ? 1.0 : 0.0;
+}
+"""
+
+
+def synthetic_camera_frame(height: int, width: int, seed: int = 42) -> np.ndarray:
+    """A synthetic road scene: dark asphalt, two bright lane markings, noise."""
+    rng = np.random.default_rng(seed)
+    frame = np.full((height, width), 40.0, dtype=np.float32)
+    rows = np.arange(height, dtype=np.float32)
+    # Two lane markings converging towards the horizon.
+    for lane_base, slope in ((0.30, 0.08), (0.70, -0.08)):
+        centers = (lane_base + slope * (1.0 - rows / height)) * width
+        for row in range(height // 4, height):
+            center = int(centers[row])
+            half_width = max(1, int(3 * (row / height)))
+            frame[row, max(0, center - half_width):center + half_width] = 220.0
+    frame += rng.normal(0.0, 4.0, size=frame.shape).astype(np.float32)
+    return np.clip(frame, 0.0, 255.0).astype(np.float32)
+
+
+def main() -> None:
+    height = width = 128
+    frame_host = synthetic_camera_frame(height, width)
+
+    runtime = BrookRuntime(backend="gles2", device="videocore-iv")
+    module = runtime.compile(PIPELINE_SOURCE)
+    print("Pipeline certification:",
+          "COMPLIANT" if module.certification.is_compliant else "NON-COMPLIANT")
+
+    frame = runtime.stream_from(frame_host, name="camera_frame")
+    blurred = runtime.stream((height, width), name="blurred")
+    magnitude = runtime.stream((height, width), name="gradient")
+    edges = runtime.stream((height, width), name="edges")
+
+    module.smooth(frame, float(width), float(height), blurred)
+    module.sobel(blurred, float(width), float(height), magnitude)
+    module.threshold(magnitude, 120.0, edges)
+
+    edge_map = edges.read()
+    lane_pixels = int(edge_map.sum())
+    density = lane_pixels / edge_map.size
+    print(f"Edge pixels detected: {lane_pixels} ({density:.1%} of the frame)")
+
+    # Render a coarse ASCII preview of the detected lane markings.
+    step_y = height // 24
+    step_x = width // 64
+    print("\nEdge map preview (downsampled):")
+    for row in range(0, height, step_y):
+        line = "".join(
+            "#" if edge_map[row, col:col + step_x].max() > 0 else "."
+            for col in range(0, width, step_x)
+        )
+        print("   " + line)
+
+    print("\nWork statistics:", runtime.statistics.summary())
+
+
+if __name__ == "__main__":
+    main()

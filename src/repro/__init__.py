@@ -1,0 +1,76 @@
+"""Brook Auto reproduction: certification-friendly GPU stream programming.
+
+This package reproduces "Brook Auto: High-Level Certification-Friendly
+Programming for GPU-powered Automotive Systems" (Trompouki & Kosmidis,
+DAC 2018) as a self-contained Python library:
+
+* :mod:`repro.core` - the Brook Auto language subset: compiler front end,
+  ISO 26262 certification checker, GLSL ES 1.0 / desktop GLSL / C code
+  generators and the kernel execution engine.
+* :mod:`repro.runtime` - the host-side runtime: statically sized streams,
+  kernel launches, multipass reductions, float<->RGBA8 numerics.
+* :mod:`repro.backends` - CPU, simulated OpenGL ES 2.0 and simulated AMD
+  CAL execution backends.
+* :mod:`repro.gles2` / :mod:`repro.cal` - the simulated GPU substrates.
+* :mod:`repro.apps` - the Brook+ reference application suite used by the
+  paper's evaluation.
+* :mod:`repro.timing` - the analytic performance models of the two
+  evaluation platforms.
+* :mod:`repro.evaluation` - the harness regenerating every figure and
+  table of the paper.
+
+Quick start::
+
+    import numpy as np
+    from repro import BrookRuntime
+
+    rt = BrookRuntime(backend="gles2", device="videocore-iv")
+    module = rt.compile(\"\"\"
+        kernel void saxpy(float alpha, float x<>, float y<>, out float r<>) {
+            r = alpha * x + y;
+        }
+    \"\"\")
+    x = rt.stream_from(np.arange(16, dtype=np.float32).reshape(4, 4))
+    y = rt.stream_from(np.ones((4, 4), dtype=np.float32))
+    r = rt.stream((4, 4))
+    module.saxpy(2.0, x, y, r)
+    print(r.read())
+"""
+
+from .core import (
+    BrookAutoCompiler,
+    CertificationReport,
+    CompiledProgram,
+    CompilerOptions,
+    TargetLimits,
+    compile_source,
+)
+from .errors import (
+    BrookError,
+    BrookSyntaxError,
+    BrookTypeError,
+    CertificationError,
+    StreamError,
+)
+from .runtime import BrookModule, BrookRuntime, Stream, StreamShape
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BrookRuntime",
+    "BrookModule",
+    "Stream",
+    "StreamShape",
+    "BrookAutoCompiler",
+    "CompilerOptions",
+    "CompiledProgram",
+    "CertificationReport",
+    "TargetLimits",
+    "compile_source",
+    "BrookError",
+    "BrookSyntaxError",
+    "BrookTypeError",
+    "CertificationError",
+    "StreamError",
+    "__version__",
+]

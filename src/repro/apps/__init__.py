@@ -1,0 +1,56 @@
+"""Brook+ reference applications ported to Brook Auto.
+
+The evaluation of the paper runs the reference applications shipped with
+AMD's Brook+ distribution (section 6): each one is parametrised by input
+size and random seed, includes a CPU implementation used to validate the
+GPU output, and reports the time of both paths.  This package
+re-implements that suite on top of the reproduction's runtime:
+
+=====================  ===========================================  ========
+Application            Algorithm                                    Figure
+=====================  ===========================================  ========
+``flops``              synthetic MAD throughput kernel              Fig. 1
+``binomial``           binomial option pricing (European)           Fig. 2
+``black_scholes``      Black-Scholes option pricing                 Fig. 2
+``prefix_sum``         multipass parallel prefix sum                Fig. 2
+``spmv``               sparse matrix-vector multiplication          Fig. 2
+``binary_search``      parallel binary searches in a sorted table   Fig. 3
+``bitonic_sort``       bitonic sorting network                      Fig. 3
+``floyd_warshall``     all-pairs shortest paths (2-output kernel)   Fig. 3
+``image_filter``       3x3 convolution filter                       Fig. 3
+``mandelbrot``         Mandelbrot fractal generation                Fig. 3
+``sgemm``              single-precision matrix-matrix multiply      Fig. 3/4
+``handwritten_sgemm``  sgemm written directly against OpenGL ES 2   Fig. 4
+=====================  ===========================================  ========
+"""
+
+from .base import AppRunResult, BrookApplication, get_application, list_applications
+from .binary_search import BinarySearchApp
+from .binomial import BinomialOptionApp
+from .bitonic_sort import BitonicSortApp
+from .black_scholes import BlackScholesApp
+from .flops import FlopsApp
+from .floyd_warshall import FloydWarshallApp
+from .image_filter import ImageFilterApp
+from .mandelbrot import MandelbrotApp
+from .prefix_sum import PrefixSumApp
+from .sgemm import SgemmApp
+from .spmv import SpMVApp
+
+__all__ = [
+    "BrookApplication",
+    "AppRunResult",
+    "get_application",
+    "list_applications",
+    "FlopsApp",
+    "BinomialOptionApp",
+    "BlackScholesApp",
+    "PrefixSumApp",
+    "SpMVApp",
+    "BinarySearchApp",
+    "BitonicSortApp",
+    "FloydWarshallApp",
+    "ImageFilterApp",
+    "MandelbrotApp",
+    "SgemmApp",
+]

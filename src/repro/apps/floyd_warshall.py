@@ -1,0 +1,132 @@
+"""Floyd-Warshall all-pairs shortest paths (Figure 3, scalable).
+
+The graph is a dense weighted directed graph of ``size`` vertices; the
+algorithm runs ``size`` relaxation passes over the ``size x size``
+distance matrix.  The natural Brook kernel produces two outputs - the
+relaxed distance and the intermediate vertex recorded for path
+reconstruction - so on the OpenGL ES 2 backend the compiler splits it in
+two, exactly the modification the paper mentions ("needed to be split in
+two - since it produced two outputs").  Despite the low arithmetic
+intensity the GPU wins for graphs larger than 256 vertices and the
+speedup plateaus around 6.5x for large graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..runtime.runtime import BrookModule, BrookRuntime
+from ..timing.cpu_model import CPUWorkload
+from ..timing.gpu_model import GPUWorkload
+from ..timing.platforms import Platform
+from .base import BrookApplication, register_application
+
+__all__ = ["FloydWarshallApp"]
+
+#: Weight used for "no edge"; large but far from float32 overflow so that
+#: additions of two missing edges stay finite.
+NO_EDGE = 1.0e6
+
+BROOK_SOURCE = """
+kernel void fw_relax(float dist_in<>, float path_in<>, float dist[][],
+                     float k, out float dist_out<>, out float path_out<>) {
+    float2 idx = indexof(dist_in);
+    float through = dist[idx.y][k] + dist[k][idx.x];
+    if (through < dist_in) {
+        dist_out = through;
+        path_out = k;
+    } else {
+        dist_out = dist_in;
+        path_out = path_in;
+    }
+}
+"""
+
+
+@register_application
+class FloydWarshallApp(BrookApplication):
+    """All-pairs shortest paths over a dense weighted digraph."""
+
+    name = "floyd_warshall"
+    description = "Floyd-Warshall shortest paths (two-output relaxation kernel)"
+    figure = "figure3"
+    brook_source = BROOK_SOURCE
+    default_sizes = (128, 256, 512, 1024, 2048)
+    max_target_size = 2048
+    validation_rtol = 1e-4
+
+    # ------------------------------------------------------------------ #
+    def generate_inputs(self, size: int, seed: int = 0) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(1.0, 10.0, size=(size, size)).astype(np.float32)
+        # Sparse connectivity: most edges missing, diagonal zero.
+        missing = rng.uniform(0.0, 1.0, size=(size, size)) > 0.25
+        weights[missing] = NO_EDGE
+        np.fill_diagonal(weights, 0.0)
+        return {"weights": weights}
+
+    def cpu_reference(self, size: int, inputs: Dict[str, np.ndarray]
+                      ) -> Dict[str, np.ndarray]:
+        dist = inputs["weights"].astype(np.float32).copy()
+        path = np.full((size, size), -1.0, dtype=np.float32)
+        for k in range(size):
+            through = dist[:, k:k + 1] + dist[k:k + 1, :]
+            improved = through < dist
+            dist = np.where(improved, through, dist).astype(np.float32)
+            path = np.where(improved, np.float32(k), path)
+        return {"dist": dist, "path": path}
+
+    def run_brook(self, runtime: BrookRuntime, module: BrookModule, size: int,
+                  inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        dist_a = runtime.stream_from(inputs["weights"], name="dist_a")
+        dist_b = runtime.stream((size, size), name="dist_b")
+        path_a = runtime.stream((size, size), name="path_a")
+        path_b = runtime.stream((size, size), name="path_b")
+        path_a.fill(-1.0)
+        current_dist, next_dist = dist_a, dist_b
+        current_path, next_path = path_a, path_b
+        for k in range(size):
+            module.fw_relax(current_dist, current_path, current_dist, float(k),
+                            next_dist, next_path)
+            current_dist, next_dist = next_dist, current_dist
+            current_path, next_path = next_path, current_path
+        return {"dist": current_dist.read(), "path": current_path.read()}
+
+    # ------------------------------------------------------------------ #
+    # Workload models
+    # ------------------------------------------------------------------ #
+    def gpu_workload(self, size: int, platform: Platform) -> GPUWorkload:
+        vertices = size
+        elements = vertices * vertices
+        # One relaxation pass per intermediate vertex; the split kernel
+        # doubles the passes (and re-reads the inputs) on OpenGL ES 2.
+        passes_per_k = 2 if platform.backend_name == "gles2" else 1
+        passes = vertices * passes_per_k
+        # Every fragment of pass k reads the same row/column k, so the
+        # texture cache serves most of the gathers; only a fraction misses.
+        return GPUWorkload(
+            passes=passes,
+            elements=elements * passes,
+            flops=elements * passes * 4.0,
+            texture_fetches=elements * passes * 0.3,
+            bytes_to_device=elements * 4.0,
+            bytes_from_device=elements * 2 * 4.0,
+            transfer_calls=3,
+            efficiency=0.8,
+        )
+
+    def cpu_workload(self, size: int, platform: Platform) -> CPUWorkload:
+        vertices = size
+        relaxations = float(vertices) ** 3
+        # The k-outer triple loop streams two matrix rows per (k, i) pair
+        # and re-writes the distance matrix every k; the matrix itself does
+        # not fit any cache at the interesting sizes.
+        return CPUWorkload(
+            flops=relaxations * 4.0,
+            bytes_streamed=relaxations * 12.0,
+            random_accesses=relaxations * 0.06,
+            working_set_bytes=vertices * vertices * 8.0,
+            ilp_factor=2.0,
+        )

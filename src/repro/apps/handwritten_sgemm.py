@@ -1,0 +1,189 @@
+"""Hand-written OpenGL ES 2 sgemm (Figure 4 and the productivity comparison).
+
+Section 6.3 of the paper compares the Brook Auto ``sgemm`` against an
+implementation written directly on OpenGL ES 2: "writing an OpenGL ES 2
+GPGPU application by hand is a titanic endeavor", the hand-optimised
+version took more than a year and 1500 lines of C, and the Brook version
+achieves 50-90% of its performance (the gap being the Brook runtime
+overhead).
+
+This module is the reproduction's stand-in for that hand-written code: it
+programs the simulated GL ES 2 device *directly* - creating textures,
+packing the matrices into RGBA8 texels, supplying its own fragment shader
+(an 8x8-blocked matrix multiply) and issuing the draw call - without
+touching the Brook runtime at all.  Its workload model carries no Brook
+runtime overhead and slightly better fetch locality from the hand-tuned
+blocking, which is exactly the gap Figure 4 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..gles2.context import GLES2Context
+from ..gles2.device import get_device_profile
+from ..gles2.shader import FragmentJob, FragmentShader, ShaderProgram
+from ..runtime.numerics import decode_float_rgba8, encode_float_rgba8
+from ..timing.gpu_model import GPUWorkload
+from ..timing.platforms import Platform
+
+__all__ = ["HandwrittenSgemm", "BrookRuntimeOverheadModel"]
+
+#: Tile edge used by the hand-written kernel (the paper's optimum is 8x8
+#: for the hand-written version versus 16x16 for Brook Auto).
+HAND_TILE = 8
+
+#: GLSL ES 1.0 a hand-written implementation would carry; kept as an
+#: artefact for inspection (the simulation executes the Python shader).
+HANDWRITTEN_SHADER_SOURCE = """
+precision highp float;
+varying vec2 texcoord;
+uniform sampler2D matrix_a;
+uniform sampler2D matrix_b;
+uniform float inner;
+uniform vec2 dims;
+/* decode/encode helpers identical to the Brook Auto prelude ... */
+void main() {
+    vec2 element = floor(texcoord * dims);
+    float acc = 0.0;
+    for (int k = 0; k < 2048; k++) {
+        if (float(k) >= inner) { break; }
+        float a = 0.0; /* decode(texture2D(matrix_a, ...)) */
+        float b = 0.0; /* decode(texture2D(matrix_b, ...)) */
+        acc += a * b;
+    }
+    gl_FragColor = vec4(acc); /* encode(acc) */
+}
+"""
+
+
+class _BlockedSgemmShader(FragmentShader):
+    """Fragment shader computing one C element with 8x8 blocked fetches."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.last_flops = 0
+
+    def run(self, job: FragmentJob) -> np.ndarray:
+        size = self.size
+        a_tex = job.sampler("matrix_a")
+        b_tex = job.sampler("matrix_b")
+        xs = np.floor(job.texcoord[:, 0] * job.width).astype(np.int64)
+        ys = np.floor(job.texcoord[:, 1] * job.height).astype(np.int64)
+        acc = np.zeros(xs.shape[0], dtype=np.float32)
+        # Blocked inner loop: fetch an 8-wide strip of A and B per step,
+        # mirroring how the hand-written shader unrolls its tile.
+        for k0 in range(0, size, HAND_TILE):
+            for k in range(k0, min(k0 + HAND_TILE, size)):
+                a_vals = decode_float_rgba8(a_tex.sample_texel(np.full_like(xs, k), ys))
+                b_vals = decode_float_rgba8(b_tex.sample_texel(xs, np.full_like(ys, k)))
+                acc += a_vals * b_vals
+        self.last_flops = int(2 * size * xs.shape[0])
+        return encode_float_rgba8(acc)
+
+
+@dataclass
+class HandwrittenRunResult:
+    """Functional outcome of running the hand-written implementation."""
+
+    c: np.ndarray
+    fragments: int
+    texture_fetches: int
+    bytes_uploaded: int
+    bytes_downloaded: int
+
+
+class HandwrittenSgemm:
+    """sgemm written directly against the (simulated) OpenGL ES 2 API."""
+
+    name = "handwritten_sgemm"
+    description = "Hand-written OpenGL ES 2 sgemm (no Brook runtime)"
+    figure = "figure4"
+
+    def __init__(self, device: str = "videocore-iv"):
+        self.device = get_device_profile(device)
+
+    # ------------------------------------------------------------------ #
+    def run(self, size: int, seed: int = 0) -> HandwrittenRunResult:
+        """Execute C = A x B on the simulated device, GL calls only."""
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1.0, 1.0, size=(size, size)).astype(np.float32)
+        b = rng.uniform(-1.0, 1.0, size=(size, size)).astype(np.float32)
+
+        context = GLES2Context(self.device.limits)
+        tex_a = context.create_texture(size, size, name="matrix_a")
+        tex_b = context.create_texture(size, size, name="matrix_b")
+        tex_c = context.create_texture(size, size, name="matrix_c")
+        context.upload(tex_a, encode_float_rgba8(a))
+        context.upload(tex_b, encode_float_rgba8(b))
+
+        shader = _BlockedSgemmShader(size)
+        program = ShaderProgram(shader, source=HANDWRITTEN_SHADER_SOURCE,
+                                name="handwritten_sgemm")
+        program.bind_texture("matrix_a", tex_a)
+        program.bind_texture("matrix_b", tex_b)
+        framebuffer = context.create_framebuffer("sgemm_fbo")
+        framebuffer.attach_color(tex_c)
+        context.use_program(program)
+        context.bind_framebuffer(framebuffer)
+        draw = context.draw_fullscreen_quad()
+        c = decode_float_rgba8(context.download(tex_c))
+
+        return HandwrittenRunResult(
+            c=c,
+            fragments=draw.fragments,
+            texture_fetches=draw.texture_fetches,
+            bytes_uploaded=context.transfers.bytes_uploaded,
+            bytes_downloaded=context.transfers.bytes_downloaded,
+        )
+
+    def reference(self, size: int, seed: int = 0) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1.0, 1.0, size=(size, size)).astype(np.float32)
+        b = rng.uniform(-1.0, 1.0, size=(size, size)).astype(np.float32)
+        return (a.astype(np.float64) @ b.astype(np.float64)).astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    # Workload model (Figure 4)
+    # ------------------------------------------------------------------ #
+    def gpu_workload(self, size: int, platform: Platform) -> GPUWorkload:
+        """Hand-written path: same algorithmic work as the Brook Auto
+        ``sgemm`` but with hand-tuned 8x8 blocking (better texture cache
+        reuse) and no Brook runtime involvement."""
+        elements = size * size
+        inner = size
+        return GPUWorkload(
+            passes=1,
+            elements=elements,
+            flops=elements * inner * 2.0,
+            texture_fetches=elements * inner * 1.05,
+            bytes_to_device=2 * elements * 4.0,
+            bytes_from_device=elements * 4.0,
+            efficiency=0.6,
+        )
+
+
+@dataclass(frozen=True)
+class BrookRuntimeOverheadModel:
+    """Costs the Brook Auto runtime adds on top of a hand-written GL program.
+
+    Figure 4 attributes the 10-50% gap to "the runtime overhead of Brook":
+    stream bookkeeping, kernel argument marshalling, texture state setup
+    and the generic (16x16 rather than hand-tuned 8x8) code generation.
+    The fixed part dominates small matrices (50% of hand-written
+    performance) and amortises for large ones (90%).
+    """
+
+    #: Fixed per-application-run overhead in seconds (stream setup, kernel
+    #: compilation cache lookups, argument validation, FBO re-validation).
+    fixed_seconds: float = 7.0e-3
+    #: Relative slowdown of the generated code versus hand-tuned GLSL.
+    generated_code_penalty: float = 0.11
+
+    def brook_time(self, handwritten_seconds: float) -> float:
+        """Modelled Brook Auto time given the hand-written time."""
+        return handwritten_seconds * (1.0 + self.generated_code_penalty) \
+            + self.fixed_seconds

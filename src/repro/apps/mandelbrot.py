@@ -1,0 +1,139 @@
+"""Mandelbrot fractal generation (Figure 3, scalable - up to 31x).
+
+Each thread iterates ``z = z^2 + c`` for its pixel of the complex plane
+and writes the escape iteration count.  The kernel reads no input streams
+at all - the pixel coordinate comes from ``indexof`` - so only the output
+image has to leave the GPU, and the arithmetic intensity is high; that is
+why "the Mandelbrot set is another example of a task that the GPU excels"
+in the paper, reaching a 31x speedup.
+
+The iteration bound is a compile-time constant, which makes the kernel
+certifiable without any declared parameter bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..runtime.runtime import BrookModule, BrookRuntime
+from ..timing.cpu_model import CPUWorkload
+from ..timing.gpu_model import GPUWorkload
+from ..timing.platforms import Platform
+from .base import BrookApplication, register_application
+
+__all__ = ["MandelbrotApp", "MAX_ITERATIONS"]
+
+MAX_ITERATIONS = 64
+#: Viewport of the complex plane (the classic full-set view).
+REAL_MIN, REAL_MAX = -2.0, 1.0
+IMAG_MIN, IMAG_MAX = -1.5, 1.5
+
+BROOK_SOURCE = """
+kernel void mandelbrot(float scale_x, float scale_y, float real_min,
+                       float imag_min, out float iterations<>) {
+    float2 idx = indexof(iterations);
+    float c_re = real_min + idx.x * scale_x;
+    float c_im = imag_min + idx.y * scale_y;
+    float z_re = 0.0;
+    float z_im = 0.0;
+    float count = 0.0;
+    for (int i = 0; i < 64; i = i + 1) {
+        float re2 = z_re * z_re;
+        float im2 = z_im * z_im;
+        if (re2 + im2 <= 4.0) {
+            float new_re = re2 - im2 + c_re;
+            z_im = 2.0 * z_re * z_im + c_im;
+            z_re = new_re;
+            count = count + 1.0;
+        }
+    }
+    iterations = count;
+}
+"""
+
+#: Average escape iterations over the classic viewport (used by the
+#: closed-form workload model; measured from the CPU reference).
+AVERAGE_ITERATIONS = 0.30 * MAX_ITERATIONS
+
+
+@register_application
+class MandelbrotApp(BrookApplication):
+    """Mandelbrot escape-time fractal over the classic viewport."""
+
+    name = "mandelbrot"
+    description = "Mandelbrot set generation (no input streams, high intensity)"
+    figure = "figure3"
+    brook_source = BROOK_SOURCE
+    default_sizes = (128, 256, 512, 1024, 2048)
+    max_target_size = 2048
+    validation_rtol = 0.0
+    validation_atol = 1e-6
+
+    # ------------------------------------------------------------------ #
+    def generate_inputs(self, size: int, seed: int = 0) -> Dict[str, np.ndarray]:
+        # The fractal has no input data; the seed is accepted for interface
+        # uniformity but does not influence the output.
+        return {}
+
+    def cpu_reference(self, size: int, inputs: Dict[str, np.ndarray]
+                      ) -> Dict[str, np.ndarray]:
+        xs = np.arange(size, dtype=np.float32)
+        ys = np.arange(size, dtype=np.float32)
+        scale_x = np.float32((REAL_MAX - REAL_MIN) / size)
+        scale_y = np.float32((IMAG_MAX - IMAG_MIN) / size)
+        c_re = (np.float32(REAL_MIN) + xs * scale_x)[None, :] * np.ones((size, 1), np.float32)
+        c_im = (np.float32(IMAG_MIN) + ys * scale_y)[:, None] * np.ones((1, size), np.float32)
+        z_re = np.zeros((size, size), dtype=np.float32)
+        z_im = np.zeros((size, size), dtype=np.float32)
+        count = np.zeros((size, size), dtype=np.float32)
+        for _ in range(MAX_ITERATIONS):
+            re2 = z_re * z_re
+            im2 = z_im * z_im
+            active = re2 + im2 <= 4.0
+            new_re = re2 - im2 + c_re
+            new_im = 2.0 * z_re * z_im + c_im
+            z_re = np.where(active, new_re, z_re).astype(np.float32)
+            z_im = np.where(active, new_im, z_im).astype(np.float32)
+            count = count + active.astype(np.float32)
+        return {"iterations": count}
+
+    def run_brook(self, runtime: BrookRuntime, module: BrookModule, size: int,
+                  inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        iterations = runtime.stream((size, size), name="iterations")
+        scale_x = (REAL_MAX - REAL_MIN) / size
+        scale_y = (IMAG_MAX - IMAG_MIN) / size
+        module.mandelbrot(scale_x, scale_y, REAL_MIN, IMAG_MIN, iterations)
+        return {"iterations": iterations.read()}
+
+    # ------------------------------------------------------------------ #
+    # Workload models
+    # ------------------------------------------------------------------ #
+    def gpu_workload(self, size: int, platform: Platform) -> GPUWorkload:
+        pixels = size * size
+        return GPUWorkload(
+            passes=1,
+            elements=pixels,
+            flops=pixels * AVERAGE_ITERATIONS * 10.0,
+            texture_fetches=0,
+            bytes_to_device=0,
+            bytes_from_device=pixels * 4.0,
+            transfer_calls=1,
+            # Pure multiply-add inner loop, no fetches: the fragment
+            # pipeline runs at its calibrated rate.
+            efficiency=1.0,
+        )
+
+    def cpu_workload(self, size: int, platform: Platform) -> CPUWorkload:
+        pixels = size * size
+        # The scalar CPU loop carries a dependent escape test and branch in
+        # every iteration, which stalls the in-order pipeline slightly more
+        # than the pure MAD chain of the calibration kernel.
+        return CPUWorkload(
+            flops=pixels * AVERAGE_ITERATIONS * 10.0,
+            bytes_streamed=pixels * 4.0,
+            random_accesses=0,
+            working_set_bytes=32 * 1024,
+            ilp_factor=0.65,
+        )

@@ -1,0 +1,115 @@
+"""Prefix sum (Figure 2, non-scalable).
+
+An inclusive parallel prefix sum over all ``size x size`` elements,
+implemented with the Hillis-Steele multipass scheme: ``log2(n)`` kernel
+passes, each adding the element ``2^d`` positions back.  The Brook
+implementation ping-pongs between two streams driven by a host loop, so
+it is exactly the "multipass kernel invocation with low arithmetic
+intensity" the paper describes; the CPU reference is a single
+accumulation loop, which is why the CPU wins at every explored size.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from ..runtime.runtime import BrookModule, BrookRuntime
+from ..timing.cpu_model import CPUWorkload
+from ..timing.gpu_model import GPUWorkload
+from ..timing.platforms import Platform
+from .base import BrookApplication, register_application
+
+__all__ = ["PrefixSumApp"]
+
+BROOK_SOURCE = """
+kernel void scan_step(float current<>, float previous[][], float offset,
+                      float width, out float result<>) {
+    float2 idx = indexof(current);
+    float linear = idx.y * width + idx.x;
+    /* Clamp the gather index so that it is valid on every backend even for
+     * the elements that do not add a partial sum this pass. */
+    float source = max(linear - offset, 0.0);
+    float sy = floor(source / width);
+    float sx = source - sy * width;
+    float partial = previous[sy][sx];
+    if (linear - offset >= 0.0) {
+        result = current + partial;
+    } else {
+        result = current;
+    }
+}
+"""
+
+
+@register_application
+class PrefixSumApp(BrookApplication):
+    """Inclusive prefix sum via Hillis-Steele multipass scan."""
+
+    name = "prefix_sum"
+    description = "Multipass inclusive prefix sum over all elements"
+    figure = "figure2"
+    brook_source = BROOK_SOURCE
+    default_sizes = (128, 256, 512, 1024, 2048)
+    max_target_size = 2048
+    validation_rtol = 1e-3
+
+    # ------------------------------------------------------------------ #
+    def generate_inputs(self, size: int, seed: int = 0) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {
+            "values": rng.uniform(0.0, 1.0, size=(size, size)).astype(np.float32),
+        }
+
+    def cpu_reference(self, size: int, inputs: Dict[str, np.ndarray]
+                      ) -> Dict[str, np.ndarray]:
+        flat = inputs["values"].astype(np.float64).reshape(-1)
+        return {"scan": np.cumsum(flat).astype(np.float32).reshape(size, size)}
+
+    def run_brook(self, runtime: BrookRuntime, module: BrookModule, size: int,
+                  inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        current = runtime.stream_from(inputs["values"], name="scan_a")
+        scratch = runtime.stream((size, size), name="scan_b")
+        total = size * size
+        passes = int(math.ceil(math.log2(total))) if total > 1 else 0
+        offset = 1
+        for _ in range(passes):
+            module.scan_step(current, current, float(offset), float(size), scratch)
+            current, scratch = scratch, current
+            offset *= 2
+        return {"scan": current.read()}
+
+    # ------------------------------------------------------------------ #
+    # Workload models
+    # ------------------------------------------------------------------ #
+    def _passes(self, size: int) -> int:
+        total = size * size
+        return int(math.ceil(math.log2(total))) if total > 1 else 0
+
+    def gpu_workload(self, size: int, platform: Platform) -> GPUWorkload:
+        elements = size * size
+        passes = self._passes(size)
+        # ~10 index-arithmetic flops per element per pass; two fetches
+        # (positional read + gather of the shifted element).
+        return GPUWorkload(
+            passes=passes,
+            elements=elements * passes,
+            flops=elements * passes * 10.0,
+            texture_fetches=elements * passes * 2.0,
+            bytes_to_device=elements * 4,
+            bytes_from_device=elements * 4,
+            efficiency=0.5,
+        )
+
+    def cpu_workload(self, size: int, platform: Platform) -> CPUWorkload:
+        elements = size * size
+        # A single sequential accumulation loop: one add and 8 streamed
+        # bytes per element, ideally prefetched.
+        return CPUWorkload(
+            flops=elements * 1.0,
+            bytes_streamed=elements * 8.0,
+            random_accesses=0,
+            working_set_bytes=elements * 4.0,
+        )

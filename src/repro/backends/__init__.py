@@ -1,0 +1,25 @@
+"""Runtime backends binding the Brook runtime to an execution substrate.
+
+Three backends exist, mirroring the paper's evaluation setup:
+
+* :mod:`cpu` - the host CPU backend (Brook's original validation path),
+* :mod:`gles2_backend` - the paper's contribution: streams live in RGBA8
+  textures of the simulated OpenGL ES 2.0 device, kernels run as fragment
+  shader passes with normalized coordinates,
+* :mod:`cal_backend` - the AMD CAL style desktop backend used as the
+  reference platform (float resources, non-normalized addressing).
+"""
+
+from .base import Backend, StreamStorage, create_backend
+from .cal_backend import CALBackend
+from .cpu import CPUBackend
+from .gles2_backend import GLES2Backend
+
+__all__ = [
+    "Backend",
+    "StreamStorage",
+    "create_backend",
+    "CPUBackend",
+    "GLES2Backend",
+    "CALBackend",
+]

@@ -1,0 +1,200 @@
+"""Backend interface of the Brook Auto runtime.
+
+A backend owns stream storage on its device, moves data between the host
+and that storage, launches kernel passes over an output domain and runs
+multipass reductions.  All backends execute kernels through the same
+vectorized evaluator; they differ in where stream data lives, how much
+precision survives storage, how gather accesses behave at the edges and
+which hardware limits apply.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..core.analysis.resources import TargetLimits
+from ..core.compiler import CompiledKernel
+from ..core import ast_nodes as ast
+from ..core.exec.evaluator import KernelEvaluator, KernelExecutionStats
+from ..core.exec.gather import GatherSource
+from ..runtime.profiling import KernelLaunchRecord, TransferRecord
+from ..runtime.shape import StreamShape
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.stream import Stream
+
+__all__ = ["StreamStorage", "Backend", "create_backend"]
+
+
+class StreamStorage:
+    """Opaque handle to device-side storage of one stream.
+
+    Concrete backends subclass this; the runtime never looks inside.
+    """
+
+    shape: StreamShape
+    element_width: int
+    name: str
+
+
+class Backend(abc.ABC):
+    """Abstract execution backend."""
+
+    #: Short identifier ("cpu", "gles2", "cal").
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # Capabilities
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def target_limits(self) -> TargetLimits:
+        """Hardware limits used for certification and kernel fitting."""
+
+    # ------------------------------------------------------------------ #
+    # Storage and transfers
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def create_storage(self, shape: StreamShape, element_width: int,
+                       name: str = "") -> StreamStorage:
+        """Allocate statically sized storage for a stream."""
+
+    @abc.abstractmethod
+    def upload(self, storage: StreamStorage, data: np.ndarray) -> TransferRecord:
+        """Copy host data (2-D flattened layout) into device storage."""
+
+    @abc.abstractmethod
+    def download(self, storage: StreamStorage) -> "tuple[np.ndarray, TransferRecord]":
+        """Copy device storage back to the host (2-D flattened layout)."""
+
+    @abc.abstractmethod
+    def device_view(self, storage: StreamStorage) -> np.ndarray:
+        """Device-resident values as a kernel would observe them.
+
+        Unlike :meth:`download` this does not model a host transfer; it is
+        used to bind kernel arguments.  On the OpenGL ES 2 backend the
+        returned values already carry the RGBA8 quantization.
+        """
+
+    @abc.abstractmethod
+    def free(self, storage: StreamStorage) -> None:
+        """Release device storage."""
+
+    @abc.abstractmethod
+    def device_memory_in_use(self) -> int:
+        """Bytes of device memory currently allocated to streams."""
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def launch(
+        self,
+        kernel: CompiledKernel,
+        helpers: Dict[str, ast.FunctionDef],
+        domain: StreamShape,
+        stream_args: Dict[str, "Stream"],
+        gather_args: Dict[str, "Stream"],
+        scalar_args: Dict[str, float],
+        out_args: Dict[str, "Stream"],
+    ) -> KernelLaunchRecord:
+        """Run one kernel pass over ``domain`` and write the outputs."""
+
+    @abc.abstractmethod
+    def reduce(
+        self,
+        kernel: CompiledKernel,
+        helpers: Dict[str, ast.FunctionDef],
+        input_stream: "Stream",
+    ) -> "tuple[float, KernelLaunchRecord]":
+        """Run a multipass reduction of ``input_stream`` to a scalar."""
+
+    # ------------------------------------------------------------------ #
+    # Partial reductions (reduce to a smaller stream)
+    # ------------------------------------------------------------------ #
+    def _reduction_quantize(self):
+        """Storage model applied to reduction results before they are kept
+        on the device (RGBA8 round trip on OpenGL ES 2, nothing elsewhere)."""
+        return None
+
+    def _store_reduction_output(self, storage: StreamStorage,
+                                values: np.ndarray) -> None:
+        """Place reduction results into device storage without modelling a
+        host transfer (the data never leaves the device)."""
+        raise NotImplementedError
+
+    def reduce_into(
+        self,
+        kernel: CompiledKernel,
+        helpers: Dict[str, ast.FunctionDef],
+        input_stream: "Stream",
+        output_stream: "Stream",
+    ) -> KernelLaunchRecord:
+        """Reduce ``input_stream`` block-wise into ``output_stream``.
+
+        The output stream's extents must evenly divide the input stream's
+        extents; each output element receives the reduction of its block.
+        """
+        from ..runtime.reduction import partial_reduce
+
+        data = self.device_view(input_stream.storage)
+        result = partial_reduce(
+            kernel.definition, helpers, np.asarray(data, dtype=np.float32),
+            output_stream.shape.layout_2d, quantize=self._reduction_quantize(),
+        )
+        self._store_reduction_output(output_stream.storage, result.values)
+        return KernelLaunchRecord(
+            kernel=kernel.name,
+            elements=result.elements_processed,
+            flops=result.flops,
+            texture_fetches=result.texture_fetches,
+            passes=result.passes,
+            reduction=True,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared execution helper
+    # ------------------------------------------------------------------ #
+    def _evaluate(
+        self,
+        kernel: CompiledKernel,
+        helpers: Dict[str, ast.FunctionDef],
+        domain: StreamShape,
+        stream_values: Dict[str, np.ndarray],
+        gathers: Dict[str, GatherSource],
+        scalar_args: Dict[str, float],
+    ) -> "tuple[Dict[str, np.ndarray], KernelExecutionStats]":
+        """Run the kernel body once over ``domain`` with prepared inputs."""
+        evaluator = KernelEvaluator(kernel.definition, helpers)
+        outputs = evaluator.run(
+            domain.element_count,
+            stream_inputs=stream_values,
+            scalar_args=scalar_args,
+            gathers=gathers,
+            index=domain.element_positions(),
+        )
+        return outputs, evaluator.stats
+
+
+def create_backend(name: str, device: Optional[str] = None) -> Backend:
+    """Factory for backends by name.
+
+    Args:
+        name: ``"cpu"``, ``"gles2"`` or ``"cal"``.
+        device: Optional device profile name understood by the backend
+            (e.g. ``"videocore-iv"``, ``"mali-400"``, ``"radeon-hd3400"``).
+    """
+    from .cal_backend import CALBackend
+    from .cpu import CPUBackend
+    from .gles2_backend import GLES2Backend
+
+    normalized = name.lower()
+    if normalized in ("cpu", "host"):
+        return CPUBackend()
+    if normalized in ("gles2", "opengl-es2", "es2", "gl"):
+        return GLES2Backend(device or "videocore-iv")
+    if normalized in ("cal", "brook+", "brookplus", "desktop"):
+        return CALBackend(device or "radeon-hd3400")
+    raise ValueError(f"unknown backend {name!r}; expected 'cpu', 'gles2' or 'cal'")

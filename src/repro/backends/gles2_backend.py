@@ -1,0 +1,274 @@
+"""OpenGL ES 2.0 backend of the Brook Auto runtime (the paper's backend).
+
+Every stream is backed by an RGBA8 texture on the simulated embedded GPU
+(:mod:`repro.gles2`); writing a stream encodes floats into texels, and
+kernel launches run as fragment-shader passes over a framebuffer-attached
+output texture, sampling the inputs with normalized coordinates.  The
+texture padding needed for power-of-two / square-only devices, the
+float<->RGBA8 numerics and the multipass reductions are handled here,
+transparently to the application, exactly as sections 5.2-5.5 describe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core import ast_nodes as ast
+from ..core.analysis.resources import TargetLimits
+from ..core.compiler import CompiledKernel
+from ..core.exec.evaluator import KernelEvaluator
+from ..core.exec.gather import ClampingGatherSource
+from ..errors import BackendError, KernelLaunchError
+from ..gles2.context import GLES2Context
+from ..gles2.device import GPUDeviceProfile, get_device_profile
+from ..gles2.framebuffer import Framebuffer
+from ..gles2.shader import FragmentJob, FragmentShader, ShaderProgram
+from ..gles2.texture import Texture2D
+from ..runtime.numerics import decode_float_rgba8, encode_float_rgba8, quantize_roundtrip
+from ..runtime.profiling import KernelLaunchRecord, TransferRecord
+from ..runtime.reduction import multipass_reduce
+from ..runtime.shape import StreamShape
+from .base import Backend, StreamStorage
+
+__all__ = ["GLES2Backend", "GLES2StreamStorage", "BrookKernelShader"]
+
+
+class GLES2StreamStorage(StreamStorage):
+    """A stream stored in an RGBA8 texture of the simulated device."""
+
+    def __init__(self, shape: StreamShape, element_width: int, name: str,
+                 texture: Texture2D):
+        if element_width != 1:
+            raise BackendError(
+                "the OpenGL ES 2 backend stores one float per RGBA8 texel; "
+                f"vector element width {element_width} is not supported - "
+                "scalarize the stream (see repro.core.transforms.scalarize)"
+            )
+        self.shape = shape
+        self.element_width = element_width
+        self.name = name
+        self.texture = texture
+
+    @property
+    def size_bytes(self) -> int:
+        return self.texture.size_bytes
+
+
+class BrookKernelShader(FragmentShader):
+    """Fragment shader that runs a compiled Brook kernel via the evaluator.
+
+    This is what the Brook Auto runtime installs for every kernel pass;
+    hand-written applications implement :class:`FragmentShader` themselves
+    (see :mod:`repro.apps.handwritten_sgemm`).
+    """
+
+    def __init__(self, kernel: CompiledKernel, helpers: Dict[str, ast.FunctionDef],
+                 domain: StreamShape, scalar_args: Dict[str, float],
+                 gathers: Dict[str, ClampingGatherSource], out_name: str):
+        self.kernel = kernel
+        self.helpers = helpers
+        self.domain = domain
+        self.scalar_args = scalar_args
+        self.gathers = gathers
+        self.out_name = out_name
+        self.last_flops = 0
+        self.last_gather_fetches = 0
+
+    def run(self, job: FragmentJob) -> np.ndarray:
+        count = job.fragment_count
+        stream_values: Dict[str, np.ndarray] = {}
+        for param in self.kernel.definition.params:
+            sampler_name = f"__stream_{param.name}"
+            if sampler_name in job.samplers:
+                texture = job.samplers[sampler_name]
+                # Normalised coordinates are relative to the *allocated*
+                # texture extent, which may be padded beyond the logical
+                # stream size (power-of-two devices); the runtime therefore
+                # rescales the element position by each texture's own
+                # dimensions - the bookkeeping of paper section 5.3.
+                u = job.frag_coord[:, 0] / texture.width
+                v = job.frag_coord[:, 1] / texture.height
+                texels = texture.sample_normalized(u, v)
+                stream_values[param.name] = decode_float_rgba8(texels)
+        # indexof: the normalized varying scaled back by the hidden output
+        # size uniform (the element index of the current fragment).
+        output_size = job.uniforms.get("__brook_output_size",
+                                       (float(job.width), float(job.height)))
+        index = np.stack(
+            [np.floor(job.texcoord[:, 0] * output_size[0]),
+             np.floor(job.texcoord[:, 1] * output_size[1])], axis=1
+        ).astype(np.float32)
+
+        evaluator = KernelEvaluator(self.kernel.definition, self.helpers)
+        outputs = evaluator.run(
+            count,
+            stream_inputs=stream_values,
+            scalar_args=self.scalar_args,
+            gathers=self.gathers,
+            index=index,
+        )
+        self.last_flops = evaluator.stats.flops
+        self.last_gather_fetches = evaluator.stats.gather_fetches
+        result = outputs[self.out_name]
+        return encode_float_rgba8(np.asarray(result, dtype=np.float32))
+
+
+class GLES2Backend(Backend):
+    """Runs Brook Auto kernels on the simulated OpenGL ES 2.0 device."""
+
+    name = "gles2"
+
+    def __init__(self, device: str = "videocore-iv"):
+        if isinstance(device, GPUDeviceProfile):
+            self.device = device
+        else:
+            self.device = get_device_profile(device)
+        self.context = GLES2Context(self.device.limits)
+        self._framebuffer: Framebuffer = self.context.create_framebuffer("brook-fbo")
+        self._storages: list = []
+
+    # ------------------------------------------------------------------ #
+    def target_limits(self) -> TargetLimits:
+        return self.device.limits.to_target_limits()
+
+    # ------------------------------------------------------------------ #
+    # Storage
+    # ------------------------------------------------------------------ #
+    def create_storage(self, shape: StreamShape, element_width: int,
+                       name: str = "") -> GLES2StreamStorage:
+        tex_w, tex_h = shape.texture_extent(self.target_limits())
+        texture = self.context.create_texture(tex_w, tex_h, name=name)
+        storage = GLES2StreamStorage(shape, element_width, name, texture)
+        self._storages.append(storage)
+        return storage
+
+    def upload(self, storage: GLES2StreamStorage, data: np.ndarray) -> TransferRecord:
+        rows, cols = storage.shape.layout_2d
+        data = np.asarray(data, dtype=np.float32)
+        if data.shape != (rows, cols):
+            raise KernelLaunchError(
+                f"stream {storage.name!r}: cannot write data of shape {data.shape} "
+                f"into a stream of layout {(rows, cols)}"
+            )
+        texture = storage.texture
+        rgba = np.zeros((texture.height, texture.width, 4), dtype=np.uint8)
+        rgba[:rows, :cols] = encode_float_rgba8(data)
+        self.context.upload(texture, rgba)
+        return TransferRecord(stream=storage.name, direction="upload",
+                              bytes=rows * cols * 4,
+                              elements=storage.shape.element_count)
+
+    def download(self, storage: GLES2StreamStorage):
+        rows, cols = storage.shape.layout_2d
+        rgba = self.context.download(storage.texture)
+        values = decode_float_rgba8(rgba[:rows, :cols])
+        record = TransferRecord(stream=storage.name, direction="download",
+                                bytes=rows * cols * 4,
+                                elements=storage.shape.element_count)
+        return values, record
+
+    def device_view(self, storage: GLES2StreamStorage) -> np.ndarray:
+        rows, cols = storage.shape.layout_2d
+        return decode_float_rgba8(storage.texture.data[:rows, :cols])
+
+    def free(self, storage: GLES2StreamStorage) -> None:
+        if storage in self._storages:
+            self._storages.remove(storage)
+            self.context.delete_texture(storage.texture)
+
+    def device_memory_in_use(self) -> int:
+        return self.context.device_memory_in_use()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def launch(
+        self,
+        kernel: CompiledKernel,
+        helpers: Dict[str, ast.FunctionDef],
+        domain: StreamShape,
+        stream_args: Dict[str, "object"],
+        gather_args: Dict[str, "object"],
+        scalar_args: Dict[str, float],
+        out_args: Dict[str, "object"],
+    ) -> KernelLaunchRecord:
+        if len(out_args) != 1:
+            raise BackendError(
+                f"OpenGL ES 2 supports a single render target; kernel "
+                f"{kernel.name!r} was launched with {len(out_args)} outputs "
+                "(the compiler should have split it)"
+            )
+        if kernel.glsl_es is None:
+            raise BackendError(
+                f"kernel {kernel.name!r} could not be lowered to GLSL ES 1.0; "
+                "it cannot run on the OpenGL ES 2 backend"
+            )
+        out_name, out_stream = next(iter(out_args.items()))
+        rows, cols = domain.layout_2d
+
+        gathers = {
+            name: ClampingGatherSource(
+                self.device_view(stream.storage),
+                transform=None,
+            )
+            for name, stream in gather_args.items()
+        }
+        shader = BrookKernelShader(kernel, helpers, domain, scalar_args, gathers,
+                                   out_name)
+        program = ShaderProgram(shader, source=kernel.glsl_es, name=kernel.name)
+        program.set_uniform("__brook_output_size", (float(cols), float(rows)))
+        for name, stream in stream_args.items():
+            program.bind_texture(f"__stream_{name}", stream.storage.texture)
+        for name, stream in gather_args.items():
+            program.bind_texture(f"__gather_{name}", stream.storage.texture)
+            program.set_uniform(
+                f"__dim_{name}",
+                (float(stream.storage.texture.width),
+                 float(stream.storage.texture.height)),
+            )
+
+        self.context.use_program(program)
+        self._framebuffer.attach_color(out_stream.storage.texture)
+        self.context.bind_framebuffer(self._framebuffer)
+        draw = self.context.draw_fullscreen_quad(viewport=(cols, rows))
+        self.context.bind_framebuffer(None)
+        self.context.use_program(None)
+
+        return KernelLaunchRecord(
+            kernel=kernel.name,
+            elements=domain.element_count,
+            flops=shader.last_flops,
+            texture_fetches=draw.texture_fetches + shader.last_gather_fetches,
+            passes=1,
+        )
+
+    def _reduction_quantize(self):
+        return quantize_roundtrip
+
+    def _store_reduction_output(self, storage: GLES2StreamStorage,
+                                values: np.ndarray) -> None:
+        rows, cols = storage.shape.layout_2d
+        shaped = np.asarray(values, dtype=np.float32).reshape(rows, cols)
+        storage.texture.data[:rows, :cols] = encode_float_rgba8(shaped)
+
+    def reduce(
+        self,
+        kernel: CompiledKernel,
+        helpers: Dict[str, ast.FunctionDef],
+        input_stream,
+    ):
+        data = self.device_view(input_stream.storage)
+        result = multipass_reduce(
+            kernel.definition, helpers, data, quantize=quantize_roundtrip,
+        )
+        record = KernelLaunchRecord(
+            kernel=kernel.name,
+            elements=result.elements_processed,
+            flops=result.flops,
+            texture_fetches=result.texture_fetches,
+            passes=result.passes,
+            reduction=True,
+        )
+        return result.value, record

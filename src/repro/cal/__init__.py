@@ -1,0 +1,26 @@
+"""Simulated AMD CAL (Compute Abstraction Layer) substrate.
+
+The paper's reference platform runs the original AMD Brook+ runtime,
+whose backend talks to the GPU through CAL - a low-level compute API for
+AMD GPUs comparable to NVIDIA's PTX level.  Unlike OpenGL ES 2.0, CAL
+exposes float32 resources, non-normalized (linear) addressing and
+multiple outputs, and the Brook+ kernels exploit the VLIW vector ALUs.
+
+This package provides the minimal functional simulation of CAL that the
+reference (grey-line) measurements of Figures 2 and 3 need.  It exists to
+contrast with :mod:`repro.gles2`: same Brook source, very different
+device capabilities.
+"""
+
+from .context import CALContext, CALKernelStats
+from .device import CAL_DEVICE_PROFILES, CALDeviceProfile, get_cal_device
+from .resource import CALResource
+
+__all__ = [
+    "CALContext",
+    "CALKernelStats",
+    "CALResource",
+    "CALDeviceProfile",
+    "CAL_DEVICE_PROFILES",
+    "get_cal_device",
+]

@@ -1,0 +1,88 @@
+"""Simulated CAL context: resource management and kernel dispatch accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import CALError
+from .device import CALDeviceProfile, get_cal_device
+from .resource import CALResource
+
+__all__ = ["CALContext", "CALKernelStats"]
+
+
+@dataclass
+class CALKernelStats:
+    """Work counters of one kernel dispatch on the CAL device."""
+
+    kernel: str
+    domain_elements: int
+    flops: int
+    fetches: int
+
+
+@dataclass
+class CALTransferStats:
+    bytes_uploaded: int = 0
+    bytes_downloaded: int = 0
+
+
+class CALContext:
+    """A functional simulation of an AMD CAL device context."""
+
+    def __init__(self, device: Optional[CALDeviceProfile] = None):
+        self.device = device or get_cal_device("radeon-hd3400")
+        self.resources: List[CALResource] = []
+        self.dispatches: List[CALKernelStats] = []
+        self.transfers = CALTransferStats()
+
+    # ------------------------------------------------------------------ #
+    def alloc_resource(self, width: int, height: int, components: int = 1,
+                       name: str = "") -> CALResource:
+        resource = CALResource(
+            width, height, components,
+            max_size=self.device.max_resource_size, name=name,
+        )
+        self.resources.append(resource)
+        return resource
+
+    def free_resource(self, resource: CALResource) -> None:
+        if resource in self.resources:
+            self.resources.remove(resource)
+
+    # ------------------------------------------------------------------ #
+    def upload(self, resource: CALResource, values: np.ndarray) -> None:
+        resource.write(values)
+        self.transfers.bytes_uploaded += resource.size_bytes
+
+    def download(self, resource: CALResource) -> np.ndarray:
+        self.transfers.bytes_downloaded += resource.size_bytes
+        return resource.read()
+
+    # ------------------------------------------------------------------ #
+    def record_dispatch(self, kernel: str, domain_elements: int, flops: int,
+                        fetches: int) -> CALKernelStats:
+        """Record one kernel dispatch (the backend performs the execution)."""
+        if domain_elements <= 0:
+            raise CALError("kernel dispatch over an empty domain")
+        stats = CALKernelStats(
+            kernel=kernel, domain_elements=domain_elements,
+            flops=flops, fetches=fetches,
+        )
+        self.dispatches.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_dispatches(self) -> int:
+        return len(self.dispatches)
+
+    def device_memory_in_use(self) -> int:
+        return sum(r.size_bytes for r in self.resources)
+
+    def reset_statistics(self) -> None:
+        self.dispatches = []
+        self.transfers = CALTransferStats()

@@ -1,0 +1,83 @@
+"""Desktop (CAL) GPU device profiles for the reference platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.analysis.resources import TargetLimits
+
+__all__ = ["CALDeviceProfile", "CAL_DEVICE_PROFILES", "get_cal_device"]
+
+
+@dataclass(frozen=True)
+class CALDeviceProfile:
+    """Static description of a CAL-capable desktop/mobile GPU."""
+
+    name: str
+    max_resource_size: int
+    max_outputs: int
+    #: Sustained GFLOP/s for Brook+ vectorized kernels through CAL.
+    effective_gflops: float
+    #: PCIe host<->device bandwidth in GiB/s.
+    transfer_gib_per_s: float
+    #: Per-kernel-dispatch overhead in microseconds.
+    pass_overhead_us: float
+    #: Cost of one resource fetch in nanoseconds.
+    fetch_ns: float
+    #: Sustained fill rate in Mpixels/s.
+    fill_rate_mpixels: float
+
+    def to_target_limits(self) -> TargetLimits:
+        """Compiler-facing limits of the CAL target."""
+        return TargetLimits(
+            name=self.name,
+            max_kernel_inputs=16,
+            max_kernel_outputs=self.max_outputs,
+            max_scalar_constants=256,
+            max_temporaries=256,
+            max_instructions=16384,
+            max_texture_size=self.max_resource_size,
+            requires_power_of_two=False,
+            requires_square_textures=False,
+            supports_float_textures=True,
+            max_gather_inputs=16,
+        )
+
+
+CAL_DEVICE_PROFILES: Dict[str, CALDeviceProfile] = {
+    # AMD Mobility Radeon HD 3400 series: the GPU of the reference x86
+    # platform in the paper (paired with a Core 2 Duo T9400).
+    "radeon-hd3400": CALDeviceProfile(
+        name="radeon-hd3400",
+        max_resource_size=4096,
+        max_outputs=4,
+        effective_gflops=38.0,
+        transfer_gib_per_s=1.6,
+        pass_overhead_us=180.0,
+        fetch_ns=0.9,
+        fill_rate_mpixels=3400.0,
+    ),
+    # A mid-range desktop part, useful for what-if studies.
+    "radeon-hd4850": CALDeviceProfile(
+        name="radeon-hd4850",
+        max_resource_size=8192,
+        max_outputs=8,
+        effective_gflops=180.0,
+        transfer_gib_per_s=3.0,
+        pass_overhead_us=120.0,
+        fetch_ns=0.5,
+        fill_rate_mpixels=10000.0,
+    ),
+}
+
+
+def get_cal_device(name: str) -> CALDeviceProfile:
+    """Look up a CAL device profile by name."""
+    try:
+        return CAL_DEVICE_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown CAL device profile {name!r}; available: "
+            f"{sorted(CAL_DEVICE_PROFILES)}"
+        )

@@ -1,0 +1,75 @@
+"""CAL memory resources (float textures / linear buffers)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import CALError
+
+__all__ = ["CALResource"]
+
+
+class CALResource:
+    """A 2-D float32 resource with 1-4 components per element.
+
+    CAL resources are addressed with non-normalized element coordinates
+    and store IEEE float32 directly - no packing is required, which is
+    one of the efficiency advantages of the desktop backend that the
+    OpenGL ES 2 backend has to make up for with the arithmetic encoding
+    of section 5.4.
+    """
+
+    def __init__(self, width: int, height: int, components: int = 1,
+                 max_size: int = 4096, name: str = ""):
+        if width <= 0 or height <= 0:
+            raise CALError(f"invalid resource size {width}x{height}")
+        if width > max_size or height > max_size:
+            raise CALError(
+                f"resource size {width}x{height} exceeds the device maximum "
+                f"({max_size})"
+            )
+        if components not in (1, 2, 3, 4):
+            raise CALError(f"invalid component count {components}")
+        self.width = int(width)
+        self.height = int(height)
+        self.components = int(components)
+        self.name = name
+        self.data = np.zeros((self.height, self.width, self.components),
+                             dtype=np.float32)
+        self.fetch_count = 0
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.height, self.width)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.width * self.height * self.components * 4
+
+    def write(self, values: np.ndarray) -> None:
+        """Host -> device copy of the full resource."""
+        values = np.asarray(values, dtype=np.float32)
+        expected = (self.height, self.width, self.components)
+        if values.shape == expected[:2] and self.components == 1:
+            values = values[..., None]
+        if values.shape != expected:
+            raise CALError(f"expected data of shape {expected}, got {values.shape}")
+        self.data = values.copy()
+
+    def read(self) -> np.ndarray:
+        """Device -> host copy of the full resource."""
+        if self.components == 1:
+            return self.data[..., 0].copy()
+        return self.data.copy()
+
+    def fetch(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Element fetch at non-normalized (clamped) integer coordinates."""
+        x = np.clip(np.asarray(np.floor(x), dtype=np.int64), 0, self.width - 1)
+        y = np.clip(np.asarray(np.floor(y), dtype=np.int64), 0, self.height - 1)
+        self.fetch_count += int(np.asarray(x).size)
+        values = self.data[y, x]
+        if self.components == 1:
+            return values[..., 0]
+        return values

@@ -1,0 +1,151 @@
+"""``brookauto`` command-line interface.
+
+A thin front end over the compiler, mirroring how the original ``brcc``
+compiler is used in a build system:
+
+* ``brookauto compile kernel.br`` - compile a Brook source file, print the
+  certification verdict and write the generated GLSL ES / desktop GLSL / C
+  next to it (or to ``--output-dir``).
+* ``brookauto check kernel.br`` - run only the Brook Auto certification
+  checker and print the rule-by-rule report (text, Markdown or JSON).
+* ``brookauto evaluate [experiment]`` - regenerate the paper's figures
+  (same as ``python -m repro.evaluation``).
+* ``brookauto run-app <name>`` - run one of the reference applications on
+  a chosen backend and validate it against its CPU reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional
+
+from .apps.base import get_application, list_applications
+from .core.compiler import CompilerOptions, compile_source
+from .core.reporting import report_to_json, report_to_markdown, report_to_text
+from .errors import BrookError
+from .evaluation.__main__ import main as evaluation_main
+from .gles2.device import DEVICE_PROFILES, get_device_profile
+
+__all__ = ["main"]
+
+
+def _target_limits(device: str):
+    return get_device_profile(device).limits.to_target_limits()
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    source_path = pathlib.Path(args.source)
+    source = source_path.read_text()
+    options = CompilerOptions(target=_target_limits(args.device),
+                              strict=not args.no_strict)
+    try:
+        program = compile_source(source, filename=str(source_path), options=options)
+    except BrookError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    output_dir = pathlib.Path(args.output_dir or source_path.parent)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    for name, kernel in program.kernels.items():
+        if kernel.glsl_es is not None:
+            (output_dir / f"{name}.es2.frag").write_text(kernel.glsl_es)
+        if kernel.desktop_glsl is not None:
+            (output_dir / f"{name}.gl.frag").write_text(kernel.desktop_glsl)
+        if kernel.c_source is not None:
+            (output_dir / f"{name}.cpu.c").write_text(kernel.c_source)
+    verdict = "COMPLIANT" if program.is_certified else "NON-COMPLIANT"
+    print(f"{source_path}: {len(program.kernels)} kernel(s), "
+          f"certification {verdict}, artefacts in {output_dir}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    source_path = pathlib.Path(args.source)
+    source = source_path.read_text()
+    options = CompilerOptions(target=_target_limits(args.device), strict=False)
+    program = compile_source(source, filename=str(source_path), options=options)
+    report = program.certification
+    if args.format == "json":
+        print(report_to_json(report))
+    elif args.format == "markdown":
+        print(report_to_markdown(report))
+    else:
+        print(report_to_text(report))
+    return 0 if report.is_compliant else 2
+
+
+def _cmd_run_app(args: argparse.Namespace) -> int:
+    app = get_application(args.app)
+    result = app.run(backend=args.backend, size=args.size, seed=args.seed,
+                     device=args.device if args.backend != "cpu" else None)
+    status = "PASSED" if result.valid else "FAILED"
+    print(f"{app.name} on {result.backend} ({result.size}x{result.size}): "
+          f"validation {status}, max relative error {result.max_rel_error:.2e}")
+    summary = result.statistics.summary()
+    print(f"  kernel passes: {summary['passes']}, "
+          f"flops: {summary['flops']:.3e}, "
+          f"texture fetches: {summary['texture_fetches']:.3e}")
+    print(f"  host->device: {summary['bytes_uploaded']} bytes, "
+          f"device->host: {summary['bytes_downloaded']} bytes")
+    print(f"  functional simulation wall clock: {result.wall_clock_seconds:.3f} s")
+    return 0 if result.valid else 1
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    return evaluation_main([args.experiment])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="brookauto",
+        description="Brook Auto: certification-friendly GPU stream programming "
+                    "(DAC 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser("compile", help="compile a .br source file")
+    compile_parser.add_argument("source", help="Brook source file")
+    compile_parser.add_argument("--device", default="videocore-iv",
+                                choices=sorted(DEVICE_PROFILES))
+    compile_parser.add_argument("--output-dir", default=None,
+                                help="directory for generated shaders")
+    compile_parser.add_argument("--no-strict", action="store_true",
+                                help="do not fail on certification violations")
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    check_parser = sub.add_parser("check", help="run the certification checker")
+    check_parser.add_argument("source", help="Brook source file")
+    check_parser.add_argument("--device", default="videocore-iv",
+                              choices=sorted(DEVICE_PROFILES))
+    check_parser.add_argument("--format", default="text",
+                              choices=("text", "markdown", "json"))
+    check_parser.set_defaults(func=_cmd_check)
+
+    run_parser = sub.add_parser("run-app", help="run a reference application")
+    run_parser.add_argument("app", choices=list_applications())
+    run_parser.add_argument("--backend", default="gles2",
+                            choices=("cpu", "gles2", "cal"))
+    run_parser.add_argument("--device", default="videocore-iv")
+    run_parser.add_argument("--size", type=int, default=64)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.set_defaults(func=_cmd_run_app)
+
+    eval_parser = sub.add_parser("evaluate", help="regenerate the paper's figures")
+    eval_parser.add_argument("experiment", nargs="?", default="all",
+                             choices=["all", "figure1", "figure2", "figure3",
+                                      "figure4", "figure2-charts",
+                                      "figure3-charts", "productivity",
+                                      "compliance"])
+    eval_parser.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via entry point
+    sys.exit(main())

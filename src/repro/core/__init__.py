@@ -1,0 +1,58 @@
+"""Brook Auto compiler front-end and kernel execution engine.
+
+The ``core`` package contains the paper's primary contribution: the
+certification-friendly Brook Auto language subset, its compiler
+(lexer, parser, semantic analysis, certification checker, transformation
+passes and the GLSL ES 1.0 / desktop GLSL / C code generators) and the
+vectorized kernel execution engine used by every runtime backend.
+"""
+
+from .analysis.resources import TargetLimits
+from .certification import (
+    CertificationReport,
+    Rule,
+    RULES,
+    Severity,
+    Violation,
+    check_program,
+)
+from .compiler import (
+    BrookAutoCompiler,
+    CompiledKernel,
+    CompiledProgram,
+    CompilerOptions,
+    compile_source,
+)
+from .parser import parse
+from .reporting import report_to_dict, report_to_json, report_to_markdown, report_to_text
+from .semantic import AnalyzedProgram, analyze
+from .types import BrookType, FLOAT, FLOAT2, FLOAT3, FLOAT4, INT, ParamKind
+
+__all__ = [
+    "TargetLimits",
+    "CertificationReport",
+    "Rule",
+    "RULES",
+    "Severity",
+    "Violation",
+    "check_program",
+    "BrookAutoCompiler",
+    "CompiledKernel",
+    "CompiledProgram",
+    "CompilerOptions",
+    "compile_source",
+    "parse",
+    "analyze",
+    "AnalyzedProgram",
+    "report_to_dict",
+    "report_to_json",
+    "report_to_markdown",
+    "report_to_text",
+    "BrookType",
+    "FLOAT",
+    "FLOAT2",
+    "FLOAT3",
+    "FLOAT4",
+    "INT",
+    "ParamKind",
+]

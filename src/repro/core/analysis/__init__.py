@@ -1,0 +1,34 @@
+"""Static analyses used by the Brook Auto certification front-end.
+
+Each analysis answers one of the static-verification questions that
+ISO 26262 / MISRA-style guidelines require an answer to at compile time:
+
+* :mod:`loop_bounds` - can a maximum trip count be deduced for every loop?
+* :mod:`call_graph` - is the call graph acyclic (no recursion) and how deep?
+* :mod:`stack_depth` - what is the maximum stack usage of a kernel?
+* :mod:`resources` - how many inputs/outputs/registers/instructions does a
+  kernel need, and does that fit the target GPU without implicit multi-pass
+  emulation?
+* :mod:`memory_usage` - what is the maximum GPU memory a program can use,
+  given that every Brook Auto stream is statically sized?
+"""
+
+from .call_graph import CallGraph, build_call_graph
+from .loop_bounds import LoopBound, LoopBoundAnalysis, analyze_loop_bounds
+from .memory_usage import MemoryUsageReport, estimate_memory_usage
+from .resources import KernelResources, estimate_resources
+from .stack_depth import StackDepthReport, estimate_stack_depth
+
+__all__ = [
+    "CallGraph",
+    "build_call_graph",
+    "LoopBound",
+    "LoopBoundAnalysis",
+    "analyze_loop_bounds",
+    "KernelResources",
+    "estimate_resources",
+    "StackDepthReport",
+    "estimate_stack_depth",
+    "MemoryUsageReport",
+    "estimate_memory_usage",
+]

@@ -1,0 +1,108 @@
+"""Call-graph construction and recursion detection.
+
+Brook already forbids recursion in kernels; Brook Auto additionally needs
+the *proof*: an acyclic call graph with a bounded depth, from which the
+stack-depth analysis derives the maximum stack usage.  Helper functions
+(plain, non-kernel functions in the ``.br`` file) are the only callable
+user code, and they may call each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..semantic import AnalyzedProgram
+
+__all__ = ["CallGraph", "build_call_graph"]
+
+
+@dataclass
+class CallGraph:
+    """Directed call graph over the functions of a translation unit."""
+
+    edges: Dict[str, List[str]] = field(default_factory=dict)
+
+    def callees(self, name: str) -> List[str]:
+        return self.edges.get(name, [])
+
+    # ------------------------------------------------------------------ #
+    # Recursion
+    # ------------------------------------------------------------------ #
+    def find_cycles(self) -> List[List[str]]:
+        """Return every elementary cycle found by DFS (possibly duplicated
+        from different entry points; callers only care whether any exist
+        and which functions participate)."""
+        cycles: List[List[str]] = []
+        seen_cycles: Set[tuple] = set()
+
+        def dfs(node: str, stack: List[str], on_stack: Set[str]) -> None:
+            for callee in self.callees(node):
+                if callee in on_stack:
+                    start = stack.index(callee)
+                    cycle = stack[start:] + [callee]
+                    key = tuple(sorted(set(cycle)))
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        cycles.append(cycle)
+                    continue
+                if callee in self.edges:
+                    stack.append(callee)
+                    on_stack.add(callee)
+                    dfs(callee, stack, on_stack)
+                    on_stack.discard(callee)
+                    stack.pop()
+
+        for root in self.edges:
+            dfs(root, [root], {root})
+        return cycles
+
+    @property
+    def is_recursive(self) -> bool:
+        return bool(self.find_cycles())
+
+    def recursive_functions(self) -> Set[str]:
+        names: Set[str] = set()
+        for cycle in self.find_cycles():
+            names.update(cycle)
+        return names
+
+    # ------------------------------------------------------------------ #
+    # Depth
+    # ------------------------------------------------------------------ #
+    def max_depth_from(self, root: str) -> Optional[int]:
+        """Longest call chain starting at ``root`` (1 = no calls).
+
+        Returns ``None`` when a cycle is reachable from ``root`` (depth is
+        unbounded).
+        """
+        memo: Dict[str, Optional[int]] = {}
+        visiting: Set[str] = set()
+
+        def depth(node: str) -> Optional[int]:
+            if node in memo:
+                return memo[node]
+            if node in visiting:
+                return None
+            visiting.add(node)
+            best = 1
+            for callee in self.callees(node):
+                sub = depth(callee) if callee in self.edges else 1
+                if sub is None:
+                    visiting.discard(node)
+                    memo[node] = None
+                    return None
+                best = max(best, 1 + sub)
+            visiting.discard(node)
+            memo[node] = best
+            return best
+
+        return depth(root)
+
+
+def build_call_graph(program: AnalyzedProgram) -> CallGraph:
+    """Build the call graph of an analyzed program."""
+    edges = {
+        name: list(info.callees) for name, info in program.functions.items()
+    }
+    return CallGraph(edges=edges)

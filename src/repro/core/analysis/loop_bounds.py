@@ -1,0 +1,277 @@
+"""Loop trip-count analysis.
+
+Brook Auto requires that the maximum trip count of every loop in a kernel
+can be deduced statically (paper, section 4: "we enforce upperbounds to
+the loop constructs in the kernels, so that the maximum trip count can be
+deduced").  This module implements that deduction for the canonical loop
+forms used by the Brook+ reference applications::
+
+    for (i = START; i < END;  i = i + STEP)   // also <=, >, >=, +=, -=, ++
+    for (i = START; i < n;    i = i + STEP)   // n a scalar parameter with a
+                                              // declared upper bound
+
+``while`` and ``do``/``while`` loops, and ``for`` loops whose bound cannot
+be resolved to a constant, are reported as unbounded; the certification
+checker turns those reports into rule violations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .. import ast_nodes as ast
+
+__all__ = ["LoopBound", "LoopBoundAnalysis", "analyze_loop_bounds"]
+
+
+@dataclass
+class LoopBound:
+    """Result of analysing a single loop."""
+
+    loop: ast.Statement
+    kind: str  # "for", "while" or "do-while"
+    max_trip_count: Optional[int] = None
+    reason: str = ""
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.max_trip_count is not None
+
+
+@dataclass
+class LoopBoundAnalysis:
+    """Loop bounds of one kernel, plus the product of nested bounds."""
+
+    kernel_name: str
+    loops: List[LoopBound] = field(default_factory=list)
+
+    @property
+    def all_bounded(self) -> bool:
+        return all(loop.is_bounded for loop in self.loops)
+
+    @property
+    def unbounded(self) -> List[LoopBound]:
+        return [loop for loop in self.loops if not loop.is_bounded]
+
+    @property
+    def max_total_iterations(self) -> Optional[int]:
+        """Worst-case product of every loop bound (None when unbounded)."""
+        if not self.all_bounded:
+            return None
+        total = 1
+        for loop in self.loops:
+            total *= max(1, loop.max_trip_count)
+        return total
+
+
+def _eval_const(expr: ast.Expression, env: Dict[str, float]) -> Optional[float]:
+    """Evaluate ``expr`` to a constant using ``env`` for named values."""
+    if isinstance(expr, ast.NumberLiteral):
+        return float(expr.value)
+    if isinstance(expr, ast.Identifier):
+        return env.get(expr.name)
+    if isinstance(expr, ast.UnaryOp):
+        value = _eval_const(expr.operand, env)
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -value
+        if expr.op == "!":
+            return float(not value)
+        return value
+    if isinstance(expr, ast.BinaryOp):
+        left = _eval_const(expr.left, env)
+        right = _eval_const(expr.right, env)
+        if left is None or right is None:
+            return None
+        try:
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                return left / right if right != 0 else None
+            if expr.op == "%":
+                return math.fmod(left, right) if right != 0 else None
+        except (ArithmeticError, ValueError):
+            return None
+        return None
+    if isinstance(expr, ast.CallExpr) and expr.callee in ("min", "max"):
+        values = [_eval_const(arg, env) for arg in expr.args]
+        if any(v is None for v in values):
+            return None
+        return min(values) if expr.callee == "min" else max(values)
+    return None
+
+
+def _loop_variable(stmt: ast.ForStatement) -> Optional[str]:
+    init = stmt.init
+    if isinstance(init, ast.DeclStatement):
+        return init.name
+    if isinstance(init, ast.ExprStatement) and isinstance(init.expr, ast.Assignment):
+        target = init.expr.target
+        if isinstance(target, ast.Identifier):
+            return target.name
+    return None
+
+
+def _initial_value(stmt: ast.ForStatement, env: Dict[str, float]) -> Optional[float]:
+    init = stmt.init
+    if isinstance(init, ast.DeclStatement) and init.init is not None:
+        return _eval_const(init.init, env)
+    if isinstance(init, ast.ExprStatement) and isinstance(init.expr, ast.Assignment):
+        return _eval_const(init.expr.value, env)
+    return None
+
+
+def _step_value(stmt: ast.ForStatement, var: str, env: Dict[str, float]) -> Optional[float]:
+    """Signed per-iteration increment of the loop variable, or None."""
+    update = stmt.update
+    if not isinstance(update, ast.Assignment):
+        return None
+    target = update.target
+    if not isinstance(target, ast.Identifier) or target.name != var:
+        return None
+    if update.op == "+=":
+        return _eval_const(update.value, env)
+    if update.op == "-=":
+        value = _eval_const(update.value, env)
+        return None if value is None else -value
+    if update.op == "*=":
+        factor = _eval_const(update.value, env)
+        if factor is None or factor <= 1:
+            return None
+        # Geometric loops (i *= 2) are bounded; the caller handles them by
+        # returning the factor with a marker (handled in _for_bound).
+        return None
+    if update.op == "=":
+        value = update.value
+        if isinstance(value, ast.BinaryOp) and isinstance(value.left, ast.Identifier) \
+                and value.left.name == var:
+            delta = _eval_const(value.right, env)
+            if delta is None:
+                return None
+            if value.op == "+":
+                return delta
+            if value.op == "-":
+                return -delta
+        if isinstance(value, ast.BinaryOp) and isinstance(value.right, ast.Identifier) \
+                and value.right.name == var and value.op == "+":
+            return _eval_const(value.left, env)
+    return None
+
+
+def _geometric_factor(stmt: ast.ForStatement, var: str, env: Dict[str, float]) -> Optional[float]:
+    """Return the multiplicative factor of ``i *= k`` / ``i = i * k`` loops."""
+    update = stmt.update
+    if not isinstance(update, ast.Assignment):
+        return None
+    target = update.target
+    if not isinstance(target, ast.Identifier) or target.name != var:
+        return None
+    if update.op == "*=":
+        return _eval_const(update.value, env)
+    if update.op == "=" and isinstance(update.value, ast.BinaryOp) and update.value.op == "*":
+        value = update.value
+        if isinstance(value.left, ast.Identifier) and value.left.name == var:
+            return _eval_const(value.right, env)
+        if isinstance(value.right, ast.Identifier) and value.right.name == var:
+            return _eval_const(value.left, env)
+    return None
+
+
+def _for_bound(stmt: ast.ForStatement, env: Dict[str, float]) -> LoopBound:
+    var = _loop_variable(stmt)
+    if var is None:
+        return LoopBound(stmt, "for", None, "loop variable could not be identified")
+    start = _initial_value(stmt, env)
+    if start is None:
+        return LoopBound(stmt, "for", None,
+                         f"initial value of {var!r} is not a compile-time constant")
+    cond = stmt.cond
+    if not isinstance(cond, ast.BinaryOp) or cond.op not in ("<", "<=", ">", ">=", "!="):
+        return LoopBound(stmt, "for", None, "loop condition is not a simple comparison")
+    # Normalise to: var OP limit.
+    if isinstance(cond.left, ast.Identifier) and cond.left.name == var:
+        limit = _eval_const(cond.right, env)
+        op = cond.op
+    elif isinstance(cond.right, ast.Identifier) and cond.right.name == var:
+        limit = _eval_const(cond.left, env)
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "!=": "!="}[cond.op]
+    else:
+        return LoopBound(stmt, "for", None, "loop condition does not test the loop variable")
+    if limit is None:
+        return LoopBound(
+            stmt, "for", None,
+            "loop limit is not a compile-time constant (declare a bound for the "
+            "parameter via KernelBounds to make this loop certifiable)",
+        )
+    step = _step_value(stmt, var, env)
+    if step is not None and step != 0:
+        if op in ("<", "<=", "!="):
+            distance = limit - start + (1 if op == "<=" else 0)
+            if step <= 0:
+                return LoopBound(stmt, "for", None, "loop steps away from its limit")
+            trips = max(0, math.ceil(distance / step))
+        else:  # ">", ">="
+            distance = start - limit + (1 if op == ">=" else 0)
+            if step >= 0:
+                return LoopBound(stmt, "for", None, "loop steps away from its limit")
+            trips = max(0, math.ceil(distance / -step))
+        return LoopBound(stmt, "for", int(trips), "canonical counted loop")
+    factor = _geometric_factor(stmt, var, env)
+    if factor is not None and factor > 1 and start > 0 and op in ("<", "<=") and limit > 0:
+        trips = 0
+        value = start
+        while (value < limit if op == "<" else value <= limit) and trips < 64:
+            value *= factor
+            trips += 1
+        return LoopBound(stmt, "for", trips, "geometric loop")
+    return LoopBound(stmt, "for", None, "loop update is not a constant step")
+
+
+class _LoopCollector:
+    """Walk a kernel body collecting every loop with its deduced bound."""
+
+    def __init__(self, env: Dict[str, float]):
+        self.env = env
+        self.loops: List[LoopBound] = []
+
+    def visit(self, node: ast.Node) -> None:
+        if isinstance(node, ast.ForStatement):
+            self.loops.append(_for_bound(node, self.env))
+        elif isinstance(node, ast.WhileStatement):
+            self.loops.append(LoopBound(
+                node, "while", None,
+                "while loops have no statically deducible trip count",
+            ))
+        elif isinstance(node, ast.DoWhileStatement):
+            self.loops.append(LoopBound(
+                node, "do-while", None,
+                "do/while loops have no statically deducible trip count",
+            ))
+        for child in node.children():
+            self.visit(child)
+
+
+def analyze_loop_bounds(
+    kernel: ast.FunctionDef,
+    param_bounds: Optional[Dict[str, float]] = None,
+) -> LoopBoundAnalysis:
+    """Deduce the maximum trip count of every loop in ``kernel``.
+
+    Args:
+        kernel: The kernel (or helper function) definition to analyse.
+        param_bounds: Optional mapping from scalar parameter names to their
+            declared maximum value; Brook Auto programs use this to make
+            data-dependent loops certifiable (e.g. ``numSteps <= 255`` for
+            binomial option pricing).
+    """
+    env: Dict[str, float] = dict(param_bounds or {})
+    collector = _LoopCollector(env)
+    collector.visit(kernel.body)
+    return LoopBoundAnalysis(kernel_name=kernel.name, loops=collector.loops)

@@ -1,0 +1,139 @@
+"""Maximum GPU memory usage estimation.
+
+Brook Auto forces every stream to be statically sized, which makes the
+maximum GPU memory usage of a program a compile-time quantity (paper,
+section 4).  This module computes that bound for a set of stream
+declarations, taking into account the storage rules of the OpenGL ES 2
+backend:
+
+* every stream is stored in a 2-D RGBA8 texture (4 bytes per element,
+  one texel per scalar element; ``floatN`` elements use N texels),
+* texture extents may need rounding up to powers of two and/or to a
+  square shape depending on the platform,
+* reductions need two additional ping-pong textures sized like the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..types import BrookType
+from .resources import TargetLimits
+
+__all__ = ["StreamDeclaration", "MemoryUsageReport", "estimate_memory_usage",
+           "padded_texture_extent"]
+
+
+def _next_power_of_two(value: int) -> int:
+    power = 1
+    while power < value:
+        power *= 2
+    return power
+
+
+def padded_texture_extent(
+    width: int,
+    height: int,
+    limits: TargetLimits,
+) -> Tuple[int, int]:
+    """Texture extent actually allocated for a logical ``width x height``.
+
+    Applies the power-of-two and square-only constraints of the target
+    (paper section 5.3: "Several OpenGL ES 2 implementations support only
+    power of two textures or square only textures.  Those cases are
+    automatically detected ... and appropriately handled in the
+    allocations").
+    """
+    tex_w, tex_h = max(1, width), max(1, height)
+    if limits.requires_power_of_two:
+        tex_w = _next_power_of_two(tex_w)
+        tex_h = _next_power_of_two(tex_h)
+    if limits.requires_square_textures:
+        side = max(tex_w, tex_h)
+        tex_w = tex_h = side
+    return tex_w, tex_h
+
+
+@dataclass(frozen=True)
+class StreamDeclaration:
+    """A statically sized stream as declared by the host program."""
+
+    name: str
+    shape: Tuple[int, ...]
+    element_type: BrookType
+    #: True when the stream participates in a reduction (the runtime then
+    #: allocates two ping-pong scratch textures of the same size).
+    reduction_scratch: bool = False
+
+    @property
+    def element_count(self) -> int:
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count
+
+
+@dataclass
+class MemoryUsageReport:
+    """Static GPU memory bound for a set of stream declarations."""
+
+    limits: TargetLimits
+    per_stream_bytes: dict = field(default_factory=dict)
+    scratch_bytes: int = 0
+    total_bytes: int = 0
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def total_mebibytes(self) -> float:
+        return self.total_bytes / (1024.0 * 1024.0)
+
+    @property
+    def is_certifiable(self) -> bool:
+        return not self.problems
+
+
+def _texture_bytes(shape: Sequence[int], element_type: BrookType,
+                   limits: TargetLimits) -> Tuple[int, List[str]]:
+    problems: List[str] = []
+    # Multidimensional streams are flattened onto a 2-D texture (section
+    # 5.3); the translation keeps the last dimension as the texture row.
+    if len(shape) == 1:
+        logical_w, logical_h = shape[0], 1
+    elif len(shape) == 2:
+        logical_h, logical_w = shape
+    else:
+        logical_h = 1
+        for extent in shape[:-1]:
+            logical_h *= extent
+        logical_w = shape[-1]
+    if logical_w > limits.max_texture_size or logical_h > limits.max_texture_size:
+        problems.append(
+            f"stream of shape {tuple(shape)} exceeds the maximum texture size "
+            f"{limits.max_texture_size} of the target"
+        )
+    tex_w, tex_h = padded_texture_extent(logical_w, logical_h, limits)
+    texels_per_element = max(1, element_type.width)
+    bytes_per_texel = 4  # RGBA8 storage on GL ES 2; float32 on CAL - same size.
+    return tex_w * tex_h * texels_per_element * bytes_per_texel, problems
+
+
+def estimate_memory_usage(
+    streams: Iterable[StreamDeclaration],
+    limits: Optional[TargetLimits] = None,
+) -> MemoryUsageReport:
+    """Compute the maximum GPU memory usage of a set of static streams."""
+    limits = limits or TargetLimits()
+    report = MemoryUsageReport(limits=limits)
+    max_reduction_bytes = 0
+    for stream in streams:
+        size, problems = _texture_bytes(stream.shape, stream.element_type, limits)
+        report.per_stream_bytes[stream.name] = size
+        report.problems.extend(f"{stream.name}: {p}" for p in problems)
+        report.total_bytes += size
+        if stream.reduction_scratch:
+            max_reduction_bytes = max(max_reduction_bytes, size)
+    # Two ping-pong scratch textures sized like the largest reduced stream.
+    report.scratch_bytes = 2 * max_reduction_bytes
+    report.total_bytes += report.scratch_bytes
+    return report

@@ -1,0 +1,29 @@
+"""Source-to-source back-ends of the Brook Auto compiler.
+
+Each back-end turns an analyzed Brook kernel into target source text:
+
+* :mod:`glsl_es` - GLSL ES 1.0 fragment shaders for the OpenGL ES 2.0
+  backend (the paper's contribution): normalized texture coordinates,
+  hidden texture-size uniforms, ``indexof`` lowering and float<->RGBA8
+  conversion.
+* :mod:`glsl_desktop` - desktop GLSL with non-normalized addressing and
+  float textures, standing in for the original Brook OpenGL / AMD CAL
+  backends used on the reference x86 platform.
+* :mod:`c_backend` - portable C for the CPU backend, also used for the
+  productivity (lines of code) comparison.
+"""
+
+from .base import CodeEmitter
+from .c_backend import CSourceGenerator, generate_c
+from .glsl_desktop import DesktopGLSLGenerator, generate_desktop_glsl
+from .glsl_es import GLSLES1Generator, generate_glsl_es
+
+__all__ = [
+    "CodeEmitter",
+    "GLSLES1Generator",
+    "generate_glsl_es",
+    "DesktopGLSLGenerator",
+    "generate_desktop_glsl",
+    "CSourceGenerator",
+    "generate_c",
+]

@@ -1,0 +1,233 @@
+"""The Brook Auto compiler driver.
+
+This module glues the front-end stages together the way the original
+``brcc`` compiler does: parse the ``.br`` source, run semantic analysis,
+apply the source-to-source transformation passes needed by the target,
+check the result against the Brook Auto certification rules and emit the
+target source (GLSL ES 1.0, desktop GLSL and C) for every kernel.
+
+The output is a :class:`CompiledProgram` whose :class:`CompiledKernel`
+entries carry everything later stages need: the (possibly transformed)
+kernel AST for the execution engine, the generated shader text, the
+static analysis results and the certification report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import CodegenError
+from . import ast_nodes as ast
+from .analysis.loop_bounds import analyze_loop_bounds
+from .analysis.resources import KernelResources, TargetLimits, estimate_resources
+from .certification import CertificationReport, check_program
+from .codegen.c_backend import generate_c
+from .codegen.glsl_desktop import generate_desktop_glsl
+from .codegen.glsl_es import generate_glsl_es
+from .parser import parse
+from .semantic import AnalyzedProgram, analyze
+from .transforms.constant_fold import fold_constants
+from .transforms.scalarize import scalarize_kernel
+from .transforms.split_outputs import split_kernel_outputs
+
+__all__ = ["CompilerOptions", "CompiledKernel", "CompiledProgram",
+           "BrookAutoCompiler", "compile_source"]
+
+
+@dataclass
+class CompilerOptions:
+    """Options controlling a compilation run.
+
+    Attributes:
+        target: Hardware limits used for certification and kernel fitting.
+        param_bounds: Per-kernel declared maxima of scalar parameters, used
+            to bound data-dependent loops (``{"kernel": {"n": 255}}``).
+        strict: Raise :class:`~repro.errors.CertificationError` when the
+            program violates the Brook Auto subset (default).  Non-strict
+            mode still produces the report but lets compilation continue,
+            which is how the checker is used to *analyse* legacy Brook code.
+        split_outputs: Automatically split kernels with more outputs than
+            the target supports.
+        scalarize: Automatically scalarize vector stream parameters (only
+            attempted when the target has no float texture support).
+        fold_constants: Run the constant folding pass.
+        emit_glsl_es: Generate GLSL ES 1.0 text.
+        emit_desktop_glsl: Generate desktop GLSL text.
+        emit_c: Generate C text.
+    """
+
+    target: TargetLimits = field(default_factory=TargetLimits)
+    param_bounds: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    strict: bool = True
+    split_outputs: bool = True
+    scalarize: bool = False
+    fold_constants: bool = True
+    emit_glsl_es: bool = True
+    emit_desktop_glsl: bool = True
+    emit_c: bool = True
+
+
+@dataclass
+class CompiledKernel:
+    """One kernel after compilation for a specific target."""
+
+    name: str
+    definition: ast.FunctionDef
+    original_name: str
+    resources: KernelResources
+    glsl_es: Optional[str] = None
+    desktop_glsl: Optional[str] = None
+    c_source: Optional[str] = None
+    #: Maximum loop iterations per element (None when not statically bounded).
+    max_loop_iterations: Optional[int] = None
+
+    @property
+    def is_reduction(self) -> bool:
+        return self.definition.is_reduction
+
+
+@dataclass
+class CompiledProgram:
+    """Result of compiling one ``.br`` translation unit."""
+
+    source: str
+    options: CompilerOptions
+    program: AnalyzedProgram
+    certification: CertificationReport
+    kernels: Dict[str, CompiledKernel] = field(default_factory=dict)
+    #: Mapping from original kernel names to the (possibly split) kernel
+    #: names that implement them, in output order.
+    kernel_groups: Dict[str, List[str]] = field(default_factory=dict)
+    #: Original (pre-transformation) kernel definitions, keyed by source
+    #: name; the runtime uses these signatures to map call arguments.
+    original_definitions: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    @property
+    def is_certified(self) -> bool:
+        return self.certification.is_compliant
+
+    def kernel(self, name: str) -> CompiledKernel:
+        if name in self.kernels:
+            return self.kernels[name]
+        raise KeyError(f"no kernel named {name!r}; available: {sorted(self.kernels)}")
+
+    def helpers(self) -> Dict[str, ast.FunctionDef]:
+        return {info.name: info.definition for info in self.program.helpers}
+
+
+class BrookAutoCompiler:
+    """Compiles Brook source through the Brook Auto pipeline."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None):
+        self.options = options or CompilerOptions()
+
+    # ------------------------------------------------------------------ #
+    def compile(self, source: str, filename: str = "<string>") -> CompiledProgram:
+        """Compile ``source`` and return the compiled program."""
+        options = self.options
+        unit = parse(source, filename)
+
+        # Source-to-source passes operate on the raw AST; they may create
+        # new kernels (splitting) or change signatures (scalarization), so
+        # semantic analysis runs afterwards on the transformed unit.
+        transformed_functions: List[ast.FunctionDef] = []
+        kernel_groups: Dict[str, List[str]] = {}
+        for func in unit.functions:
+            if not (func.is_kernel or func.is_reduction):
+                transformed_functions.append(func)
+                continue
+            kernel = func
+            if options.fold_constants:
+                kernel = fold_constants(kernel)
+            if options.scalarize:
+                kernel = scalarize_kernel(kernel)
+            if options.split_outputs and len(kernel.output_params) > \
+                    options.target.max_kernel_outputs:
+                pieces = split_kernel_outputs(kernel)
+            else:
+                pieces = [kernel]
+            kernel_groups[func.name] = [piece.name for piece in pieces]
+            transformed_functions.extend(pieces)
+        transformed_unit = ast.TranslationUnit(
+            functions=transformed_functions, filename=filename
+        )
+
+        program = analyze(transformed_unit)
+        bounds = dict(options.param_bounds)
+        # Bounds declared for an original kernel apply to its split pieces.
+        for original, pieces in kernel_groups.items():
+            if original in bounds:
+                for piece in pieces:
+                    bounds.setdefault(piece, bounds[original])
+        certification = check_program(
+            program, target=options.target, param_bounds=bounds,
+            strict=options.strict,
+        )
+
+        compiled = CompiledProgram(
+            source=source, options=options, program=program,
+            certification=certification, kernel_groups=kernel_groups,
+            original_definitions={
+                func.name: func for func in unit.functions
+                if func.is_kernel or func.is_reduction
+            },
+        )
+        helper_defs = [info.definition for info in program.helpers]
+        for info in program.kernels:
+            kernel = info.definition
+            loop_analysis = analyze_loop_bounds(kernel, bounds.get(kernel.name, {}))
+            resources = estimate_resources(kernel, loop_analysis)
+            original = next(
+                (orig for orig, pieces in kernel_groups.items() if kernel.name in pieces),
+                kernel.name,
+            )
+            compiled_kernel = CompiledKernel(
+                name=kernel.name,
+                definition=kernel,
+                original_name=original,
+                resources=resources,
+                max_loop_iterations=loop_analysis.max_total_iterations,
+            )
+            # Code generation is best-effort per backend: a kernel that is
+            # outside a backend's capabilities (vector streams on GL ES 2,
+            # pointer-style legacy code compiled in non-strict analysis
+            # mode, ...) simply has no artefact for that backend.
+            if options.emit_glsl_es:
+                try:
+                    compiled_kernel.glsl_es = generate_glsl_es(kernel, helper_defs)
+                except CodegenError:
+                    compiled_kernel.glsl_es = None
+            if options.emit_desktop_glsl:
+                try:
+                    compiled_kernel.desktop_glsl = generate_desktop_glsl(
+                        kernel, helper_defs)
+                except CodegenError:
+                    compiled_kernel.desktop_glsl = None
+            if options.emit_c:
+                try:
+                    compiled_kernel.c_source = generate_c(kernel, helper_defs)
+                except CodegenError:
+                    compiled_kernel.c_source = None
+            compiled.kernels[kernel.name] = compiled_kernel
+        return compiled
+
+
+def compile_source(
+    source: str,
+    filename: str = "<string>",
+    options: Optional[CompilerOptions] = None,
+    **option_overrides,
+) -> CompiledProgram:
+    """Convenience wrapper: compile Brook source with optional overrides.
+
+    Keyword arguments override fields of :class:`CompilerOptions`, e.g.
+    ``compile_source(src, strict=False, scalarize=True)``.
+    """
+    if options is None:
+        options = CompilerOptions()
+    for key, value in option_overrides.items():
+        if not hasattr(options, key):
+            raise TypeError(f"unknown compiler option {key!r}")
+        setattr(options, key, value)
+    return BrookAutoCompiler(options).compile(source, filename)

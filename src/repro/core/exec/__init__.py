@@ -1,0 +1,22 @@
+"""Kernel execution engine.
+
+Brook kernels are executed by a vectorized, SIMT-style evaluator: every
+element of the output domain is a "thread", all threads execute the same
+statement at the same time over NumPy arrays, and divergent control flow
+is handled with per-thread activity masks exactly like a GPU handles
+branch divergence.  The same evaluator powers the CPU backend (operating
+on raw stream data) and the simulated GPU backends (operating on values
+fetched from simulated textures, including the RGBA8 round-trip of the
+OpenGL ES 2 path).
+"""
+
+from .evaluator import KernelEvaluator, KernelExecutionStats
+from .gather import ClampingGatherSource, GatherSource, NumpyGatherSource
+
+__all__ = [
+    "KernelEvaluator",
+    "KernelExecutionStats",
+    "GatherSource",
+    "NumpyGatherSource",
+    "ClampingGatherSource",
+]

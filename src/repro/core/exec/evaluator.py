@@ -1,0 +1,693 @@
+"""Vectorized SIMT-style evaluator for Brook kernels.
+
+Every element of the launch domain is a logical thread.  The evaluator
+executes the kernel body once, statement by statement, with each value
+held as a NumPy array carrying one entry per thread; divergent control
+flow (``if``, data-dependent loop exits, ``break``/``continue``/
+``return``) is handled with per-thread activity masks, the same way a
+real GPU handles warp divergence.
+
+The evaluator is backend-agnostic: the backend decides what the stream
+inputs contain (raw host data for the CPU backend, values that went
+through the RGBA8 texture round-trip for the OpenGL ES 2 backend) and
+how gather arrays are fetched (see :mod:`repro.core.exec.gather`).
+
+Besides producing the outputs, the evaluator counts the work it performs
+(floating-point operations, gather fetches, SIMT loop steps).  These
+counts feed the analytic performance model and are cross-checked against
+the closed-form workload models of the benchmark applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...errors import KernelLaunchError, RuntimeBrookError
+from .. import ast_nodes as ast
+from ..builtins import lookup_builtin
+from ..types import ParamKind, ScalarKind, swizzle_indices
+from .gather import GatherSource
+
+__all__ = ["KernelExecutionStats", "KernelEvaluator"]
+
+
+@dataclass
+class KernelExecutionStats:
+    """Work counters accumulated while executing one kernel launch."""
+
+    elements: int = 0
+    flops: int = 0
+    gather_fetches: int = 0
+    stream_reads: int = 0
+    stream_writes: int = 0
+    simt_loop_steps: int = 0
+    divergent_branches: int = 0
+
+    def merge(self, other: "KernelExecutionStats") -> None:
+        self.elements += other.elements
+        self.flops += other.flops
+        self.gather_fetches += other.gather_fetches
+        self.stream_reads += other.stream_reads
+        self.stream_writes += other.stream_writes
+        self.simt_loop_steps += other.simt_loop_steps
+        self.divergent_branches += other.divergent_branches
+
+
+class _LoopRecord:
+    """Break/continue bookkeeping for the innermost loop."""
+
+    def __init__(self, size: int):
+        self.broke = np.zeros(size, dtype=bool)
+        self.continued = np.zeros(size, dtype=bool)
+
+
+class _Frame:
+    """One function invocation (the kernel itself or an inlined helper)."""
+
+    def __init__(self, size: int):
+        self.env: Dict[str, np.ndarray] = {}
+        self.returned = np.zeros(size, dtype=bool)
+        self.return_value: Optional[np.ndarray] = None
+        self.loops: List[_LoopRecord] = []
+
+
+def _is_int_dtype(array: np.ndarray) -> bool:
+    return np.issubdtype(np.asarray(array).dtype, np.integer)
+
+
+def _merge_masked(old: np.ndarray, new: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Select ``new`` where ``mask`` is set, ``old`` elsewhere (mask is 1-D)."""
+    old_arr = np.asarray(old)
+    new_arr = np.asarray(new)
+    if old_arr.ndim == 2 or new_arr.ndim == 2:
+        width = max(old_arr.shape[-1] if old_arr.ndim == 2 else 1,
+                    new_arr.shape[-1] if new_arr.ndim == 2 else 1)
+        if old_arr.ndim == 1:
+            old_arr = old_arr[:, None] if old_arr.shape[0] == mask.shape[0] \
+                else np.broadcast_to(old_arr, (mask.shape[0], width))
+        if new_arr.ndim == 1 and new_arr.shape[:1] == mask.shape:
+            new_arr = new_arr[:, None]
+        return np.where(mask[:, None], new_arr, old_arr)
+    return np.where(mask, new_arr, old_arr)
+
+
+class KernelEvaluator:
+    """Executes one Brook kernel over a launch domain."""
+
+    def __init__(
+        self,
+        kernel: ast.FunctionDef,
+        helpers: Optional[Dict[str, ast.FunctionDef]] = None,
+        max_simt_steps: int = 1_000_000,
+    ):
+        """
+        Args:
+            kernel: Kernel definition (semantic analysis recommended but the
+                evaluator only relies on the syntactic structure).
+            helpers: Non-kernel helper functions callable from the kernel,
+                keyed by name.
+            max_simt_steps: Safety bound on loop iterations executed by the
+                evaluator; guards the simulation against unbounded loops
+                (which Brook Auto rejects statically anyway).
+        """
+        self.kernel = kernel
+        self.helpers = dict(helpers or {})
+        self.max_simt_steps = max_simt_steps
+        self.stats = KernelExecutionStats()
+        self._size = 0
+        self._index: Optional[np.ndarray] = None
+        self._gathers: Dict[str, GatherSource] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        element_count: int,
+        stream_inputs: Optional[Dict[str, np.ndarray]] = None,
+        scalar_args: Optional[Dict[str, float]] = None,
+        gathers: Optional[Dict[str, GatherSource]] = None,
+        index: Optional[np.ndarray] = None,
+        reduce_inputs: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Execute the kernel over ``element_count`` threads.
+
+        Args:
+            element_count: Number of output elements (threads).
+            stream_inputs: Per-thread values of every positional input
+                stream parameter, each of shape ``(element_count,)`` or
+                ``(element_count, width)``.
+            scalar_args: Values of the scalar (uniform) parameters.
+            gathers: :class:`GatherSource` per gather-array parameter.
+            index: Optional ``(element_count, 2)`` array with the (x, y)
+                position of every thread, used by ``indexof``.
+            reduce_inputs: Initial accumulator values for ``reduce``
+                parameters (reduction kernels only).
+
+        Returns:
+            Mapping from output parameter name (``out`` and ``reduce``)
+            to the computed per-thread values.
+        """
+        stream_inputs = dict(stream_inputs or {})
+        scalar_args = dict(scalar_args or {})
+        reduce_inputs = dict(reduce_inputs or {})
+        self._gathers = dict(gathers or {})
+        self._size = int(element_count)
+        self.stats = KernelExecutionStats(elements=self._size)
+        if index is None:
+            linear = np.arange(self._size, dtype=np.float32)
+            index = np.stack([linear, np.zeros_like(linear)], axis=1)
+        self._index = np.asarray(index, dtype=np.float32)
+
+        frame = _Frame(self._size)
+        outputs: Dict[str, np.ndarray] = {}
+        for param in self.kernel.params:
+            if param.kind in (ParamKind.STREAM, ParamKind.ITERATOR):
+                if param.name not in stream_inputs:
+                    raise KernelLaunchError(
+                        f"missing input stream {param.name!r} for kernel "
+                        f"{self.kernel.name!r}"
+                    )
+                value = np.asarray(stream_inputs[param.name], dtype=np.float32)
+                frame.env[param.name] = value
+                self.stats.stream_reads += self._size
+            elif param.kind is ParamKind.SCALAR:
+                if param.name not in scalar_args:
+                    raise KernelLaunchError(
+                        f"missing scalar argument {param.name!r} for kernel "
+                        f"{self.kernel.name!r}"
+                    )
+                raw = scalar_args[param.name]
+                dtype = np.int32 if param.type.kind is ScalarKind.INT else np.float32
+                frame.env[param.name] = np.asarray(raw, dtype=dtype)
+            elif param.kind is ParamKind.GATHER:
+                if param.name not in self._gathers:
+                    raise KernelLaunchError(
+                        f"missing gather array {param.name!r} for kernel "
+                        f"{self.kernel.name!r}"
+                    )
+            elif param.kind is ParamKind.OUT_STREAM:
+                width = param.type.width
+                shape = (self._size,) if width == 1 else (self._size, width)
+                frame.env[param.name] = np.zeros(shape, dtype=np.float32)
+            elif param.kind is ParamKind.REDUCE:
+                if param.name not in reduce_inputs:
+                    raise KernelLaunchError(
+                        f"missing reduce accumulator {param.name!r} for kernel "
+                        f"{self.kernel.name!r}"
+                    )
+                frame.env[param.name] = np.array(
+                    reduce_inputs[param.name], dtype=np.float32, copy=True
+                )
+
+        mask = np.ones(self._size, dtype=bool)
+        with np.errstate(all="ignore"):
+            self._exec_statement(self.kernel.body, mask, frame)
+
+        for param in self.kernel.params:
+            if param.kind in (ParamKind.OUT_STREAM, ParamKind.REDUCE):
+                outputs[param.name] = frame.env[param.name]
+                self.stats.stream_writes += self._size
+        return outputs
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def _exec_statement(self, stmt: ast.Statement, mask: np.ndarray,
+                        frame: _Frame) -> np.ndarray:
+        """Execute one statement; return the fall-through mask."""
+        if not mask.any():
+            return mask
+        if isinstance(stmt, ast.Block):
+            current = mask
+            for child in stmt.statements:
+                current = self._exec_statement(child, current, frame)
+                if not current.any():
+                    break
+            return current
+        if isinstance(stmt, ast.DeclStatement):
+            if stmt.init is not None:
+                value = self._eval(stmt.init, mask, frame)
+            else:
+                width = stmt.decl_type.width
+                shape = (self._size,) if width == 1 else (self._size, width)
+                dtype = np.int32 if stmt.decl_type.kind is ScalarKind.INT else np.float32
+                value = np.zeros(shape, dtype=dtype)
+            if stmt.decl_type.kind is ScalarKind.INT and not _is_int_dtype(value):
+                value = np.asarray(np.floor(value), dtype=np.int32) \
+                    if not np.issubdtype(np.asarray(value).dtype, np.bool_) \
+                    else np.asarray(value, dtype=np.int32)
+            frame.env[stmt.name] = np.asarray(value)
+            return mask
+        if isinstance(stmt, ast.ExprStatement):
+            self._eval(stmt.expr, mask, frame)
+            return mask
+        if isinstance(stmt, ast.IfStatement):
+            return self._exec_if(stmt, mask, frame)
+        if isinstance(stmt, ast.ForStatement):
+            return self._exec_for(stmt, mask, frame)
+        if isinstance(stmt, ast.WhileStatement):
+            return self._exec_while(stmt, mask, frame)
+        if isinstance(stmt, ast.DoWhileStatement):
+            return self._exec_do_while(stmt, mask, frame)
+        if isinstance(stmt, ast.ReturnStatement):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, mask, frame)
+                if frame.return_value is None:
+                    frame.return_value = np.zeros(self._size, dtype=np.float32) \
+                        if np.asarray(value).ndim <= 1 else \
+                        np.zeros((self._size, np.asarray(value).shape[-1]), dtype=np.float32)
+                frame.return_value = _merge_masked(frame.return_value, value, mask)
+            frame.returned = frame.returned | mask
+            return np.zeros_like(mask)
+        if isinstance(stmt, ast.BreakStatement):
+            if not frame.loops:
+                raise RuntimeBrookError("break outside of a loop")
+            frame.loops[-1].broke |= mask
+            return np.zeros_like(mask)
+        if isinstance(stmt, ast.ContinueStatement):
+            if not frame.loops:
+                raise RuntimeBrookError("continue outside of a loop")
+            frame.loops[-1].continued |= mask
+            return np.zeros_like(mask)
+        if isinstance(stmt, ast.GotoStatement):
+            raise RuntimeBrookError("goto cannot be executed by any Brook backend")
+        raise RuntimeBrookError(f"cannot execute statement {type(stmt).__name__}")
+
+    def _exec_if(self, stmt: ast.IfStatement, mask: np.ndarray,
+                 frame: _Frame) -> np.ndarray:
+        cond = self._as_bool(self._eval(stmt.cond, mask, frame))
+        then_mask = mask & cond
+        else_mask = mask & ~cond
+        if then_mask.any() and else_mask.any():
+            self.stats.divergent_branches += 1
+        after_then = then_mask
+        if then_mask.any():
+            after_then = self._exec_statement(stmt.then_branch, then_mask, frame)
+        after_else = else_mask
+        if stmt.else_branch is not None and else_mask.any():
+            after_else = self._exec_statement(stmt.else_branch, else_mask, frame)
+        return after_then | after_else
+
+    def _run_loop(self, mask: np.ndarray, frame: _Frame, cond_expr,
+                  body: ast.Statement, update_expr, check_before: bool) -> np.ndarray:
+        record = _LoopRecord(self._size)
+        frame.loops.append(record)
+        entered = mask.copy()
+        iter_mask = mask.copy()
+        steps = 0
+        try:
+            while True:
+                if check_before or steps > 0:
+                    if cond_expr is not None:
+                        cond = self._as_bool(self._eval(cond_expr, iter_mask, frame))
+                        iter_mask = iter_mask & cond
+                if not iter_mask.any():
+                    break
+                steps += 1
+                self.stats.simt_loop_steps += 1
+                if steps > self.max_simt_steps:
+                    raise RuntimeBrookError(
+                        f"kernel {self.kernel.name!r} exceeded {self.max_simt_steps} "
+                        "loop steps; the loop is unbounded or the bound is too large "
+                        "for simulation"
+                    )
+                record.continued[:] = False
+                fall = self._exec_statement(body, iter_mask, frame)
+                alive = fall | (record.continued & iter_mask)
+                alive = alive & ~record.broke & ~frame.returned
+                if update_expr is not None and alive.any():
+                    self._eval(update_expr, alive, frame)
+                iter_mask = alive
+                if not check_before and cond_expr is not None:
+                    cond = self._as_bool(self._eval(cond_expr, iter_mask, frame))
+                    iter_mask = iter_mask & cond
+        finally:
+            frame.loops.pop()
+        return entered & ~frame.returned
+
+    def _exec_for(self, stmt: ast.ForStatement, mask: np.ndarray,
+                  frame: _Frame) -> np.ndarray:
+        if stmt.init is not None:
+            self._exec_statement(stmt.init, mask, frame)
+        return self._run_loop(mask, frame, stmt.cond, stmt.body, stmt.update, True)
+
+    def _exec_while(self, stmt: ast.WhileStatement, mask: np.ndarray,
+                    frame: _Frame) -> np.ndarray:
+        return self._run_loop(mask, frame, stmt.cond, stmt.body, None, True)
+
+    def _exec_do_while(self, stmt: ast.DoWhileStatement, mask: np.ndarray,
+                       frame: _Frame) -> np.ndarray:
+        return self._run_loop(mask, frame, stmt.cond, stmt.body, None, False)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _eval(self, expr: ast.Expression, mask: np.ndarray, frame: _Frame):
+        if isinstance(expr, ast.NumberLiteral):
+            if expr.is_float:
+                return np.float32(expr.value)
+            return np.int32(int(expr.value))
+        if isinstance(expr, ast.BoolLiteral):
+            return np.bool_(expr.value)
+        if isinstance(expr, ast.Identifier):
+            if expr.name in frame.env:
+                return frame.env[expr.name]
+            raise RuntimeBrookError(f"undefined name {expr.name!r} during execution")
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval_unary(expr, mask, frame)
+        if isinstance(expr, ast.BinaryOp):
+            return self._eval_binary(expr, mask, frame)
+        if isinstance(expr, ast.Assignment):
+            return self._eval_assignment(expr, mask, frame)
+        if isinstance(expr, ast.Conditional):
+            cond = self._as_bool(self._eval(expr.cond, mask, frame))
+            then = self._eval(expr.then, mask, frame)
+            other = self._eval(expr.otherwise, mask, frame)
+            self._count_flops(mask, 1)
+            return self._where(cond, then, other)
+        if isinstance(expr, ast.CallExpr):
+            return self._eval_call(expr, mask, frame)
+        if isinstance(expr, ast.ConstructorExpr):
+            return self._eval_constructor(expr, mask, frame)
+        if isinstance(expr, ast.IndexExpr):
+            return self._eval_gather(expr, mask, frame)
+        if isinstance(expr, ast.MemberExpr):
+            base = self._eval(expr.base, mask, frame)
+            indices = swizzle_indices(expr.member)
+            base = np.asarray(base)
+            if base.ndim == 0:
+                raise RuntimeBrookError(
+                    f"cannot swizzle scalar value with .{expr.member}"
+                )
+            if base.ndim == 1 and base.shape[0] in (2, 3, 4) and base.shape[0] != self._size:
+                # A uniform vector (shape (width,)).
+                selected = base[list(indices)]
+                return selected[0] if len(indices) == 1 else selected
+            if base.ndim == 1:
+                raise RuntimeBrookError(
+                    f"cannot swizzle scalar per-thread value with .{expr.member}"
+                )
+            if len(indices) == 1:
+                return base[:, indices[0]]
+            return base[:, list(indices)]
+        if isinstance(expr, ast.IndexOfExpr):
+            return self._index
+        raise RuntimeBrookError(f"cannot evaluate expression {type(expr).__name__}")
+
+    # -- operators ------------------------------------------------------- #
+    def _eval_unary(self, expr: ast.UnaryOp, mask: np.ndarray, frame: _Frame):
+        value = self._eval(expr.operand, mask, frame)
+        self._count_flops(mask, 1)
+        if expr.op == "-":
+            return -np.asarray(value)
+        if expr.op == "!":
+            return ~self._as_bool(value)
+        if expr.op == "~":
+            return ~np.asarray(value, dtype=np.int32)
+        if expr.op in ("*", "&"):
+            raise RuntimeBrookError(
+                "pointer operators cannot be executed; Brook Auto rejects them "
+                "statically (rule BA-001)"
+            )
+        raise RuntimeBrookError(f"unknown unary operator {expr.op!r}")
+
+    def _eval_binary(self, expr: ast.BinaryOp, mask: np.ndarray, frame: _Frame):
+        left = np.asarray(self._eval(expr.left, mask, frame))
+        right = np.asarray(self._eval(expr.right, mask, frame))
+        left, right = self._align(left, right)
+        op = expr.op
+        self._count_flops(mask, 1)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if _is_int_dtype(left) and _is_int_dtype(right):
+                return np.where(right != 0, left // np.where(right == 0, 1, right), 0)
+            return left / np.asarray(right, dtype=np.float32)
+        if op == "%":
+            if _is_int_dtype(left) and _is_int_dtype(right):
+                return np.where(right != 0, left % np.where(right == 0, 1, right), 0)
+            return np.fmod(left, right)
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+        if op == "<=":
+            return left <= right
+        if op == ">=":
+            return left >= right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "&&":
+            return self._as_bool(left) & self._as_bool(right)
+        if op == "||":
+            return self._as_bool(left) | self._as_bool(right)
+        raise RuntimeBrookError(f"unknown binary operator {op!r}")
+
+    def _eval_assignment(self, expr: ast.Assignment, mask: np.ndarray, frame: _Frame):
+        value = self._eval(expr.value, mask, frame)
+        if expr.op != "=":
+            binop = ast.BinaryOp(
+                location=expr.location, op=expr.op[:-1], left=expr.target,
+                right=expr.value,
+            )
+            value = self._eval_binary(binop, mask, frame)
+        self._store(expr.target, value, mask, frame)
+        return value
+
+    def _store(self, target: ast.Expression, value, mask: np.ndarray,
+               frame: _Frame) -> None:
+        if isinstance(target, ast.Identifier):
+            name = target.name
+            old = frame.env.get(name)
+            if old is None:
+                frame.env[name] = self._materialize(value)
+                return
+            if _is_int_dtype(old) and not _is_int_dtype(np.asarray(value)):
+                value = np.asarray(np.trunc(np.asarray(value)), dtype=np.int32)
+            frame.env[name] = _merge_masked(self._materialize(old),
+                                            self._materialize(value), mask)
+            return
+        if isinstance(target, ast.MemberExpr) and isinstance(target.base, ast.Identifier):
+            name = target.base.name
+            old = frame.env.get(name)
+            if old is None:
+                raise RuntimeBrookError(f"assignment to undeclared vector {name!r}")
+            old = self._materialize(old)
+            if old.ndim != 2:
+                raise RuntimeBrookError(
+                    f"cannot assign component .{target.member} of non-vector {name!r}"
+                )
+            new = old.copy()
+            indices = swizzle_indices(target.member)
+            value_arr = self._materialize(value)
+            for position, component in enumerate(indices):
+                if value_arr.ndim == 2:
+                    component_value = value_arr[:, position]
+                else:
+                    component_value = value_arr
+                new[:, component] = np.where(mask, component_value, old[:, component])
+            frame.env[name] = new
+            return
+        raise RuntimeBrookError(
+            "assignment target must be a variable or a component of a vector "
+            "variable (scatter writes are not part of Brook Auto)"
+        )
+
+    # -- calls ------------------------------------------------------------ #
+    def _eval_call(self, expr: ast.CallExpr, mask: np.ndarray, frame: _Frame):
+        args = [self._eval(arg, mask, frame) for arg in expr.args]
+        builtin = lookup_builtin(expr.callee)
+        if builtin is not None:
+            self._count_flops(mask, builtin.flop_cost)
+            return self._apply_builtin(expr.callee, args)
+        helper = self.helpers.get(expr.callee)
+        if helper is None:
+            raise RuntimeBrookError(f"call to unknown function {expr.callee!r}")
+        return self._call_helper(helper, args, mask)
+
+    def _call_helper(self, helper: ast.FunctionDef, args: Sequence, mask: np.ndarray):
+        frame = _Frame(self._size)
+        for param, value in zip(helper.params, args):
+            frame.env[param.name] = self._materialize(value).copy()
+        with np.errstate(all="ignore"):
+            self._exec_statement(helper.body, mask.copy(), frame)
+        if frame.return_value is None:
+            return np.float32(0.0)
+        return frame.return_value
+
+    def _apply_builtin(self, name: str, args: List):
+        arrays = [np.asarray(a, dtype=np.float32) if not np.issubdtype(
+            np.asarray(a).dtype, np.bool_) else np.asarray(a) for a in args]
+        if name in ("min",):
+            return np.minimum(*self._align(arrays[0], arrays[1]))
+        if name in ("max",):
+            return np.maximum(*self._align(arrays[0], arrays[1]))
+        if name == "clamp":
+            low, _ = self._align(arrays[1], arrays[0])
+            high, _ = self._align(arrays[2], arrays[0])
+            return np.minimum(np.maximum(arrays[0], low), high)
+        if name in ("lerp", "mix"):
+            a, b = self._align(arrays[0], arrays[1])
+            t, _ = self._align(arrays[2], a)
+            return a + t * (b - a)
+        if name == "mad":
+            a, b = self._align(arrays[0], arrays[1])
+            c, _ = self._align(arrays[2], a)
+            return a * b + c
+        if name == "saturate":
+            return np.clip(arrays[0], 0.0, 1.0)
+        if name == "step":
+            edge, x = self._align(arrays[0], arrays[1])
+            return (x >= edge).astype(np.float32)
+        if name == "smoothstep":
+            edge0, edge1 = self._align(arrays[0], arrays[1])
+            x, _ = self._align(arrays[2], edge0)
+            t = np.clip((x - edge0) / np.where(edge1 == edge0, 1.0, edge1 - edge0),
+                        0.0, 1.0)
+            return t * t * (3.0 - 2.0 * t)
+        if name == "dot":
+            a, b = self._align(arrays[0], arrays[1])
+            return np.sum(a * b, axis=-1)
+        if name == "length":
+            return np.sqrt(np.sum(arrays[0] * arrays[0], axis=-1))
+        if name == "distance":
+            a, b = self._align(arrays[0], arrays[1])
+            diff = a - b
+            return np.sqrt(np.sum(diff * diff, axis=-1))
+        if name == "normalize":
+            norm = np.sqrt(np.sum(arrays[0] * arrays[0], axis=-1, keepdims=True))
+            return arrays[0] / np.where(norm == 0, 1.0, norm)
+        if name == "cross":
+            return np.cross(arrays[0], arrays[1])
+        if name == "frac":
+            return arrays[0] - np.floor(arrays[0])
+        if name == "rsqrt":
+            return 1.0 / np.sqrt(arrays[0])
+        if name == "sign":
+            return np.sign(arrays[0])
+        if name == "atan2":
+            return np.arctan2(*self._align(arrays[0], arrays[1]))
+        if name == "pow":
+            return np.power(*self._align(arrays[0], arrays[1]))
+        if name == "fmod":
+            return np.fmod(*self._align(arrays[0], arrays[1]))
+        if name in ("any", "all"):
+            reducer = np.any if name == "any" else np.all
+            return reducer(self._as_bool(arrays[0]), axis=-1)
+        simple = {
+            "sqrt": np.sqrt, "exp": np.exp, "exp2": np.exp2, "log": np.log,
+            "log2": np.log2, "sin": np.sin, "cos": np.cos, "tan": np.tan,
+            "asin": np.arcsin, "acos": np.arccos, "atan": np.arctan,
+            "floor": np.floor, "ceil": np.ceil, "round": np.round, "abs": np.abs,
+        }
+        if name in simple:
+            return simple[name](arrays[0])
+        raise RuntimeBrookError(f"builtin {name!r} has no evaluator implementation")
+
+    def _eval_constructor(self, expr: ast.ConstructorExpr, mask: np.ndarray,
+                          frame: _Frame):
+        args = [np.asarray(self._eval(arg, mask, frame)) for arg in expr.args]
+        target = expr.target_type
+        if target.width == 1:
+            value = args[0]
+            if target.kind is ScalarKind.INT:
+                return np.asarray(np.trunc(value), dtype=np.int32)
+            if target.kind is ScalarKind.FLOAT:
+                return np.asarray(value, dtype=np.float32)
+            return self._as_bool(value)
+        columns: List[np.ndarray] = []
+        for arg in args:
+            arg = np.asarray(arg, dtype=np.float32)
+            if arg.ndim == 2:
+                for component in range(arg.shape[1]):
+                    columns.append(arg[:, component])
+            else:
+                columns.append(arg)
+        if len(columns) == 1:
+            columns = columns * target.width
+        columns = [np.broadcast_to(np.asarray(c, dtype=np.float32), (self._size,))
+                   for c in columns]
+        return np.stack(columns, axis=1)
+
+    def _eval_gather(self, expr: ast.IndexExpr, mask: np.ndarray, frame: _Frame):
+        indices: List[ast.Expression] = []
+        node: ast.Expression = expr
+        while isinstance(node, ast.IndexExpr):
+            indices.append(node.index)
+            node = node.base
+        indices.reverse()
+        if not isinstance(node, ast.Identifier) or node.name not in self._gathers:
+            raise RuntimeBrookError(
+                "only gather-array parameters can be indexed during execution"
+            )
+        source = self._gathers[node.name]
+        before = source.fetch_count
+        if len(indices) == 1:
+            index_value = np.asarray(self._eval(indices[0], mask, frame))
+            if index_value.ndim == 2 and index_value.shape[1] >= 2:
+                cols = index_value[:, 0]
+                rows = index_value[:, 1]
+            else:
+                cols = index_value
+                rows = np.zeros_like(np.asarray(cols, dtype=np.float32))
+        else:
+            rows = np.asarray(self._eval(indices[0], mask, frame))
+            cols = np.asarray(self._eval(indices[1], mask, frame))
+        rows = np.broadcast_to(np.asarray(rows, dtype=np.float32), (self._size,))
+        cols = np.broadcast_to(np.asarray(cols, dtype=np.float32), (self._size,))
+        values = source.fetch(rows, cols)
+        self.stats.gather_fetches += source.fetch_count - before
+        return values
+
+    # ------------------------------------------------------------------ #
+    # Small helpers
+    # ------------------------------------------------------------------ #
+    def _materialize(self, value) -> np.ndarray:
+        array = np.asarray(value)
+        if array.ndim == 0:
+            return np.broadcast_to(array, (self._size,)).copy()
+        if array.ndim == 1 and array.shape[0] != self._size and array.shape[0] in (2, 3, 4):
+            return np.broadcast_to(array, (self._size, array.shape[0])).copy()
+        return array
+
+    def _as_bool(self, value) -> np.ndarray:
+        array = np.asarray(value)
+        if array.dtype == bool:
+            result = array
+        else:
+            result = array != 0
+        if result.ndim == 0:
+            result = np.broadcast_to(result, (self._size,))
+        if result.ndim == 2:
+            result = result.all(axis=1)
+        return result
+
+    @staticmethod
+    def _align(left: np.ndarray, right: np.ndarray):
+        """Broadcast a scalar/per-thread pair against a vector operand."""
+        left = np.asarray(left)
+        right = np.asarray(right)
+        if left.ndim == 2 and right.ndim == 1 and right.shape[0] == left.shape[0]:
+            right = right[:, None]
+        elif right.ndim == 2 and left.ndim == 1 and left.shape[0] == right.shape[0]:
+            left = left[:, None]
+        return left, right
+
+    def _where(self, cond: np.ndarray, then, other):
+        then_arr, other_arr = self._align(np.asarray(then), np.asarray(other))
+        if then_arr.ndim == 2 or other_arr.ndim == 2:
+            cond = cond[:, None] if cond.ndim == 1 else cond
+        return np.where(cond, then_arr, other_arr)
+
+    def _count_flops(self, mask: np.ndarray, cost: int) -> None:
+        self.stats.flops += cost * int(mask.sum())

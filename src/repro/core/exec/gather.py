@@ -1,0 +1,112 @@
+"""Gather-array access abstractions for kernel execution.
+
+A gather parameter (``float a[]`` / ``float a[][]``) is a random-access
+read-only array.  How an access behaves depends on the backend:
+
+* the CPU backend indexes host memory directly and treats an
+  out-of-bounds index as a hard error (this is the behaviour that makes
+  CUDA/OpenCL kernels crash drivers, section 2 of the paper);
+* the GPU backends go through the texture unit, where the OpenGL ES 2
+  sampler clamps the coordinate to the edge of the texture, so an
+  out-of-bounds access can never raise an exception or crash the system
+  (section 4 of the paper - the availability argument of Brook Auto).
+
+The evaluator only sees the small :class:`GatherSource` interface; each
+backend supplies the implementation with the semantics it models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ...errors import StreamError
+
+__all__ = ["GatherSource", "NumpyGatherSource", "ClampingGatherSource"]
+
+
+class GatherSource:
+    """Random-access view of a gather array used during kernel execution."""
+
+    #: Logical (rows, cols) extent of the array; cols is the fastest axis.
+    shape: Tuple[int, int]
+
+    def fetch(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Fetch elements at integer (row, col) positions.
+
+        Both index arrays have the same shape; the result has that shape
+        (plus a trailing component axis for vector element types).
+        """
+        raise NotImplementedError
+
+    @property
+    def fetch_count(self) -> int:
+        """Number of element fetches performed so far (for statistics)."""
+        raise NotImplementedError
+
+
+class NumpyGatherSource(GatherSource):
+    """Direct host-memory gather used by the CPU backend.
+
+    Out-of-bounds indices raise :class:`~repro.errors.StreamError`, which
+    models the unprotected behaviour of CPU (and CUDA/OpenCL) code.
+    """
+
+    def __init__(self, data: np.ndarray):
+        array = np.asarray(data)
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        self._data = array
+        self.shape = (array.shape[0], array.shape[1])
+        self._fetches = 0
+
+    def fetch(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        rows = np.asarray(np.floor(rows), dtype=np.int64)
+        cols = np.asarray(np.floor(cols), dtype=np.int64)
+        height, width = self.shape
+        if rows.size and (rows.min() < 0 or rows.max() >= height
+                          or cols.min() < 0 or cols.max() >= width):
+            raise StreamError(
+                "gather access out of bounds on the CPU backend: "
+                f"rows in [{rows.min()}, {rows.max()}], cols in "
+                f"[{cols.min()}, {cols.max()}] for array of shape {self.shape}"
+            )
+        self._fetches += int(rows.size)
+        return self._data[rows, cols]
+
+    @property
+    def fetch_count(self) -> int:
+        return self._fetches
+
+
+class ClampingGatherSource(GatherSource):
+    """Texture-unit style gather: coordinates are clamped to the edge.
+
+    ``transform`` optionally post-processes fetched values (the GL ES 2
+    backend uses it to model the RGBA8 encode/decode round-trip).
+    """
+
+    def __init__(self, data: np.ndarray,
+                 transform: Optional[Callable[[np.ndarray], np.ndarray]] = None):
+        array = np.asarray(data)
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        self._data = array
+        self.shape = (array.shape[0], array.shape[1])
+        self._transform = transform
+        self._fetches = 0
+
+    def fetch(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        height, width = self.shape
+        rows = np.clip(np.asarray(np.floor(rows), dtype=np.int64), 0, height - 1)
+        cols = np.clip(np.asarray(np.floor(cols), dtype=np.int64), 0, width - 1)
+        self._fetches += int(rows.size)
+        values = self._data[rows, cols]
+        if self._transform is not None:
+            values = self._transform(values)
+        return values
+
+    @property
+    def fetch_count(self) -> int:
+        return self._fetches

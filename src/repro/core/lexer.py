@@ -1,0 +1,310 @@
+"""Tokenizer for the Brook kernel language.
+
+The Brook kernel language is a restricted C dialect with stream
+declarators (``float a<>``), parameter qualifiers (``out``, ``reduce``,
+``iter``), the ``kernel``/``reduce`` function qualifiers and the
+``indexof`` operator.  This lexer produces a flat token stream consumed
+by :mod:`repro.core.parser`.
+
+The token set intentionally includes C constructs that Brook Auto
+*forbids* (``goto``, ``*`` used as a pointer declarator, ``malloc`` as an
+identifier, ...) so that non-compliant source can be parsed and then
+rejected by the certification checker with a precise diagnostic, instead
+of failing with an opaque syntax error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..errors import BrookSyntaxError, SourceLocation
+
+__all__ = ["TokenKind", "Token", "Lexer", "tokenize"]
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    FLOAT_LITERAL = "float literal"
+    INT_LITERAL = "int literal"
+    PUNCT = "punctuation"
+    STRING = "string literal"
+    EOF = "end of input"
+
+
+#: Reserved words of the Brook kernel language (including type names and
+#: the constructs Brook Auto bans, which must still lex as keywords so the
+#: checker can report them).
+KEYWORDS = frozenset(
+    {
+        "kernel",
+        "reduce",
+        "out",
+        "iter",
+        "void",
+        "float",
+        "float2",
+        "float3",
+        "float4",
+        "int",
+        "int2",
+        "int3",
+        "int4",
+        "bool",
+        "double",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "true",
+        "false",
+        "indexof",
+        # Constructs that are recognised so the certification checker can
+        # flag them with a dedicated rule rather than a parse error.
+        "goto",
+        "switch",
+        "case",
+        "default",
+        "struct",
+        "typedef",
+        "const",
+        "static",
+        "unsigned",
+        "char",
+        "short",
+        "long",
+    }
+)
+
+#: Multi-character punctuators, longest first so maximal munch works.
+_PUNCTUATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "->",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ".",
+    "!",
+    "?",
+    ":",
+    "&",
+    "|",
+    "^",
+    "~",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.location})"
+
+
+class Lexer:
+    """Converts Brook kernel source text into a list of tokens."""
+
+    def __init__(self, source: str, filename: str = "<string>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------ #
+    # Character helpers
+    # ------------------------------------------------------------------ #
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _error(self, message: str) -> BrookSyntaxError:
+        return BrookSyntaxError(message, self._location())
+
+    # ------------------------------------------------------------------ #
+    # Skipping
+    # ------------------------------------------------------------------ #
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if not self._peek():
+                        raise BrookSyntaxError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            elif ch == "#":
+                # Preprocessor directives are not part of the kernel
+                # language; Brook Auto source must not rely on them, but
+                # we skip them here so the checker can analyse the rest.
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    # ------------------------------------------------------------------ #
+    # Token producers
+    # ------------------------------------------------------------------ #
+    def _lex_number(self) -> Token:
+        start = self._location()
+        begin = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            return Token(TokenKind.INT_LITERAL, self.source[begin:self.pos], start)
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        elif self._peek() == "." and not self._peek(1).isalpha():
+            is_float = True
+            self._advance()
+        if self._peek() and self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() and self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() and self._peek() in "fF":
+            is_float = True
+            self._advance()
+            text = self.source[begin:self.pos - 1]
+        else:
+            text = self.source[begin:self.pos]
+        kind = TokenKind.FLOAT_LITERAL if is_float else TokenKind.INT_LITERAL
+        return Token(kind, text, start)
+
+    def _lex_identifier(self) -> Token:
+        start = self._location()
+        begin = self.pos
+        while self._peek() and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.source[begin:self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, start)
+
+    def _lex_string(self) -> Token:
+        start = self._location()
+        quote = self._peek()
+        self._advance()
+        begin = self.pos
+        while self._peek() and self._peek() != quote:
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        if not self._peek():
+            raise BrookSyntaxError("unterminated string literal", start)
+        text = self.source[begin:self.pos]
+        self._advance()
+        return Token(TokenKind.STRING, text, start)
+
+    def _lex_punct(self) -> Token:
+        start = self._location()
+        for punct in _PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, start)
+        raise self._error(f"unexpected character {self._peek()!r}")
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token of the source, ending with a single EOF token."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                yield Token(TokenKind.EOF, "", self._location())
+                return
+            ch = self._peek()
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                yield self._lex_number()
+            elif ch.isalpha() or ch == "_":
+                yield self._lex_identifier()
+            elif ch in "\"'":
+                yield self._lex_string()
+            else:
+                yield self._lex_punct()
+
+
+def tokenize(source: str, filename: str = "<string>") -> List[Token]:
+    """Tokenize ``source`` and return the full token list (EOF included)."""
+    return list(Lexer(source, filename).tokens())

@@ -1,0 +1,514 @@
+"""Recursive-descent parser for the Brook kernel language.
+
+The grammar is a restricted C expression/statement grammar extended with
+the Brook-specific constructs:
+
+* ``kernel`` / ``reduce`` function qualifiers,
+* stream parameter declarators (``float a<>``),
+* ``out`` / ``reduce`` / ``iter`` parameter qualifiers,
+* gather-array parameters (``float a[]``, ``float a[][]``),
+* the ``indexof(stream)`` operator,
+* vector constructors (``float4(a, b, c, d)``).
+
+Constructs that Brook Auto forbids (pointers, ``goto``, ``do``/``while``)
+are still *parsed* and represented in the AST, so that the certification
+checker can produce rule-level diagnostics rather than syntax errors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import BrookSyntaxError
+from . import ast_nodes as ast
+from .lexer import Token, TokenKind, tokenize
+from .types import BrookType, ParamKind, type_from_name
+
+__all__ = ["Parser", "parse"]
+
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%="}
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.core.ast_nodes.TranslationUnit`."""
+
+    def __init__(self, tokens: List[Token], filename: str = "<string>"):
+        self.tokens = tokens
+        self.filename = filename
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _check_punct(self, text: str) -> bool:
+        return self._peek().is_punct(text)
+
+    def _check_keyword(self, text: str) -> bool:
+        return self._peek().is_keyword(text)
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._check_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._check_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(text):
+            raise BrookSyntaxError(
+                f"expected {text!r} but found {token.text!r}", token.location
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise BrookSyntaxError(
+                f"expected identifier but found {token.text!r}", token.location
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> BrookSyntaxError:
+        return BrookSyntaxError(message, self._peek().location)
+
+    def _peek_type(self, offset: int = 0) -> Optional[BrookType]:
+        token = self._peek(offset)
+        if token.kind is TokenKind.KEYWORD:
+            return type_from_name(token.text)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Top level
+    # ------------------------------------------------------------------ #
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        functions: List[ast.FunctionDef] = []
+        while self._peek().kind is not TokenKind.EOF:
+            functions.append(self.parse_function())
+        return ast.TranslationUnit(functions=functions, filename=self.filename)
+
+    def parse_function(self) -> ast.FunctionDef:
+        start = self._peek().location
+        is_kernel = False
+        is_reduction = False
+        if self._accept_keyword("kernel"):
+            is_kernel = True
+        elif self._accept_keyword("reduce"):
+            is_kernel = True
+            is_reduction = True
+        # Ignore storage qualifiers that may precede helper functions.
+        while self._check_keyword("static") or self._check_keyword("const"):
+            self._advance()
+        return_type = self._parse_type_name()
+        name = self._expect_ident().text
+        self._expect_punct("(")
+        params: List[ast.KernelParam] = []
+        if not self._check_punct(")"):
+            params.append(self.parse_param())
+            while self._accept_punct(","):
+                params.append(self.parse_param())
+        self._expect_punct(")")
+        body = self.parse_block()
+        return ast.FunctionDef(
+            location=start,
+            name=name,
+            return_type=return_type,
+            params=params,
+            body=body,
+            is_kernel=is_kernel,
+            is_reduction=is_reduction,
+        )
+
+    def _parse_type_name(self) -> BrookType:
+        token = self._peek()
+        # Collapse C multi-keyword types (``unsigned int``) to their base.
+        while token.is_keyword("unsigned") or token.is_keyword("const"):
+            self._advance()
+            token = self._peek()
+        brook_type = self._peek_type()
+        if brook_type is None:
+            raise self._error(f"expected a type name but found {token.text!r}")
+        self._advance()
+        return brook_type
+
+    def parse_param(self) -> ast.KernelParam:
+        start = self._peek().location
+        kind = ParamKind.SCALAR
+        if self._accept_keyword("out"):
+            kind = ParamKind.OUT_STREAM
+        elif self._accept_keyword("reduce"):
+            kind = ParamKind.REDUCE
+        elif self._accept_keyword("iter"):
+            kind = ParamKind.ITERATOR
+        param_type = self._parse_type_name()
+        is_pointer = False
+        while self._accept_punct("*"):
+            is_pointer = True
+        name = self._expect_ident().text
+        gather_rank = 0
+        if self._check_punct("<"):
+            # Stream declarator ``<>`` (possibly with explicit extents
+            # ``<N>`` or ``<N, M>``, which Brook allows in host code; in a
+            # kernel signature the extents are ignored).
+            self._advance()
+            while not self._check_punct(">"):
+                if self._peek().kind is TokenKind.EOF:
+                    raise self._error("unterminated stream declarator")
+                self._advance()
+            self._expect_punct(">")
+            if kind is ParamKind.SCALAR:
+                kind = ParamKind.STREAM
+            elif kind is ParamKind.REDUCE:
+                # ``reduce float r<>`` - reduction to a (smaller) stream.
+                pass
+        elif self._check_punct("["):
+            while self._accept_punct("["):
+                gather_rank += 1
+                if not self._check_punct("]"):
+                    # Optional static extent, e.g. ``float lut[256]``.
+                    self.parse_expression()
+                self._expect_punct("]")
+            if kind is ParamKind.SCALAR:
+                kind = ParamKind.GATHER
+            elif kind is ParamKind.OUT_STREAM:
+                # ``out float a[]`` is treated as an output stream that the
+                # checker will flag (scatter is not supported on GL ES 2).
+                gather_rank = gather_rank
+        return ast.KernelParam(
+            location=start,
+            name=name,
+            type=param_type,
+            kind=kind,
+            gather_rank=gather_rank,
+            is_pointer=is_pointer,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def parse_block(self) -> ast.Block:
+        start = self._expect_punct("{").location
+        statements: List[ast.Statement] = []
+        while not self._check_punct("}"):
+            if self._peek().kind is TokenKind.EOF:
+                raise self._error("unterminated block")
+            statements.append(self.parse_statement())
+        self._expect_punct("}")
+        return ast.Block(location=start, statements=statements)
+
+    def parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_punct("{"):
+            return self.parse_block()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("do"):
+            return self._parse_do_while()
+        if token.is_keyword("return"):
+            return self._parse_return()
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.BreakStatement(location=token.location)
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.ContinueStatement(location=token.location)
+        if token.is_keyword("goto"):
+            self._advance()
+            label = self._expect_ident().text
+            self._expect_punct(";")
+            return ast.GotoStatement(location=token.location, label=label)
+        if self._peek_type() is not None and self._peek(1).kind in (
+            TokenKind.IDENT,
+        ) and not self._peek(1).is_punct("("):
+            return self._parse_declaration()
+        if self._peek_type() is not None and self._peek(1).is_punct("*"):
+            return self._parse_declaration()
+        expr = self.parse_expression()
+        self._expect_punct(";")
+        return ast.ExprStatement(location=token.location, expr=expr)
+
+    def _parse_declaration(self) -> ast.Statement:
+        start = self._peek().location
+        decl_type = self._parse_type_name()
+        declarations: List[ast.Statement] = []
+        while True:
+            is_pointer = False
+            while self._accept_punct("*"):
+                is_pointer = True
+            name_token = self._expect_ident()
+            init: Optional[ast.Expression] = None
+            if self._accept_punct("="):
+                init = self.parse_assignment()
+            decl = ast.DeclStatement(
+                location=name_token.location,
+                decl_type=decl_type,
+                name=name_token.text,
+                init=init,
+            )
+            # Pointer locals are not representable in the kernel language;
+            # remember the fact through a dynamic attribute so the
+            # certification checker can flag it precisely.
+            decl.is_pointer = is_pointer
+            declarations.append(decl)
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+        if len(declarations) == 1:
+            return declarations[0]
+        return ast.Block(location=start, statements=declarations)
+
+    def _parse_if(self) -> ast.IfStatement:
+        start = self._advance().location
+        self._expect_punct("(")
+        cond = self.parse_expression()
+        self._expect_punct(")")
+        then_branch = self.parse_statement()
+        else_branch = None
+        if self._accept_keyword("else"):
+            else_branch = self.parse_statement()
+        return ast.IfStatement(
+            location=start, cond=cond, then_branch=then_branch, else_branch=else_branch
+        )
+
+    def _parse_for(self) -> ast.ForStatement:
+        start = self._advance().location
+        self._expect_punct("(")
+        init: Optional[ast.Statement] = None
+        if not self._check_punct(";"):
+            if self._peek_type() is not None:
+                decl_type = self._parse_type_name()
+                name_token = self._expect_ident()
+                init_expr = None
+                if self._accept_punct("="):
+                    init_expr = self.parse_assignment()
+                init = ast.DeclStatement(
+                    location=name_token.location,
+                    decl_type=decl_type,
+                    name=name_token.text,
+                    init=init_expr,
+                )
+            else:
+                init = ast.ExprStatement(
+                    location=self._peek().location, expr=self.parse_expression()
+                )
+        self._expect_punct(";")
+        cond: Optional[ast.Expression] = None
+        if not self._check_punct(";"):
+            cond = self.parse_expression()
+        self._expect_punct(";")
+        update: Optional[ast.Expression] = None
+        if not self._check_punct(")"):
+            update = self.parse_expression()
+        self._expect_punct(")")
+        body = self.parse_statement()
+        return ast.ForStatement(
+            location=start, init=init, cond=cond, update=update, body=body
+        )
+
+    def _parse_while(self) -> ast.WhileStatement:
+        start = self._advance().location
+        self._expect_punct("(")
+        cond = self.parse_expression()
+        self._expect_punct(")")
+        body = self.parse_statement()
+        return ast.WhileStatement(location=start, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhileStatement:
+        start = self._advance().location
+        body = self.parse_statement()
+        if not self._accept_keyword("while"):
+            raise self._error("expected 'while' after do-body")
+        self._expect_punct("(")
+        cond = self.parse_expression()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhileStatement(location=start, body=body, cond=cond)
+
+    def _parse_return(self) -> ast.ReturnStatement:
+        start = self._advance().location
+        value: Optional[ast.Expression] = None
+        if not self._check_punct(";"):
+            value = self.parse_expression()
+        self._expect_punct(";")
+        return ast.ReturnStatement(location=start, value=value)
+
+    # ------------------------------------------------------------------ #
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------ #
+    def parse_expression(self) -> ast.Expression:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> ast.Expression:
+        target = self._parse_conditional()
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text in _ASSIGN_OPS:
+            self._advance()
+            value = self.parse_assignment()
+            return ast.Assignment(
+                location=token.location, op=token.text, target=target, value=value
+            )
+        return target
+
+    def _parse_conditional(self) -> ast.Expression:
+        cond = self._parse_logical_or()
+        if self._check_punct("?"):
+            token = self._advance()
+            then = self.parse_expression()
+            self._expect_punct(":")
+            otherwise = self._parse_conditional()
+            return ast.Conditional(
+                location=token.location, cond=cond, then=then, otherwise=otherwise
+            )
+        return cond
+
+    def _parse_binary_level(self, operators, next_level):
+        left = next_level()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.PUNCT and token.text in operators:
+                self._advance()
+                right = next_level()
+                left = ast.BinaryOp(
+                    location=token.location, op=token.text, left=left, right=right
+                )
+            else:
+                return left
+
+    def _parse_logical_or(self) -> ast.Expression:
+        return self._parse_binary_level({"||"}, self._parse_logical_and)
+
+    def _parse_logical_and(self) -> ast.Expression:
+        return self._parse_binary_level({"&&"}, self._parse_equality)
+
+    def _parse_equality(self) -> ast.Expression:
+        return self._parse_binary_level({"==", "!="}, self._parse_relational)
+
+    def _parse_relational(self) -> ast.Expression:
+        return self._parse_binary_level({"<", ">", "<=", ">="}, self._parse_additive)
+
+    def _parse_additive(self) -> ast.Expression:
+        return self._parse_binary_level({"+", "-"}, self._parse_multiplicative)
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        return self._parse_binary_level({"*", "/", "%"}, self._parse_unary)
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text in {"-", "!", "+", "*", "&", "~"}:
+            self._advance()
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            return ast.UnaryOp(location=token.location, op=token.text, operand=operand)
+        if token.is_punct("++") or token.is_punct("--"):
+            # Pre-increment/decrement desugars to a compound assignment.
+            self._advance()
+            operand = self._parse_unary()
+            op = "+=" if token.text == "++" else "-="
+            one = ast.NumberLiteral(location=token.location, value=1.0, is_float=False)
+            return ast.Assignment(location=token.location, op=op, target=operand, value=one)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expression:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.is_punct("["):
+                self._advance()
+                index = self.parse_expression()
+                self._expect_punct("]")
+                expr = ast.IndexExpr(location=token.location, base=expr, index=index)
+            elif token.is_punct("."):
+                self._advance()
+                member = self._expect_ident().text
+                expr = ast.MemberExpr(location=token.location, base=expr, member=member)
+            elif token.is_punct("++") or token.is_punct("--"):
+                # Post-increment desugars to a compound assignment.  The
+                # previous value is not needed in statement position, which
+                # is the only position the Brook reference apps use it in.
+                self._advance()
+                op = "+=" if token.text == "++" else "-="
+                one = ast.NumberLiteral(location=token.location, value=1.0, is_float=False)
+                expr = ast.Assignment(location=token.location, op=op, target=expr, value=one)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.kind is TokenKind.FLOAT_LITERAL:
+            self._advance()
+            return ast.NumberLiteral(
+                location=token.location, value=float(token.text), is_float=True
+            )
+        if token.kind is TokenKind.INT_LITERAL:
+            self._advance()
+            return ast.NumberLiteral(
+                location=token.location, value=float(int(token.text, 0)), is_float=False
+            )
+        if token.is_keyword("true") or token.is_keyword("false"):
+            self._advance()
+            return ast.BoolLiteral(location=token.location, value=token.text == "true")
+        if token.is_keyword("indexof"):
+            self._advance()
+            self._expect_punct("(")
+            stream = self._expect_ident().text
+            self._expect_punct(")")
+            return ast.IndexOfExpr(location=token.location, stream=stream)
+        brook_type = self._peek_type()
+        if brook_type is not None and self._peek(1).is_punct("("):
+            self._advance()
+            self._expect_punct("(")
+            args = self._parse_call_args()
+            return ast.ConstructorExpr(
+                location=token.location, target_type=brook_type, args=args
+            )
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._check_punct("("):
+                self._advance()
+                args = self._parse_call_args()
+                return ast.CallExpr(location=token.location, callee=token.text, args=args)
+            return ast.Identifier(location=token.location, name=token.text)
+        if token.is_punct("("):
+            self._advance()
+            expr = self.parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise self._error(f"unexpected token {token.text!r} in expression")
+
+    def _parse_call_args(self) -> List[ast.Expression]:
+        args: List[ast.Expression] = []
+        if not self._check_punct(")"):
+            args.append(self.parse_assignment())
+            while self._accept_punct(","):
+                args.append(self.parse_assignment())
+        self._expect_punct(")")
+        return args
+
+
+def parse(source: str, filename: str = "<string>") -> ast.TranslationUnit:
+    """Parse Brook kernel source text into a translation unit."""
+    tokens = tokenize(source, filename)
+    return Parser(tokens, filename).parse_translation_unit()

@@ -1,0 +1,115 @@
+"""Rendering of certification reports.
+
+Certification evidence must be reviewable by assessors, so the report can
+be rendered as plain text (for the console), Markdown (for documentation
+packages) and a plain dictionary (for archiving as JSON alongside the
+build artefacts).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .certification import CertificationReport, RULES, Severity
+
+__all__ = ["report_to_dict", "report_to_text", "report_to_markdown", "report_to_json"]
+
+
+def report_to_dict(report: CertificationReport) -> Dict:
+    """Convert a certification report to a JSON-serialisable dictionary."""
+    return {
+        "target": {
+            "name": report.target.name,
+            "max_kernel_inputs": report.target.max_kernel_inputs,
+            "max_kernel_outputs": report.target.max_kernel_outputs,
+            "max_texture_size": report.target.max_texture_size,
+        },
+        "compliant": report.is_compliant,
+        "rules": {
+            rule_id: {
+                "title": RULES[rule_id].title,
+                "iso_reference": RULES[rule_id].iso_reference,
+                "passed": passed,
+            }
+            for rule_id, passed in report.rule_status().items()
+        },
+        "kernels": {
+            name: {
+                "compliant": cert.is_compliant,
+                "max_loop_iterations": cert.max_loop_iterations,
+                "max_stack_bytes": cert.max_stack_bytes,
+                "violations": [
+                    {
+                        "rule": v.rule_id,
+                        "severity": v.severity.value,
+                        "message": v.message,
+                        "location": str(v.location) if v.location else None,
+                    }
+                    for v in cert.violations
+                ],
+            }
+            for name, cert in report.kernels.items()
+        },
+    }
+
+
+def report_to_json(report: CertificationReport, indent: int = 2) -> str:
+    """Render the report as a JSON document."""
+    return json.dumps(report_to_dict(report), indent=indent)
+
+
+def report_to_text(report: CertificationReport) -> str:
+    """Render the report as plain text for console output."""
+    lines: List[str] = []
+    verdict = "COMPLIANT" if report.is_compliant else "NON-COMPLIANT"
+    lines.append(f"Brook Auto certification report - target {report.target.name}")
+    lines.append(f"Overall verdict: {verdict}")
+    lines.append("")
+    lines.append("Rule summary:")
+    for rule_id, passed in sorted(report.rule_status().items()):
+        rule = RULES[rule_id]
+        status = "PASS" if passed else "FAIL"
+        lines.append(f"  {rule_id}  {status}  {rule.title}")
+    lines.append("")
+    for name, cert in report.kernels.items():
+        status = "compliant" if cert.is_compliant else "NON-COMPLIANT"
+        lines.append(f"Kernel {name}: {status}")
+        if cert.max_loop_iterations is not None:
+            lines.append(f"  max loop iterations per element: {cert.max_loop_iterations}")
+        if cert.max_stack_bytes is not None:
+            lines.append(f"  max stack usage: {cert.max_stack_bytes} bytes")
+        for violation in cert.violations:
+            lines.append(f"  {violation}")
+    return "\n".join(lines)
+
+
+def report_to_markdown(report: CertificationReport) -> str:
+    """Render the report as Markdown."""
+    lines: List[str] = []
+    verdict = "**COMPLIANT**" if report.is_compliant else "**NON-COMPLIANT**"
+    lines.append(f"# Brook Auto certification report")
+    lines.append("")
+    lines.append(f"*Target:* `{report.target.name}` — overall verdict: {verdict}")
+    lines.append("")
+    lines.append("| Rule | Title | ISO / MISRA reference | Status |")
+    lines.append("|------|-------|-----------------------|--------|")
+    for rule_id, passed in sorted(report.rule_status().items()):
+        rule = RULES[rule_id]
+        status = "PASS" if passed else "FAIL"
+        lines.append(f"| {rule_id} | {rule.title} | {rule.iso_reference} | {status} |")
+    lines.append("")
+    for name, cert in report.kernels.items():
+        lines.append(f"## Kernel `{name}`")
+        lines.append("")
+        lines.append(f"* compliant: {'yes' if cert.is_compliant else 'no'}")
+        if cert.max_loop_iterations is not None:
+            lines.append(f"* maximum loop iterations per element: {cert.max_loop_iterations}")
+        if cert.max_stack_bytes is not None:
+            lines.append(f"* maximum stack usage: {cert.max_stack_bytes} bytes")
+        if cert.violations:
+            lines.append("* violations:")
+            for violation in cert.violations:
+                lines.append(f"  * `{violation.rule_id}` {violation.message}")
+        lines.append("")
+    return "\n".join(lines)

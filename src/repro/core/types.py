@@ -1,0 +1,250 @@
+"""Brook kernel-language type system.
+
+Brook kernels are written in a restricted C subset with short-vector
+extensions (``float2``, ``float3``, ``float4``) similar to OpenCL/Cg.
+This module defines the scalar and vector types used by the semantic
+analyzer, the code generators and the execution engine, plus the
+parameter *kinds* (stream, output stream, gather array, reduction
+accumulator, scalar constant, iterator) that drive how an argument is
+bound at kernel launch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "ScalarKind",
+    "BrookType",
+    "ParamKind",
+    "VOID",
+    "FLOAT",
+    "FLOAT2",
+    "FLOAT3",
+    "FLOAT4",
+    "INT",
+    "BOOL",
+    "type_from_name",
+    "vector_type",
+    "common_type",
+    "SWIZZLE_COMPONENTS",
+]
+
+
+class ScalarKind(enum.Enum):
+    """Element kind of a Brook value."""
+
+    VOID = "void"
+    FLOAT = "float"
+    INT = "int"
+    BOOL = "bool"
+
+
+@dataclass(frozen=True)
+class BrookType:
+    """A (possibly vector) Brook value type.
+
+    Attributes:
+        kind: The scalar element kind.
+        width: Number of components; 1 for scalars, 2-4 for short vectors.
+    """
+
+    kind: ScalarKind
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.width > 4:
+            raise ValueError(f"invalid vector width {self.width}")
+        if self.kind is ScalarKind.VOID and self.width != 1:
+            raise ValueError("void cannot be a vector type")
+
+    @property
+    def is_void(self) -> bool:
+        return self.kind is ScalarKind.VOID
+
+    @property
+    def is_vector(self) -> bool:
+        return self.width > 1
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind is ScalarKind.FLOAT
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind is ScalarKind.INT
+
+    @property
+    def is_bool(self) -> bool:
+        return self.kind is ScalarKind.BOOL
+
+    @property
+    def scalar(self) -> "BrookType":
+        """The scalar type with the same element kind."""
+        return BrookType(self.kind, 1)
+
+    def with_width(self, width: int) -> "BrookType":
+        return BrookType(self.kind, width)
+
+    @property
+    def name(self) -> str:
+        base = self.kind.value
+        if self.width == 1:
+            return base
+        return f"{base}{self.width}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+VOID = BrookType(ScalarKind.VOID)
+FLOAT = BrookType(ScalarKind.FLOAT)
+FLOAT2 = BrookType(ScalarKind.FLOAT, 2)
+FLOAT3 = BrookType(ScalarKind.FLOAT, 3)
+FLOAT4 = BrookType(ScalarKind.FLOAT, 4)
+INT = BrookType(ScalarKind.INT)
+BOOL = BrookType(ScalarKind.BOOL)
+
+_NAMED_TYPES: Dict[str, BrookType] = {
+    "void": VOID,
+    "float": FLOAT,
+    "float2": FLOAT2,
+    "float3": FLOAT3,
+    "float4": FLOAT4,
+    "int": INT,
+    "int2": BrookType(ScalarKind.INT, 2),
+    "int3": BrookType(ScalarKind.INT, 3),
+    "int4": BrookType(ScalarKind.INT, 4),
+    "bool": BOOL,
+    # ``double`` is accepted by the Brook front end but Brook Auto maps it
+    # to single precision on embedded GPUs (OpenGL ES 2 has no doubles).
+    "double": FLOAT,
+}
+
+#: Mapping from swizzle letters to component indices (both xyzw and rgba
+#: selectors are accepted, as in GLSL/Cg).
+SWIZZLE_COMPONENTS: Dict[str, int] = {
+    "x": 0,
+    "y": 1,
+    "z": 2,
+    "w": 3,
+    "r": 0,
+    "g": 1,
+    "b": 2,
+    "a": 3,
+}
+
+
+def type_from_name(name: str) -> Optional[BrookType]:
+    """Return the :class:`BrookType` for a type keyword, or ``None``."""
+    return _NAMED_TYPES.get(name)
+
+
+def is_type_name(name: str) -> bool:
+    """Return True when ``name`` is a Brook type keyword."""
+    return name in _NAMED_TYPES
+
+
+def vector_type(base: BrookType, width: int) -> BrookType:
+    """Return a vector type with ``width`` components of ``base``'s kind."""
+    return BrookType(base.kind, width)
+
+
+def common_type(left: BrookType, right: BrookType) -> Optional[BrookType]:
+    """Compute the result type of a binary arithmetic operation.
+
+    Brook follows Cg-style promotion rules: ``int`` promotes to ``float``
+    when mixed; a scalar combined with a vector broadcasts to the vector
+    width; two vectors must have the same width.
+
+    Returns ``None`` when the operands are incompatible.
+    """
+    if left.is_void or right.is_void:
+        return None
+    if left.width != right.width and left.width != 1 and right.width != 1:
+        return None
+    width = max(left.width, right.width)
+    if ScalarKind.FLOAT in (left.kind, right.kind):
+        kind = ScalarKind.FLOAT
+    elif ScalarKind.INT in (left.kind, right.kind):
+        kind = ScalarKind.INT
+    else:
+        kind = ScalarKind.BOOL
+    return BrookType(kind, width)
+
+
+class ParamKind(enum.Enum):
+    """How a kernel parameter binds to a launch argument.
+
+    * ``STREAM`` - positional input stream: each GPU thread receives the
+      element that corresponds to its position in the output domain.
+    * ``OUT_STREAM`` - positional output stream written by the thread.
+    * ``GATHER`` - random-access read-only array indexed with ``[]``;
+      lowered to texture fetches with normalized coordinates on the
+      OpenGL ES 2 backend.
+    * ``REDUCE`` - reduction accumulator of a ``reduce`` kernel.
+    * ``SCALAR`` - constant (uniform) value shared by all threads.
+    * ``ITERATOR`` - iterator stream produced by the runtime (values are
+      generated, not stored); behaves as a read-only stream inside the
+      kernel.
+    """
+
+    STREAM = "stream"
+    OUT_STREAM = "out"
+    GATHER = "gather"
+    REDUCE = "reduce"
+    SCALAR = "scalar"
+    ITERATOR = "iter"
+
+
+@dataclass(frozen=True)
+class ParamSignature:
+    """Resolved signature of one kernel parameter."""
+
+    name: str
+    type: BrookType
+    kind: ParamKind
+    #: Number of gather dimensions (1 or 2) for ``GATHER`` parameters.
+    gather_rank: int = 0
+
+    @property
+    def is_input_stream(self) -> bool:
+        return self.kind in (ParamKind.STREAM, ParamKind.ITERATOR)
+
+    @property
+    def is_output(self) -> bool:
+        return self.kind is ParamKind.OUT_STREAM
+
+    @property
+    def is_gather(self) -> bool:
+        return self.kind is ParamKind.GATHER
+
+
+def numpy_dtype(brook_type: BrookType) -> str:
+    """Return the NumPy dtype string used to store a Brook type host-side."""
+    if brook_type.kind is ScalarKind.FLOAT:
+        return "float32"
+    if brook_type.kind is ScalarKind.INT:
+        return "int32"
+    if brook_type.kind is ScalarKind.BOOL:
+        return "bool"
+    raise ValueError(f"no storage dtype for {brook_type}")
+
+
+def swizzle_result_type(base: BrookType, swizzle: str) -> Optional[BrookType]:
+    """Type of ``value.swizzle`` or ``None`` when the swizzle is invalid."""
+    if not swizzle or len(swizzle) > 4:
+        return None
+    for ch in swizzle:
+        if ch not in SWIZZLE_COMPONENTS:
+            return None
+        if SWIZZLE_COMPONENTS[ch] >= base.width:
+            return None
+    return BrookType(base.kind, len(swizzle)) if len(swizzle) > 1 else base.scalar
+
+
+def swizzle_indices(swizzle: str) -> Tuple[int, ...]:
+    """Component indices selected by a swizzle string."""
+    return tuple(SWIZZLE_COMPONENTS[ch] for ch in swizzle)

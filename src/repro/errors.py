@@ -1,0 +1,98 @@
+"""Exception hierarchy for the Brook Auto reproduction.
+
+Every error raised by the compiler, the runtime and the simulated GPU
+substrates derives from :class:`BrookError` so applications can catch a
+single base class.  Compiler-side errors carry source locations so that
+diagnostics can point back into the ``.br`` kernel source, which is the
+behaviour expected of a certification-oriented tool chain: a rule
+violation must be traceable to the offending construct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position inside a Brook source file.
+
+    Attributes:
+        filename: Name of the source buffer (``"<string>"`` for inline text).
+        line: 1-based line number.
+        column: 1-based column number.
+    """
+
+    filename: str = "<string>"
+    line: int = 1
+    column: int = 1
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class BrookError(Exception):
+    """Base class for every error produced by the reproduction."""
+
+
+class BrookSyntaxError(BrookError):
+    """A lexical or syntactic error in Brook kernel source."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.location = location
+        self.bare_message = message
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class BrookTypeError(BrookError):
+    """A semantic/type error in Brook kernel source."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.location = location
+        self.bare_message = message
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class CertificationError(BrookError):
+    """Raised when compiling in strict mode and a Brook Auto rule is violated."""
+
+    def __init__(self, message: str, violations=None):
+        super().__init__(message)
+        self.violations = list(violations or [])
+
+
+class CodegenError(BrookError):
+    """Raised when a kernel cannot be lowered to the requested backend."""
+
+
+class RuntimeBrookError(BrookError):
+    """Base class for errors raised by the Brook runtime (host side)."""
+
+
+class StreamError(RuntimeBrookError):
+    """Invalid stream construction, shape mismatch or out-of-bounds host access."""
+
+
+class KernelLaunchError(RuntimeBrookError):
+    """A kernel was invoked with arguments that do not match its signature."""
+
+
+class BackendError(RuntimeBrookError):
+    """The selected backend cannot execute the request (resource limits, etc.)."""
+
+
+class GLES2Error(BrookError):
+    """Errors raised by the simulated OpenGL ES 2.0 substrate."""
+
+
+class CALError(BrookError):
+    """Errors raised by the simulated AMD CAL substrate."""
+
+
+class TimingModelError(BrookError):
+    """Errors raised by the analytic performance model."""

@@ -1,0 +1,34 @@
+"""Evaluation harness reproducing every table and figure of the paper.
+
+Each module regenerates one artefact of section 6:
+
+* :mod:`figure1` - relative GPU/CPU capability of the two platforms
+  (Flops benchmark, 26.7x / 23x).
+* :mod:`figure2` - the non-scalable applications (binomial option
+  pricing, Black-Scholes, prefix sum, SpMV) across input sizes.
+* :mod:`figure3` - the scalable applications (binary search, bitonic
+  sort, Floyd-Warshall, image filter, Mandelbrot, sgemm).
+* :mod:`figure4` - Brook Auto sgemm versus the hand-written OpenGL ES 2
+  sgemm (runtime overhead).
+* :mod:`productivity` - the lines-of-code / development-effort
+  comparison of section 6.3.
+* :mod:`compliance` - the ISO 26262 rule compliance evidence of
+  sections 2 and 4 over the whole application suite.
+
+Every module exposes ``run()`` returning structured results and
+``render()`` producing the textual table; ``python -m repro.evaluation
+<name>`` prints it.
+"""
+
+from . import compliance, figure1, figure2, figure3, figure4, productivity
+from .report import full_report
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "productivity",
+    "compliance",
+    "full_report",
+]

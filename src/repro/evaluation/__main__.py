@@ -1,0 +1,48 @@
+"""Command-line entry point: ``python -m repro.evaluation <experiment>``.
+
+Running without arguments regenerates every experiment (the full report);
+passing one of ``figure1`` ... ``figure4``, ``productivity``,
+``compliance`` regenerates a single one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import compliance, figure1, figure2, figure3, figure4, productivity
+from .charts import figure_chart
+from .report import full_report
+
+_EXPERIMENTS = {
+    "figure1": figure1.render,
+    "figure2": figure2.render,
+    "figure3": figure3.render,
+    "figure4": figure4.render,
+    "figure2-charts": lambda: figure_chart(figure2.run()),
+    "figure3-charts": lambda: figure_chart(figure3.run()),
+    "productivity": productivity.render,
+    "compliance": compliance.render,
+    "all": full_report,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        choices=sorted(_EXPERIMENTS),
+        help="which experiment to regenerate (default: all)",
+    )
+    args = parser.parse_args(argv)
+    print(_EXPERIMENTS[args.experiment]())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

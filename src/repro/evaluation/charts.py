@@ -1,0 +1,119 @@
+"""ASCII rendering of speedup-vs-size series.
+
+The paper presents Figures 2 and 3 as line charts.  This module renders
+the modelled series as text charts so the shape of each curve (who wins,
+where the crossover falls, where it saturates) can be inspected directly
+in a terminal or in the archived benchmark reports, without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart", "figure_chart"]
+
+#: Glyphs assigned to successive series in a chart.
+_GLYPHS = "ox+*#@"
+
+
+def _log(value: float) -> float:
+    return math.log10(max(value, 1e-6))
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[int, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render one or more (size, speedup) series as an ASCII chart.
+
+    The y axis is logarithmic (speedups span orders of magnitude) and a
+    horizontal line marks speedup = 1 (the CPU/GPU break-even point the
+    paper's discussion revolves around).  The x axis positions every
+    distinct size at an evenly spaced column, matching how the paper's
+    figures space their powers-of-two sizes.
+    """
+    if not series:
+        raise ValueError("ascii_chart needs at least one series")
+    sizes: List[int] = sorted({size for points in series.values()
+                               for size, _ in points})
+    values = [speedup for points in series.values() for _, speedup in points]
+    low = min(_log(min(values)), _log(1.0))
+    high = max(_log(max(values)), _log(1.0))
+    if high - low < 1e-9:
+        high = low + 1.0
+
+    def row_of(value: float) -> int:
+        fraction = (_log(value) - low) / (high - low)
+        return int(round((height - 1) * (1.0 - fraction)))
+
+    def column_of(size: int) -> int:
+        index = sizes.index(size)
+        if len(sizes) == 1:
+            return 0
+        return int(round(index * (width - 1) / (len(sizes) - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    breakeven_row = row_of(1.0)
+    for column in range(width):
+        grid[breakeven_row][column] = "-"
+
+    legend: List[str] = []
+    for glyph, (name, points) in zip(_GLYPHS, series.items()):
+        legend.append(f"{glyph} = {name}")
+        for size, speedup in points:
+            row, column = row_of(speedup), column_of(size)
+            grid[row][column] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{10 ** high:8.1f}x |"
+    bottom_label = f"{10 ** low:8.2f}x |"
+    middle_label = " " * 9 + "|"
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label
+        elif row_index == height - 1:
+            prefix = bottom_label
+        elif row_index == breakeven_row:
+            prefix = f"{1.0:8.2f}x +"
+        else:
+            prefix = middle_label
+        lines.append(prefix + "".join(row))
+    axis = " " * 10 + "+" + "-" * width
+    lines.append(axis)
+    # Place each size label under the column its points occupy.
+    label_row = [" "] * (width + 11)
+    for size in sizes:
+        label = str(size)
+        start = 11 + column_of(size)
+        start = min(start, len(label_row) - len(label))
+        for offset, char in enumerate(label):
+            label_row[start + offset] = char
+    lines.append("".join(label_row).rstrip())
+    lines.append(" " * 11 + "input size (elements per dimension)   " +
+                 "   ".join(legend))
+    return "\n".join(lines)
+
+
+def figure_chart(result, platform_label: str = "target") -> str:
+    """Render a whole figure's applications as stacked ASCII charts.
+
+    Args:
+        result: A :class:`repro.evaluation.series.FigureSeriesResult`.
+        platform_label: ``"target"`` for the Brook Auto / embedded series
+            or ``"reference"`` for the x86 Brook+ series.
+    """
+    charts: List[str] = []
+    for entry in result.series:
+        points = entry.target_series if platform_label == "target" \
+            else entry.reference_series
+        charts.append(ascii_chart(
+            {entry.app: points},
+            title=f"{entry.app} - GPU/CPU speedup ({platform_label} platform)",
+        ))
+    return "\n\n".join(charts)

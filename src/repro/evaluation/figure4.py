@@ -1,0 +1,126 @@
+"""Figure 4: Brook Auto code generation and runtime efficiency versus a
+hand-written OpenGL ES 2 implementation (sgemm).
+
+The paper implemented a single application (sgemm) directly on OpenGL
+ES 2 to quantify the cost of the Brook Auto abstraction: the Brook
+version achieves between 50% and 90% of the hand-written performance
+depending on the input size, the gap being the Brook runtime overhead
+(and the generic 16x16 blocking versus the hand-tuned 8x8 one).
+
+This harness reproduces the comparison with the analytic model (the
+hand-written workload model has no runtime overhead and better fetch
+locality) and also runs both functional implementations on the simulated
+device to check that they produce the same result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..apps.handwritten_sgemm import BrookRuntimeOverheadModel, HandwrittenSgemm
+from ..apps.sgemm import SgemmApp
+from ..timing.platforms import Platform, TARGET_PLATFORM
+
+__all__ = ["Figure4Row", "Figure4Result", "run", "render", "functional_check"]
+
+#: Matrix sizes swept by the comparison.
+DEFAULT_SIZES = (128, 256, 512, 1024)
+
+#: Performance band reported by the paper.
+PAPER_MIN_RATIO = 0.50
+PAPER_MAX_RATIO = 0.90
+
+
+@dataclass
+class Figure4Row:
+    """Brook Auto vs hand-written performance at one matrix size."""
+
+    size: int
+    handwritten_seconds: float
+    brook_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """Brook Auto performance relative to hand-written (1.0 = equal)."""
+        if self.brook_seconds <= 0:
+            return float("inf")
+        return self.handwritten_seconds / self.brook_seconds
+
+
+@dataclass
+class Figure4Result:
+    rows: List[Figure4Row]
+    paper_min: float = PAPER_MIN_RATIO
+    paper_max: float = PAPER_MAX_RATIO
+
+    @property
+    def within_paper_band(self) -> bool:
+        """All ratios inside (or very near) the 50-90% band of the paper."""
+        return all(
+            self.paper_min - 0.1 <= row.ratio <= self.paper_max + 0.1
+            for row in self.rows
+        )
+
+    @property
+    def ratio_grows_with_size(self) -> bool:
+        ratios = [row.ratio for row in self.rows]
+        return all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+
+
+def run(sizes: Sequence[int] = DEFAULT_SIZES,
+        platform: Platform = TARGET_PLATFORM) -> Figure4Result:
+    """Compute the modelled Figure 4 comparison."""
+    handwritten = HandwrittenSgemm()
+    overhead = BrookRuntimeOverheadModel()
+    rows: List[Figure4Row] = []
+    for size in sizes:
+        hand_seconds = platform.gpu_time(handwritten.gpu_workload(size, platform))
+        # Brook Auto = the same device doing the same algorithmic work, plus
+        # the runtime overhead and the generated-code penalty.
+        brook_seconds = overhead.brook_time(hand_seconds)
+        rows.append(Figure4Row(
+            size=size,
+            handwritten_seconds=hand_seconds,
+            brook_seconds=brook_seconds,
+        ))
+    return Figure4Result(rows=rows)
+
+
+def functional_check(size: int = 32, seed: int = 7) -> bool:
+    """Run both implementations on the simulated device and compare outputs."""
+    handwritten = HandwrittenSgemm()
+    result = handwritten.run(size, seed)
+    reference = handwritten.reference(size, seed)
+    hand_ok = np.allclose(result.c, reference, rtol=2e-3, atol=1e-3)
+
+    brook_app = SgemmApp()
+    brook_run = brook_app.run(backend="gles2", size=size, seed=seed)
+    return bool(hand_ok and brook_run.valid)
+
+
+def render(result: Optional[Figure4Result] = None) -> str:
+    """Format Figure 4 as a text table."""
+    result = result or run()
+    lines = [
+        "Figure 4: Brook Auto sgemm vs hand-written OpenGL ES 2 sgemm "
+        "(modelled, target platform)",
+        "",
+        f"{'size':>6}{'hand-written [s]':>18}{'Brook Auto [s]':>16}"
+        f"{'Brook/hand':>12}",
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.size:>6}{row.handwritten_seconds:>18.4f}"
+            f"{row.brook_seconds:>16.4f}{row.ratio * 100:>11.1f}%"
+        )
+    lines.append("")
+    lines.append(
+        f"Paper: Brook Auto achieves {int(PAPER_MIN_RATIO * 100)}-"
+        f"{int(PAPER_MAX_RATIO * 100)}% of the hand-written performance "
+        f"depending on the input size -> "
+        f"{'REPRODUCED' if result.within_paper_band and result.ratio_grows_with_size else 'NOT reproduced'}"
+    )
+    return "\n".join(lines)

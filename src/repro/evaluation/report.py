@@ -1,0 +1,34 @@
+"""Full evaluation report: every figure and table in one text document."""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import compliance, figure1, figure2, figure3, figure4, productivity
+
+__all__ = ["full_report"]
+
+
+def full_report() -> str:
+    """Regenerate every experiment and concatenate the rendered tables."""
+    sections: List[str] = [
+        "Brook Auto (DAC 2018) - reproduction of the evaluation section",
+        "=" * 72,
+        "",
+        figure1.render(),
+        "",
+        "-" * 72,
+        figure2.render(),
+        "-" * 72,
+        figure3.render(),
+        "-" * 72,
+        figure4.render(),
+        "",
+        "-" * 72,
+        productivity.render(),
+        "",
+        "-" * 72,
+        compliance.render(),
+        "",
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,145 @@
+"""Shared machinery for the per-application speedup figures (Figures 2 & 3).
+
+Both figures plot, for every application, the modelled GPU/CPU speedup as
+a function of the input size on the target platform (the blue lines of
+the paper) with the reference x86 Brook+ platform as the trend check (the
+grey lines).  Each application additionally carries the qualitative
+expectations stated in the text of section 6, which the harness verifies
+so that regressions in the models are caught by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..apps.base import BrookApplication, get_application
+from ..timing.platforms import Platform, REFERENCE_PLATFORM, TARGET_PLATFORM
+
+__all__ = ["AppSeries", "FigureSeriesResult", "Expectation", "collect_series",
+           "render_series"]
+
+
+@dataclass
+class Expectation:
+    """A qualitative claim from the paper text, checked against the model."""
+
+    description: str
+    check: Callable[["AppSeries"], bool]
+
+    def holds(self, series: "AppSeries") -> bool:
+        try:
+            return bool(self.check(series))
+        except (KeyError, IndexError, ValueError):
+            return False
+
+
+@dataclass
+class AppSeries:
+    """Speedup-vs-size series of one application on both platforms."""
+
+    app: str
+    description: str
+    target_series: List[Tuple[int, float]]
+    reference_series: List[Tuple[int, float]]
+    expectations: List[Tuple[str, bool]] = field(default_factory=list)
+
+    def target_at(self, size: int) -> float:
+        for point_size, speedup in self.target_series:
+            if point_size == size:
+                return speedup
+        raise KeyError(size)
+
+    @property
+    def target_max(self) -> float:
+        return max(speedup for _, speedup in self.target_series)
+
+    @property
+    def target_final(self) -> float:
+        return self.target_series[-1][1]
+
+    @property
+    def trend_matches_reference(self) -> bool:
+        """Does the target line agree with the reference line on who wins?
+
+        This is the paper's cross-platform claim: "a program that benefits
+        from the GPU ... under x86 with Brook+, also benefits from the
+        mobile GPU in our implementation in Brook Auto and vice versa".
+        """
+        target_wins = self.target_max > 1.0
+        reference_wins = max(s for _, s in self.reference_series) > 1.0
+        return target_wins == reference_wins
+
+
+@dataclass
+class FigureSeriesResult:
+    """All application series of one figure."""
+
+    figure: str
+    series: List[AppSeries]
+
+    @property
+    def all_expectations_hold(self) -> bool:
+        return all(ok for app in self.series for _, ok in app.expectations)
+
+    def series_for(self, app: str) -> AppSeries:
+        for entry in self.series:
+            if entry.app == app:
+                return entry
+        raise KeyError(app)
+
+
+def collect_series(
+    figure: str,
+    app_names: Sequence[str],
+    expectations: Optional[Dict[str, List[Expectation]]] = None,
+    sizes: Optional[Sequence[int]] = None,
+    target: Platform = TARGET_PLATFORM,
+    reference: Platform = REFERENCE_PLATFORM,
+) -> FigureSeriesResult:
+    """Build the modelled speedup series for a set of applications."""
+    expectations = expectations or {}
+    collected: List[AppSeries] = []
+    for name in app_names:
+        app: BrookApplication = get_application(name)
+        series = AppSeries(
+            app=name,
+            description=app.description,
+            target_series=app.speedup_series(target, sizes),
+            reference_series=app.speedup_series(reference, sizes),
+        )
+        series.expectations = [
+            (expectation.description, expectation.holds(series))
+            for expectation in expectations.get(name, [])
+        ]
+        collected.append(series)
+    return FigureSeriesResult(figure=figure, series=collected)
+
+
+def render_series(result: FigureSeriesResult, title: str) -> str:
+    """Format a figure's series as text tables."""
+    lines: List[str] = [title, ""]
+    for entry in result.series:
+        lines.append(f"{entry.app} - {entry.description}")
+        header = f"    {'size':>8}" + "".join(
+            f"{size:>10}" for size, _ in entry.target_series
+        )
+        lines.append(header)
+        lines.append(
+            f"    {'target':>8}" + "".join(
+                f"{speedup:>10.2f}" for _, speedup in entry.target_series
+            )
+        )
+        lines.append(
+            f"    {'x86 ref':>8}" + "".join(
+                f"{speedup:>10.2f}" for _, speedup in entry.reference_series
+            )
+        )
+        for description, ok in entry.expectations:
+            status = "ok" if ok else "MISMATCH"
+            lines.append(f"    [{status}] {description}")
+        trend = "ok" if entry.trend_matches_reference else "MISMATCH"
+        lines.append(f"    [{trend}] target and x86 reference agree on whether "
+                     "the GPU ever wins")
+        lines.append("")
+    return "\n".join(lines)

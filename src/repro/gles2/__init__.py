@@ -1,0 +1,39 @@
+"""Simulated OpenGL ES 2.0 GPU substrate.
+
+The paper targets low-end embedded automotive GPUs (VideoCore IV,
+Mali-4xx) that expose nothing beyond the OpenGL ES 2.0 graphics API.
+This package provides a functional simulation of exactly the API subset
+the Brook Auto runtime relies on:
+
+* 2-D RGBA8 textures sampled with *normalized* coordinates and
+  clamp-to-edge behaviour (an out-of-bounds access can never crash),
+* framebuffer objects for render-to-texture,
+* a single colour attachment (no multiple render targets),
+* fragment "shader programs" executed over every pixel of the target,
+* implementation-dependent limits (maximum texture size, power-of-two /
+  square-only textures, texture image units) per device profile.
+
+The simulation is functional, not cycle accurate: timing is produced by
+the analytic model in :mod:`repro.timing`, fed with the operation counts
+this substrate records.
+"""
+
+from .context import GLES2Context, DrawStats
+from .device import DEVICE_PROFILES, GPUDeviceProfile, get_device_profile
+from .framebuffer import Framebuffer
+from .limits import GLES2Limits
+from .shader import FragmentShader, ShaderProgram
+from .texture import Texture2D
+
+__all__ = [
+    "GLES2Context",
+    "DrawStats",
+    "GLES2Limits",
+    "Texture2D",
+    "Framebuffer",
+    "FragmentShader",
+    "ShaderProgram",
+    "GPUDeviceProfile",
+    "DEVICE_PROFILES",
+    "get_device_profile",
+]

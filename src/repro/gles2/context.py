@@ -1,0 +1,188 @@
+"""The simulated OpenGL ES 2.0 rendering context.
+
+The context is the "driver": it owns textures and framebuffers, tracks
+the bound program and render target, executes draw calls and counts the
+work performed (fragments shaded, texels sampled, bytes moved between the
+host and the device).  Those counters are what the analytic performance
+model consumes - the simulation itself is functional, not timed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import GLES2Error
+from .framebuffer import Framebuffer
+from .limits import GLES2Limits
+from .shader import FragmentJob, ShaderProgram
+from .texture import Texture2D
+
+__all__ = ["DrawStats", "GLES2Context"]
+
+
+@dataclass
+class DrawStats:
+    """Work counters of one draw call."""
+
+    program: str
+    fragments: int
+    texture_fetches: int
+    flops: int = 0
+
+
+@dataclass
+class TransferStats:
+    """Cumulative host <-> device traffic."""
+
+    bytes_uploaded: int = 0
+    bytes_downloaded: int = 0
+    upload_calls: int = 0
+    download_calls: int = 0
+
+
+class GLES2Context:
+    """A functional simulation of an OpenGL ES 2.0 context."""
+
+    def __init__(self, limits: Optional[GLES2Limits] = None):
+        self.limits = limits or GLES2Limits()
+        self.textures: List[Texture2D] = []
+        self.framebuffers: List[Framebuffer] = []
+        self._bound_framebuffer: Optional[Framebuffer] = None
+        self._bound_program: Optional[ShaderProgram] = None
+        self.draw_calls: List[DrawStats] = []
+        self.transfers = TransferStats()
+
+    # ------------------------------------------------------------------ #
+    # Object creation
+    # ------------------------------------------------------------------ #
+    def create_texture(self, width: int, height: int, name: str = "") -> Texture2D:
+        texture = Texture2D(width, height, self.limits, name=name)
+        self.textures.append(texture)
+        return texture
+
+    def create_framebuffer(self, name: str = "") -> Framebuffer:
+        framebuffer = Framebuffer(name=name)
+        self.framebuffers.append(framebuffer)
+        return framebuffer
+
+    def delete_texture(self, texture: Texture2D) -> None:
+        if texture in self.textures:
+            self.textures.remove(texture)
+
+    # ------------------------------------------------------------------ #
+    # Data transfer (counted: this is the expensive host<->GPU path)
+    # ------------------------------------------------------------------ #
+    def upload(self, texture: Texture2D, rgba: np.ndarray) -> None:
+        """Upload RGBA8 data into ``texture`` and count the traffic."""
+        texture.tex_image_2d(rgba)
+        self.transfers.bytes_uploaded += texture.size_bytes
+        self.transfers.upload_calls += 1
+
+    def download(self, texture: Texture2D) -> np.ndarray:
+        """Read back the texture contents and count the traffic."""
+        data = texture.read_pixels()
+        self.transfers.bytes_downloaded += texture.size_bytes
+        self.transfers.download_calls += 1
+        return data
+
+    # ------------------------------------------------------------------ #
+    # State binding
+    # ------------------------------------------------------------------ #
+    def bind_framebuffer(self, framebuffer: Optional[Framebuffer]) -> None:
+        self._bound_framebuffer = framebuffer
+
+    def use_program(self, program: Optional[ShaderProgram]) -> None:
+        self._bound_program = program
+
+    @property
+    def bound_program(self) -> Optional[ShaderProgram]:
+        return self._bound_program
+
+    @property
+    def bound_framebuffer(self) -> Optional[Framebuffer]:
+        return self._bound_framebuffer
+
+    # ------------------------------------------------------------------ #
+    # Drawing
+    # ------------------------------------------------------------------ #
+    def draw_fullscreen_quad(self, viewport: Optional[tuple] = None) -> DrawStats:
+        """Render a full-screen quad with the bound program into the bound FBO.
+
+        ``viewport`` optionally restricts the render to ``(width, height)``
+        pixels starting at the origin (the multipass reduction engine uses
+        this to shrink the output domain each pass without reallocating).
+        """
+        program = self._bound_program
+        framebuffer = self._bound_framebuffer
+        if program is None:
+            raise GLES2Error("no program bound for draw call")
+        if framebuffer is None or not framebuffer.is_complete:
+            raise GLES2Error("no complete framebuffer bound for draw call")
+        target = framebuffer.color_attachment
+        width, height = target.width, target.height
+        if viewport is not None:
+            width = min(int(viewport[0]), target.width)
+            height = min(int(viewport[1]), target.height)
+            if width <= 0 or height <= 0:
+                raise GLES2Error(f"invalid viewport {viewport}")
+
+        # Fragment grid: x is the fastest axis, matching row-major storage.
+        ys, xs = np.mgrid[0:height, 0:width]
+        xs = xs.reshape(-1).astype(np.float64)
+        ys = ys.reshape(-1).astype(np.float64)
+        frag_coord = np.stack([xs + 0.5, ys + 0.5], axis=1)
+        texcoord = np.stack([(xs + 0.5) / width, (ys + 0.5) / height], axis=1)
+
+        fetches_before = sum(t.sample_count for t in program.samplers.values())
+        job = FragmentJob(
+            texcoord=texcoord,
+            frag_coord=frag_coord,
+            width=width,
+            height=height,
+            uniforms=dict(program.uniforms),
+            samplers=program.samplers,
+        )
+        rgba = program.shader.run(job)
+        rgba = np.asarray(rgba, dtype=np.uint8)
+        if rgba.shape != (width * height, 4):
+            raise GLES2Error(
+                f"shader {program.name!r} returned shape {rgba.shape}, expected "
+                f"{(width * height, 4)}"
+            )
+        target.data[:height, :width] = rgba.reshape(height, width, 4)
+        fetches_after = sum(t.sample_count for t in program.samplers.values())
+
+        flops = getattr(program.shader, "last_flops", None)
+        if flops is None:
+            flops = program.shader.flops_per_fragment * width * height
+        stats = DrawStats(
+            program=program.name,
+            fragments=width * height,
+            texture_fetches=fetches_after - fetches_before,
+            flops=int(flops),
+        )
+        self.draw_calls.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def total_fragments(self) -> int:
+        return sum(d.fragments for d in self.draw_calls)
+
+    @property
+    def total_draw_calls(self) -> int:
+        return len(self.draw_calls)
+
+    def reset_statistics(self) -> None:
+        """Clear draw/transfer counters (texture contents are preserved)."""
+        self.draw_calls = []
+        self.transfers = TransferStats()
+
+    def device_memory_in_use(self) -> int:
+        """Bytes of texture memory currently allocated."""
+        return sum(t.size_bytes for t in self.textures)

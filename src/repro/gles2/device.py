@@ -1,0 +1,117 @@
+"""Embedded GPU device profiles.
+
+A device profile bundles the OpenGL ES 2.0 limits of a specific embedded
+GPU with the performance characteristics the analytic timing model needs
+(sustained shader ALU throughput through the graphics API, host<->device
+transfer bandwidth, per-draw-call overhead and texture fetch cost).
+
+The throughput figures are *effective* rates for GPGPU work driven
+through OpenGL ES 2.0 with RGBA8 packing, not marketing peak numbers;
+they are calibrated once against Figure 1 of the paper (the Flops
+benchmark measures the GPU 26.7x faster than the platform CPU on the
+target system) and then reused unchanged for every other experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .limits import GLES2Limits
+
+__all__ = ["GPUDeviceProfile", "DEVICE_PROFILES", "get_device_profile"]
+
+
+@dataclass(frozen=True)
+class GPUDeviceProfile:
+    """Static description of an embedded GPU used by the simulation."""
+
+    name: str
+    limits: GLES2Limits
+    #: Sustained GFLOP/s for scalar shader arithmetic through GL ES 2.
+    effective_gflops: float
+    #: Host <-> device copy bandwidth in GiB/s (texture upload/readback).
+    transfer_gib_per_s: float
+    #: Fixed cost of one draw call / kernel pass, in microseconds (state
+    #: setup, FBO validation, rasterizer start-up).
+    pass_overhead_us: float
+    #: Cost of one texture fetch in nanoseconds (includes RGBA8 decode
+    #: arithmetic in the shader).
+    texture_fetch_ns: float
+    #: Sustained fill rate in Mpixels/s; bounds very low arithmetic
+    #: intensity kernels.
+    fill_rate_mpixels: float
+
+
+DEVICE_PROFILES: Dict[str, GPUDeviceProfile] = {
+    "videocore-iv": GPUDeviceProfile(
+        name="videocore-iv",
+        limits=GLES2Limits(
+            name="videocore-iv",
+            max_texture_size=2048,
+            max_texture_image_units=8,
+            max_fragment_uniform_vectors=64,
+            npot_textures_supported=False,
+            square_textures_only=False,
+            float_textures_supported=False,
+            max_shader_instructions=2048,
+            max_shader_temporaries=64,
+        ),
+        effective_gflops=4.8,
+        transfer_gib_per_s=0.35,
+        pass_overhead_us=650.0,
+        texture_fetch_ns=2.4,
+        fill_rate_mpixels=950.0,
+    ),
+    "mali-400": GPUDeviceProfile(
+        name="mali-400",
+        limits=GLES2Limits(
+            name="mali-400",
+            max_texture_size=4096,
+            max_texture_image_units=8,
+            max_fragment_uniform_vectors=64,
+            npot_textures_supported=False,
+            square_textures_only=False,
+            float_textures_supported=False,
+            max_shader_instructions=2048,
+            max_shader_temporaries=64,
+        ),
+        effective_gflops=6.5,
+        transfer_gib_per_s=0.5,
+        pass_overhead_us=500.0,
+        texture_fetch_ns=2.0,
+        fill_rate_mpixels=1100.0,
+    ),
+    # A deliberately constrained profile useful in tests: square-only,
+    # small textures, two texture units.
+    "constrained-es2": GPUDeviceProfile(
+        name="constrained-es2",
+        limits=GLES2Limits(
+            name="constrained-es2",
+            max_texture_size=512,
+            max_texture_image_units=2,
+            max_fragment_uniform_vectors=16,
+            npot_textures_supported=False,
+            square_textures_only=True,
+            float_textures_supported=False,
+            max_shader_instructions=256,
+            max_shader_temporaries=16,
+        ),
+        effective_gflops=1.0,
+        transfer_gib_per_s=0.2,
+        pass_overhead_us=900.0,
+        texture_fetch_ns=4.0,
+        fill_rate_mpixels=300.0,
+    ),
+}
+
+
+def get_device_profile(name: str) -> GPUDeviceProfile:
+    """Look up a device profile by name."""
+    try:
+        return DEVICE_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown GPU device profile {name!r}; available: "
+            f"{sorted(DEVICE_PROFILES)}"
+        )

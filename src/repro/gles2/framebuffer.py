@@ -1,0 +1,59 @@
+"""Simulated framebuffer objects (render-to-texture).
+
+GPGPU on OpenGL ES 2.0 works by attaching the output texture to a
+framebuffer object and rendering a full-screen quad; the fragment shader
+then runs once per output texel.  OpenGL ES 2.0 offers a single colour
+attachment, which is why Brook Auto restricts kernels to one output
+stream per pass (rule BA-007) and splits multi-output kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import GLES2Error
+from .texture import Texture2D
+
+__all__ = ["Framebuffer"]
+
+
+class Framebuffer:
+    """A framebuffer object with (at most) one colour attachment."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.color_attachment: Optional[Texture2D] = None
+
+    def attach_color(self, texture: Texture2D) -> None:
+        """Attach ``texture`` as COLOR_ATTACHMENT0."""
+        if texture is None:
+            raise GLES2Error("cannot attach a null texture")
+        self.color_attachment = texture
+
+    def detach_color(self) -> None:
+        self.color_attachment = None
+
+    @property
+    def is_complete(self) -> bool:
+        """``glCheckFramebufferStatus`` equivalent."""
+        return self.color_attachment is not None
+
+    @property
+    def width(self) -> int:
+        self._require_complete()
+        return self.color_attachment.width
+
+    @property
+    def height(self) -> int:
+        self._require_complete()
+        return self.color_attachment.height
+
+    def _require_complete(self) -> None:
+        if not self.is_complete:
+            raise GLES2Error(
+                f"framebuffer {self.name!r} is incomplete (no colour attachment)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        target = repr(self.color_attachment) if self.color_attachment else "unattached"
+        return f"<Framebuffer {self.name!r} -> {target}>"

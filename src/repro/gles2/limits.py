@@ -1,0 +1,49 @@
+"""Implementation-dependent limits of an OpenGL ES 2.0 device.
+
+The values mirror what ``glGetIntegerv`` would report on real hardware;
+Brook Auto's certification checker consumes them (converted to
+:class:`~repro.core.analysis.resources.TargetLimits`) to prove at compile
+time that every kernel fits the device without implicit emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.analysis.resources import TargetLimits
+
+__all__ = ["GLES2Limits"]
+
+
+@dataclass(frozen=True)
+class GLES2Limits:
+    """Queryable limits of a simulated OpenGL ES 2.0 implementation."""
+
+    name: str = "gles2-generic"
+    max_texture_size: int = 2048
+    max_texture_image_units: int = 8
+    max_fragment_uniform_vectors: int = 64
+    max_varying_vectors: int = 8
+    max_renderbuffer_size: int = 2048
+    max_color_attachments: int = 1
+    npot_textures_supported: bool = False
+    square_textures_only: bool = False
+    float_textures_supported: bool = False
+    max_shader_instructions: int = 2048
+    max_shader_temporaries: int = 64
+
+    def to_target_limits(self) -> TargetLimits:
+        """Convert to the compiler-facing :class:`TargetLimits`."""
+        return TargetLimits(
+            name=self.name,
+            max_kernel_inputs=self.max_texture_image_units,
+            max_kernel_outputs=self.max_color_attachments,
+            max_scalar_constants=self.max_fragment_uniform_vectors,
+            max_temporaries=self.max_shader_temporaries,
+            max_instructions=self.max_shader_instructions,
+            max_texture_size=self.max_texture_size,
+            requires_power_of_two=not self.npot_textures_supported,
+            requires_square_textures=self.square_textures_only,
+            supports_float_textures=self.float_textures_supported,
+            max_gather_inputs=self.max_texture_image_units,
+        )

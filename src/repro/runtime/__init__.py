@@ -1,0 +1,32 @@
+"""Brook Auto runtime: streams, kernel launches, reductions and statistics."""
+
+from .kernel import KernelHandle
+from .numerics import (
+    RELATIVE_PRECISION,
+    decode_float_rgba8,
+    encode_float_rgba8,
+    quantize_roundtrip,
+)
+from .profiling import KernelLaunchRecord, RunStatistics, TransferRecord, WallClockTimer
+from .reduction import ReductionResult, multipass_reduce
+from .runtime import BrookModule, BrookRuntime
+from .shape import StreamShape
+from .stream import Stream
+
+__all__ = [
+    "BrookRuntime",
+    "BrookModule",
+    "Stream",
+    "StreamShape",
+    "KernelHandle",
+    "KernelLaunchRecord",
+    "TransferRecord",
+    "RunStatistics",
+    "WallClockTimer",
+    "ReductionResult",
+    "multipass_reduce",
+    "encode_float_rgba8",
+    "decode_float_rgba8",
+    "quantize_roundtrip",
+    "RELATIVE_PRECISION",
+]

@@ -1,0 +1,207 @@
+"""Kernel handles: calling compiled Brook kernels from host code.
+
+A :class:`KernelHandle` exposes a compiled kernel as a Python callable.
+Arguments are matched positionally (or by keyword) against the *original*
+kernel signature as written in the ``.br`` source; the handle then takes
+care of everything the paper's runtime does behind the scenes:
+
+* routing stream arguments to the right parameter kind (input stream,
+  gather array, output stream, scalar constant),
+* launching one pass per split kernel piece when the compiler had to
+  split a multi-output kernel for a single-render-target device,
+* driving the multipass reduction engine for ``reduce`` kernels, and
+* recording work statistics with the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..core import ast_nodes as ast
+from ..core.compiler import CompiledProgram
+from ..core.types import ParamKind
+from ..errors import KernelLaunchError
+from .shape import StreamShape
+from .stream import Stream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import BrookRuntime
+
+__all__ = ["KernelHandle"]
+
+
+class KernelHandle:
+    """A callable bound to one kernel of a compiled Brook module."""
+
+    def __init__(self, runtime: "BrookRuntime", program: CompiledProgram,
+                 original_name: str):
+        self.runtime = runtime
+        self.program = program
+        self.original_name = original_name
+        self.original = program.original_definitions[original_name]
+        self.piece_names = program.kernel_groups.get(original_name, [original_name])
+        self._helpers = program.helpers()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_reduction(self) -> bool:
+        return self.original.is_reduction
+
+    @property
+    def parameter_names(self) -> List[str]:
+        return [param.name for param in self.original.params]
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, *args, **kwargs):
+        bindings = self._bind_arguments(args, kwargs)
+        if self.is_reduction:
+            return self._run_reduction(bindings)
+        return self._run_map(bindings)
+
+    # ------------------------------------------------------------------ #
+    def _bind_arguments(self, args, kwargs) -> Dict[str, object]:
+        params = self.original.params
+        if len(args) > len(params):
+            raise KernelLaunchError(
+                f"kernel {self.original_name!r} takes {len(params)} arguments, "
+                f"got {len(args)}"
+            )
+        bindings: Dict[str, object] = {}
+        for param, value in zip(params, args):
+            bindings[param.name] = value
+        for name, value in kwargs.items():
+            if self.original.param(name) is None:
+                raise KernelLaunchError(
+                    f"kernel {self.original_name!r} has no parameter {name!r}"
+                )
+            if name in bindings:
+                raise KernelLaunchError(f"duplicate argument {name!r}")
+            bindings[name] = value
+        missing = [p.name for p in params if p.name not in bindings]
+        # Reduction kernels may omit the accumulator argument: the runtime
+        # provides it and returns the reduced value.
+        if self.is_reduction:
+            missing = [name for name in missing
+                       if self.original.param(name).kind is not ParamKind.REDUCE]
+        if missing:
+            raise KernelLaunchError(
+                f"kernel {self.original_name!r} is missing argument(s): "
+                + ", ".join(missing)
+            )
+        # Kind validation.
+        for param in params:
+            if param.name not in bindings:
+                continue
+            value = bindings[param.name]
+            if param.kind in (ParamKind.STREAM, ParamKind.OUT_STREAM,
+                              ParamKind.GATHER, ParamKind.ITERATOR):
+                if not isinstance(value, Stream):
+                    raise KernelLaunchError(
+                        f"argument {param.name!r} of {self.original_name!r} must be "
+                        f"a Stream (parameter kind {param.kind.value})"
+                    )
+            elif param.kind is ParamKind.SCALAR:
+                if isinstance(value, Stream):
+                    raise KernelLaunchError(
+                        f"argument {param.name!r} of {self.original_name!r} is a "
+                        "scalar constant; pass a number, not a Stream"
+                    )
+        return bindings
+
+    def _classify(self, kernel_def: ast.FunctionDef, bindings: Dict[str, object]):
+        stream_args: Dict[str, Stream] = {}
+        gather_args: Dict[str, Stream] = {}
+        scalar_args: Dict[str, float] = {}
+        out_args: Dict[str, Stream] = {}
+        for param in kernel_def.params:
+            if param.name not in bindings:
+                continue
+            value = bindings[param.name]
+            if param.kind in (ParamKind.STREAM, ParamKind.ITERATOR):
+                stream_args[param.name] = value
+            elif param.kind is ParamKind.GATHER:
+                gather_args[param.name] = value
+            elif param.kind is ParamKind.SCALAR:
+                scalar_args[param.name] = float(np.asarray(value))
+            elif param.kind is ParamKind.OUT_STREAM:
+                out_args[param.name] = value
+        return stream_args, gather_args, scalar_args, out_args
+
+    # ------------------------------------------------------------------ #
+    def _run_map(self, bindings: Dict[str, object]) -> None:
+        domain = self._output_domain(bindings)
+        for piece_name in self.piece_names:
+            piece = self.program.kernel(piece_name)
+            stream_args, gather_args, scalar_args, out_args = self._classify(
+                piece.definition, bindings
+            )
+            record = self.runtime.backend.launch(
+                piece, self._helpers, domain,
+                stream_args, gather_args, scalar_args, out_args,
+            )
+            self.runtime.statistics.record_launch(record)
+
+    def _output_domain(self, bindings: Dict[str, object]) -> StreamShape:
+        out_shapes = []
+        for param in self.original.output_params:
+            stream = bindings.get(param.name)
+            if isinstance(stream, Stream):
+                out_shapes.append(stream.shape)
+        if not out_shapes:
+            # Kernels without outputs (rare) iterate over the first input.
+            for param in self.original.stream_params:
+                stream = bindings.get(param.name)
+                if isinstance(stream, Stream):
+                    return stream.shape
+            raise KernelLaunchError(
+                f"kernel {self.original_name!r} has no stream arguments to "
+                "derive a launch domain from"
+            )
+        first = out_shapes[0]
+        for other in out_shapes[1:]:
+            if other.dims != first.dims:
+                raise KernelLaunchError(
+                    f"all output streams of {self.original_name!r} must have the "
+                    f"same shape; got {first.dims} and {other.dims}"
+                )
+        return first
+
+    # ------------------------------------------------------------------ #
+    def _run_reduction(self, bindings: Dict[str, object]):
+        stream_param = self.original.stream_params[0]
+        input_stream = bindings.get(stream_param.name)
+        if not isinstance(input_stream, Stream):
+            raise KernelLaunchError(
+                f"reduction {self.original_name!r} needs its input stream "
+                f"{stream_param.name!r}"
+            )
+        piece = self.program.kernel(self.piece_names[0])
+
+        # Brook distinguishes reductions to a scalar from reductions to a
+        # smaller stream (every output element reduces one block of the
+        # input); the latter is requested by passing a multi-element stream
+        # as the accumulator argument.
+        accumulator = None
+        for param in self.original.reduce_params:
+            candidate = bindings.get(param.name)
+            if isinstance(candidate, Stream):
+                accumulator = candidate
+        if accumulator is not None and accumulator.element_count > 1:
+            record = self.runtime.backend.reduce_into(
+                piece, self._helpers, input_stream, accumulator
+            )
+            self.runtime.statistics.record_launch(record)
+            return accumulator.read()
+
+        value, record = self.runtime.backend.reduce(piece, self._helpers, input_stream)
+        self.runtime.statistics.record_launch(record)
+        # If the caller passed a 1-element stream for the accumulator, fill it.
+        if accumulator is not None:
+            accumulator.write(np.full(accumulator.dims, value, dtype=np.float32))
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "reduce" if self.is_reduction else "kernel"
+        return f"<KernelHandle {kind} {self.original_name!r} on {self.runtime.backend.name}>"

@@ -1,0 +1,96 @@
+"""Numerical format interoperability (paper section 5.4).
+
+OpenGL ES 2.0 guarantees neither float textures nor float render
+targets, so Brook Auto stores stream elements in RGBA8 texels and
+converts between IEEE-754 float32 and the packed representation.  The
+scheme follows Trompouki & Kosmidis (DATE'16): the sign, the 8-bit
+exponent and the 23-bit mantissa of the float are distributed over the
+four 8-bit channels, using arithmetic only on the GPU side (GLSL ES 1.0
+has no bit operations) and plain C on the host side.  The round trip is
+exact for every normal float32 value; denormals flush to zero and
+NaN/Inf are not representable (Brook Auto kernels are not allowed to
+produce them).
+
+The Python implementations here are the host-side ("input reconstruction
+and output encoding") counterparts of the GLSL functions embedded in
+every generated shader (see the prelude in
+:mod:`repro.core.codegen.glsl_es`); a dedicated property test checks the
+round trip over the full float32 range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "encode_float_rgba8",
+    "decode_float_rgba8",
+    "quantize_roundtrip",
+    "RELATIVE_PRECISION",
+    "MIN_NORMAL",
+]
+
+#: Relative error bound of one encode/decode round trip.  The packing is
+#: bit-exact for normal float32 values, so the only loss is the float32
+#: rounding of the original value itself.
+RELATIVE_PRECISION = 2.0 ** -23
+
+#: Smallest magnitude that survives encoding (denormals flush to zero).
+MIN_NORMAL = float(np.finfo(np.float32).tiny)
+
+
+def encode_float_rgba8(values: np.ndarray) -> np.ndarray:
+    """Pack float32 values into RGBA8 texels (bit-exact for normals).
+
+    Channel layout (mirroring the arithmetic decomposition the GLSL ES
+    shader performs with ``floor``/``mod``):
+
+    * R: sign bit and the upper 7 bits of the exponent,
+    * G: the lowest exponent bit and the upper 7 bits of the mantissa,
+    * B: the middle mantissa byte,
+    * A: the low mantissa byte.
+    """
+    values = np.asarray(values, dtype=np.float32)
+    original_shape = values.shape
+    flat = np.ascontiguousarray(values.reshape(-1))
+    # Flush denormals (and +/-0) to exactly zero, as the shader does.
+    flat = np.where(np.abs(flat) < MIN_NORMAL, np.float32(0.0), flat)
+    flat = np.ascontiguousarray(flat, dtype=np.float32)
+    bits = flat.view(np.uint32)
+    rgba = np.zeros((flat.size, 4), dtype=np.uint8)
+    rgba[:, 0] = (bits >> 24) & 0xFF
+    rgba[:, 1] = (bits >> 16) & 0xFF
+    rgba[:, 2] = (bits >> 8) & 0xFF
+    rgba[:, 3] = bits & 0xFF
+    return rgba.reshape(original_shape + (4,))
+
+
+def decode_float_rgba8(rgba: np.ndarray) -> np.ndarray:
+    """Unpack RGBA8 texels produced by :func:`encode_float_rgba8`."""
+    rgba = np.asarray(rgba)
+    if rgba.ndim == 0 or rgba.shape[-1] != 4:
+        raise ValueError("decode_float_rgba8 expects a trailing axis of 4 channels")
+    original_shape = rgba.shape[:-1]
+    channels = rgba.reshape(-1, 4).astype(np.uint32)
+    bits = np.ascontiguousarray(
+        (channels[:, 0] << 24)
+        | (channels[:, 1] << 16)
+        | (channels[:, 2] << 8)
+        | channels[:, 3]
+    )
+    values = bits.view(np.float32).copy()
+    # Exponent == 0 encodes zero (denormals were flushed on encode); make
+    # sure stray denormal bit patterns decode to exactly zero too.
+    exponent = (bits >> 23) & 0xFF
+    values[exponent == 0] = 0.0
+    return values.astype(np.float32).reshape(original_shape)
+
+
+def quantize_roundtrip(values: np.ndarray) -> np.ndarray:
+    """Return ``values`` after one encode/decode round trip.
+
+    The runtime applies this to model the precision a value retains when
+    written into an RGBA8 texture and read back: float32 normals survive
+    exactly, denormals flush to zero.
+    """
+    return decode_float_rgba8(encode_float_rgba8(values))

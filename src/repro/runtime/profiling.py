@@ -1,0 +1,134 @@
+"""Execution statistics collected by the Brook runtime.
+
+Every Brook+ reference application integrates "time measurement
+functionality and statistics reporting" (paper section 6).  Since the
+reproduction replaces wall-clock measurements with an analytic model, the
+runtime instead records *work*: bytes moved between host and device,
+kernel passes launched, elements processed, floating point operations and
+texture fetches.  The :mod:`repro.timing` models convert these records
+into modelled execution times for a chosen platform.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["TransferRecord", "KernelLaunchRecord", "RunStatistics", "WallClockTimer"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One host <-> device stream transfer."""
+
+    stream: str
+    direction: str  # "upload" or "download"
+    bytes: int
+    elements: int
+
+
+@dataclass(frozen=True)
+class KernelLaunchRecord:
+    """One kernel pass executed on the device (or CPU backend)."""
+
+    kernel: str
+    elements: int
+    flops: int
+    texture_fetches: int
+    passes: int = 1
+    reduction: bool = False
+
+
+@dataclass
+class RunStatistics:
+    """Accumulated statistics of a runtime instance."""
+
+    transfers: List[TransferRecord] = field(default_factory=list)
+    launches: List[KernelLaunchRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def record_transfer(self, record: TransferRecord) -> None:
+        self.transfers.append(record)
+
+    def record_launch(self, record: KernelLaunchRecord) -> None:
+        self.launches.append(record)
+
+    def clear(self) -> None:
+        self.transfers.clear()
+        self.launches.clear()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def bytes_uploaded(self) -> int:
+        return sum(t.bytes for t in self.transfers if t.direction == "upload")
+
+    @property
+    def bytes_downloaded(self) -> int:
+        return sum(t.bytes for t in self.transfers if t.direction == "download")
+
+    @property
+    def total_passes(self) -> int:
+        return sum(l.passes for l in self.launches)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(l.flops for l in self.launches)
+
+    @property
+    def total_texture_fetches(self) -> int:
+        return sum(l.texture_fetches for l in self.launches)
+
+    @property
+    def total_elements(self) -> int:
+        return sum(l.elements for l in self.launches)
+
+    def per_kernel(self) -> Dict[str, KernelLaunchRecord]:
+        """Aggregate launch records by kernel name."""
+        aggregated: Dict[str, KernelLaunchRecord] = {}
+        for record in self.launches:
+            existing = aggregated.get(record.kernel)
+            if existing is None:
+                aggregated[record.kernel] = record
+            else:
+                aggregated[record.kernel] = KernelLaunchRecord(
+                    kernel=record.kernel,
+                    elements=existing.elements + record.elements,
+                    flops=existing.flops + record.flops,
+                    texture_fetches=existing.texture_fetches + record.texture_fetches,
+                    passes=existing.passes + record.passes,
+                    reduction=existing.reduction or record.reduction,
+                )
+        return aggregated
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary dictionary (useful for logging and tests)."""
+        return {
+            "bytes_uploaded": self.bytes_uploaded,
+            "bytes_downloaded": self.bytes_downloaded,
+            "passes": self.total_passes,
+            "flops": self.total_flops,
+            "texture_fetches": self.total_texture_fetches,
+            "elements": self.total_elements,
+        }
+
+
+class WallClockTimer:
+    """Small wall-clock timer used by examples and benchmarks.
+
+    The analytic model provides the *reported* numbers; this timer only
+    measures how long the functional simulation itself takes, which the
+    benchmark harness records for regression purposes.
+    """
+
+    def __init__(self) -> None:
+        self.start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "WallClockTimer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.start is not None:
+            self.elapsed = time.perf_counter() - self.start

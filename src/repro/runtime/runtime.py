@@ -1,0 +1,217 @@
+"""The Brook Auto runtime.
+
+:class:`BrookRuntime` is the host-side entry point an application uses:
+
+.. code-block:: python
+
+    from repro.runtime import BrookRuntime
+
+    rt = BrookRuntime(backend="gles2", device="videocore-iv")
+    module = rt.compile(BROOK_SOURCE)
+    a = rt.stream_from(host_array_a)
+    b = rt.stream_from(host_array_b)
+    c = rt.stream(host_array_a.shape)
+    module.add(a, b, c)          # kernel launch
+    result = c.read()            # stream -> host
+
+The runtime owns the backend (CPU, simulated OpenGL ES 2.0 device or
+simulated CAL device), compiles ``.br`` source with the target's limits,
+creates statically sized streams and accumulates the work statistics that
+the analytic performance model turns into modelled execution times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..backends.base import Backend, create_backend
+from ..core.analysis.memory_usage import StreamDeclaration, estimate_memory_usage
+from ..core.compiler import BrookAutoCompiler, CompiledProgram, CompilerOptions
+from ..core.types import FLOAT, BrookType
+from ..errors import KernelLaunchError, StreamError
+from .kernel import KernelHandle
+from .profiling import RunStatistics
+from .shape import StreamShape
+from .stream import Stream
+
+__all__ = ["BrookModule", "BrookRuntime"]
+
+
+class BrookModule:
+    """A compiled Brook translation unit bound to a runtime.
+
+    Kernels are exposed both as attributes (``module.saxpy``) and through
+    :meth:`kernel`.  The module also carries the certification report so
+    applications can archive the compliance evidence next to their build.
+    """
+
+    def __init__(self, runtime: "BrookRuntime", program: CompiledProgram):
+        self._runtime = runtime
+        self.program = program
+        self._handles: Dict[str, KernelHandle] = {}
+        for name in program.original_definitions:
+            self._handles[name] = KernelHandle(runtime, program, name)
+
+    @property
+    def certification(self):
+        return self.program.certification
+
+    @property
+    def kernel_names(self):
+        return sorted(self._handles)
+
+    def kernel(self, name: str) -> KernelHandle:
+        try:
+            return self._handles[name]
+        except KeyError:
+            raise KeyError(
+                f"module has no kernel {name!r}; available: {self.kernel_names}"
+            )
+
+    def __getattr__(self, name: str) -> KernelHandle:
+        handles = object.__getattribute__(self, "_handles")
+        if name in handles:
+            return handles[name]
+        raise AttributeError(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BrookModule kernels={self.kernel_names}>"
+
+
+class BrookRuntime:
+    """Host-side runtime: backend, streams, compilation and statistics."""
+
+    def __init__(
+        self,
+        backend: Union[str, Backend] = "cpu",
+        device: Optional[str] = None,
+        compiler_options: Optional[CompilerOptions] = None,
+    ):
+        """
+        Args:
+            backend: Backend name (``"cpu"``, ``"gles2"``, ``"cal"``) or an
+                already constructed :class:`~repro.backends.base.Backend`.
+            device: Device profile for GPU backends (e.g. ``"videocore-iv"``,
+                ``"mali-400"``, ``"radeon-hd3400"``).
+            compiler_options: Base compiler options; the target limits are
+                always overridden with the backend's limits.
+        """
+        if isinstance(backend, Backend):
+            self.backend = backend
+        else:
+            self.backend = create_backend(backend, device)
+        self._base_options = compiler_options
+        self.statistics = RunStatistics()
+        self._streams: list = []
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def compile(
+        self,
+        source: str,
+        param_bounds: Optional[Dict[str, Dict[str, float]]] = None,
+        strict: bool = True,
+        filename: str = "<string>",
+        scalarize: bool = False,
+    ) -> BrookModule:
+        """Compile Brook source for this runtime's backend.
+
+        Args:
+            source: The ``.br`` kernel source text.
+            param_bounds: Per-kernel declared maxima for scalar parameters
+                (used by the loop-bound certification rule BA-005).
+            strict: Raise on Brook Auto rule violations (default).  Legacy
+                Brook code can be compiled with ``strict=False`` to obtain
+                the certification report without aborting.
+            filename: Name used in diagnostics.
+            scalarize: Apply the vector-to-scalar transformation pass.
+        """
+        if self._base_options is not None:
+            options = CompilerOptions(**vars(self._base_options))
+        else:
+            options = CompilerOptions()
+        options.target = self.backend.target_limits()
+        options.param_bounds = dict(param_bounds or {})
+        options.strict = strict
+        options.scalarize = scalarize
+        program = BrookAutoCompiler(options).compile(source, filename)
+        return BrookModule(self, program)
+
+    # ------------------------------------------------------------------ #
+    # Streams
+    # ------------------------------------------------------------------ #
+    def stream(self, shape, element_width: int = 1, name: str = "") -> Stream:
+        """Create a statically sized stream filled with zeros."""
+        stream = Stream(self, StreamShape.of(shape), element_width, name)
+        self._streams.append(stream)
+        return stream
+
+    def stream_from(self, data: np.ndarray, name: str = "",
+                    element_width: int = 1) -> Stream:
+        """Create a stream shaped like ``data`` and write ``data`` into it.
+
+        For vector element types pass ``element_width`` explicitly; the
+        trailing axis of ``data`` is then the component axis.
+        """
+        array = np.asarray(data, dtype=np.float32)
+        shape = array.shape if element_width == 1 else array.shape[:-1]
+        stream = self.stream(shape, element_width, name)
+        stream.write(array)
+        return stream
+
+    def iterator(self, shape, start: float = 0.0, end: Optional[float] = None,
+                 name: str = "") -> Stream:
+        """Create an iterator stream with linearly increasing values.
+
+        Brook iterator streams generate their values instead of storing
+        host data; the simulated runtime materialises them at creation.
+        For a 1-D shape the values run from ``start`` (inclusive) towards
+        ``end`` (exclusive), defaulting to the element index.
+        """
+        stream_shape = StreamShape.of(shape)
+        count = stream_shape.element_count
+        if end is None:
+            end = float(start + count)
+        values = (np.arange(count, dtype=np.float32) / max(1, count)
+                  * (end - start) + start)
+        stream = self.stream(stream_shape, 1, name or "iterator")
+        stream.write(values.reshape(stream_shape.dims))
+        return stream
+
+    # ------------------------------------------------------------------ #
+    # streamRead / streamWrite convenience (Brook naming)
+    # ------------------------------------------------------------------ #
+    def stream_read(self, stream: Stream, data: np.ndarray) -> None:
+        """Brook's ``streamRead``: host memory -> stream."""
+        stream.write(data)
+
+    def stream_write(self, stream: Stream) -> np.ndarray:
+        """Brook's ``streamWrite``: stream -> host memory."""
+        return stream.read()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def reset_statistics(self) -> None:
+        self.statistics.clear()
+
+    def device_memory_in_use(self) -> int:
+        return self.backend.device_memory_in_use()
+
+    def memory_usage_report(self):
+        """Static maximum GPU memory usage of the currently declared streams."""
+        declarations = [
+            StreamDeclaration(
+                name=stream.name,
+                shape=stream.dims,
+                element_type=BrookType(FLOAT.kind, stream.element_width),
+            )
+            for stream in self._streams
+        ]
+        return estimate_memory_usage(declarations, self.backend.target_limits())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BrookRuntime backend={self.backend.name!r}>"

@@ -1,0 +1,95 @@
+"""Stream handles.
+
+A Brook stream is the only way data reaches a kernel: a statically sized,
+multidimensional collection of elements owned by the runtime.  The handle
+never exposes device pointers - the application can only ``write`` host
+data into the stream and ``read`` it back, which is precisely the
+property that makes Brook Auto certifiable (no pointers, no dynamic
+allocation, statically known maximum memory usage; paper section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import StreamError
+from .shape import StreamShape
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import BrookRuntime
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """A statically sized stream bound to a runtime backend."""
+
+    def __init__(self, runtime: "BrookRuntime", shape: StreamShape,
+                 element_width: int = 1, name: str = ""):
+        if element_width not in (1, 2, 3, 4):
+            raise StreamError(f"invalid element width {element_width}")
+        self.runtime = runtime
+        self.shape = StreamShape.of(shape)
+        self.element_width = int(element_width)
+        self.name = name or f"stream{id(self) & 0xFFFF:x}"
+        self.storage = runtime.backend.create_storage(
+            self.shape, self.element_width, self.name
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def element_count(self) -> int:
+        return self.shape.element_count
+
+    @property
+    def dims(self):
+        return self.shape.dims
+
+    @property
+    def size_bytes(self) -> int:
+        """Host-visible payload size (elements x components x 4 bytes)."""
+        return self.element_count * self.element_width * 4
+
+    # ------------------------------------------------------------------ #
+    def write(self, data: np.ndarray) -> None:
+        """``streamRead`` in Brook terms: copy host data into the stream.
+
+        The data must match the declared shape exactly; streams cannot be
+        resized after creation.
+        """
+        flattened = self.shape.flatten(np.asarray(data, dtype=np.float32),
+                                       self.element_width)
+        record = self.runtime.backend.upload(self.storage, flattened)
+        self.runtime.statistics.record_transfer(record)
+
+    def read(self) -> np.ndarray:
+        """``streamWrite`` in Brook terms: copy the stream back to the host."""
+        flattened, record = self.runtime.backend.download(self.storage)
+        self.runtime.statistics.record_transfer(record)
+        return self.shape.unflatten(flattened, self.element_width)
+
+    def fill(self, value: float) -> None:
+        """Set every element to ``value`` (host-side convenience)."""
+        shape = self.dims if self.element_width == 1 \
+            else self.dims + (self.element_width,)
+        self.write(np.full(shape, float(value), dtype=np.float32))
+
+    def peek(self) -> np.ndarray:
+        """Device-resident values as kernels would see them (no transfer).
+
+        On the OpenGL ES 2 backend the values carry the RGBA8 quantization;
+        this is mainly useful in tests and debugging.
+        """
+        flattened = self.runtime.backend.device_view(self.storage)
+        return self.shape.unflatten(np.asarray(flattened, dtype=np.float32),
+                                    self.element_width)
+
+    def release(self) -> None:
+        """Free the device storage (the handle becomes unusable)."""
+        self.runtime.backend.free(self.storage)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        width = "" if self.element_width == 1 else f" float{self.element_width}"
+        return f"<Stream {self.name!r} {self.shape}{width} on {self.runtime.backend.name}>"

@@ -1,0 +1,40 @@
+"""Analytic performance models.
+
+The paper reports wall-clock measurements on two physical testbeds (an
+ARM + VideoCore IV automotive-class board and a Core 2 Duo + Mobility
+Radeon HD 3400 reference laptop).  Neither is available to a Python
+reproduction, and wall-clock times of a functional simulator would say
+nothing about the paper's claims, so performance is *modelled*: the
+functional simulation (or each application's closed-form workload model)
+counts the work - floating point operations, texture fetches, kernel
+passes, bytes transferred - and the models in this package convert that
+work into time for a given platform.
+
+Platform parameters are calibrated once against Figure 1 (the Flops
+benchmark measures the GPU 26.7x faster than the CPU on the target and
+23x on the reference platform) and then reused unchanged for every other
+figure; see ``EXPERIMENTS.md`` for the resulting fidelity.
+"""
+
+from .cpu_model import CPUModel, CPUWorkload
+from .gpu_model import GPUCostParameters, GPUModel, GPUWorkload
+from .platforms import (
+    Platform,
+    REFERENCE_PLATFORM,
+    TARGET_PLATFORM,
+    get_platform,
+    PLATFORMS,
+)
+
+__all__ = [
+    "CPUModel",
+    "CPUWorkload",
+    "GPUModel",
+    "GPUWorkload",
+    "GPUCostParameters",
+    "Platform",
+    "TARGET_PLATFORM",
+    "REFERENCE_PLATFORM",
+    "PLATFORMS",
+    "get_platform",
+]

@@ -1,0 +1,111 @@
+"""CPU cost model.
+
+Each reference application ships a CPU implementation whose measured time
+is the denominator of every speedup in the paper.  The model estimates
+that time from four quantities the application's workload model provides:
+
+* ``flops`` - arithmetic work,
+* ``bytes_streamed`` - sequentially accessed memory traffic,
+* ``random_accesses`` - data-dependent (cache-unfriendly) accesses, as in
+  binary search probing,
+* ``working_set_bytes`` - the resident data size, which decides whether
+  the streamed/random accesses are served by L1, L2 or DRAM.
+
+The model is deliberately simple: compute and streaming overlap (the
+slower of the two dominates), random accesses serialise behind the cache
+level their working set falls into.  It reproduces the *relative*
+behaviour the paper relies on - e.g. the CPU binary search collapsing
+once the table no longer fits in cache - without pretending to be a
+cycle-accurate simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TimingModelError
+
+__all__ = ["CPUWorkload", "CPUModel"]
+
+
+@dataclass(frozen=True)
+class CPUWorkload:
+    """Work performed by a CPU (reference) implementation of a benchmark."""
+
+    flops: float
+    bytes_streamed: float = 0.0
+    random_accesses: float = 0.0
+    working_set_bytes: float = 0.0
+    #: Instruction-level-parallelism factor of the code relative to the
+    #: calibration kernel (the Flops benchmark, a fully dependent
+    #: multiply-add chain, defines 1.0).  Loops whose iterations offer
+    #: independent operations let the out-of-order/dual-issue pipelines
+    #: retire several flops per cycle, which is exactly why the paper's
+    #: "streaming pattern" applications are served so well by the CPU.
+    ilp_factor: float = 1.0
+
+    def scaled(self, factor: float) -> "CPUWorkload":
+        return CPUWorkload(
+            flops=self.flops * factor,
+            bytes_streamed=self.bytes_streamed * factor,
+            random_accesses=self.random_accesses * factor,
+            working_set_bytes=self.working_set_bytes,
+            ilp_factor=self.ilp_factor,
+        )
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """Analytic model of one CPU core running the reference implementation."""
+
+    name: str
+    frequency_ghz: float
+    #: Effective floating point operations per cycle for scalar compiled C
+    #: (includes issue restrictions, latency chains and the fraction of
+    #: instructions that are not arithmetic).
+    flops_per_cycle: float
+    #: Additional speedup when the code is vectorized (the Brook+ CPU paths
+    #: on x86 benefit from SSE; the ARM11 target has no usable SIMD FPU).
+    simd_speedup: float = 1.0
+    l1_bytes: int = 32 * 1024
+    l2_bytes: int = 256 * 1024
+    l1_bandwidth_gib: float = 20.0
+    l2_bandwidth_gib: float = 8.0
+    memory_bandwidth_gib: float = 2.0
+    l1_latency_ns: float = 1.0
+    l2_latency_ns: float = 8.0
+    memory_latency_ns: float = 90.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def peak_gflops(self) -> float:
+        return self.frequency_ghz * self.flops_per_cycle
+
+    def _bandwidth_gib(self, working_set_bytes: float) -> float:
+        if working_set_bytes <= self.l1_bytes:
+            return self.l1_bandwidth_gib
+        if working_set_bytes <= self.l2_bytes:
+            return self.l2_bandwidth_gib
+        return self.memory_bandwidth_gib
+
+    def _latency_ns(self, working_set_bytes: float) -> float:
+        if working_set_bytes <= self.l1_bytes:
+            return self.l1_latency_ns
+        if working_set_bytes <= self.l2_bytes:
+            return self.l2_latency_ns
+        return self.memory_latency_ns
+
+    # ------------------------------------------------------------------ #
+    def time_seconds(self, workload: CPUWorkload, vectorized: bool = False) -> float:
+        """Modelled execution time of ``workload`` on this CPU."""
+        if workload.flops < 0 or workload.bytes_streamed < 0:
+            raise TimingModelError("negative workload quantities")
+        gflops = self.peak_gflops * (self.simd_speedup if vectorized else 1.0)
+        gflops *= max(0.1, workload.ilp_factor)
+        compute_s = workload.flops / (gflops * 1e9) if workload.flops else 0.0
+        bandwidth = self._bandwidth_gib(workload.working_set_bytes) * (1 << 30)
+        stream_s = workload.bytes_streamed / bandwidth if workload.bytes_streamed else 0.0
+        random_s = workload.random_accesses * self._latency_ns(
+            workload.working_set_bytes
+        ) * 1e-9
+        return max(compute_s, stream_s) + random_s

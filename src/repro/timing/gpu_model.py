@@ -1,0 +1,145 @@
+"""GPU cost model.
+
+Turns the work counters of a GPU execution (passes, elements, flops,
+texture fetches, host<->device bytes) into modelled time for a device.
+The parameters can be built from an embedded OpenGL ES 2 device profile
+(:class:`repro.gles2.device.GPUDeviceProfile`) or a desktop CAL profile
+(:class:`repro.cal.device.CALDeviceProfile`); the OpenGL ES 2 path
+additionally charges the host-side RGBA8 encode/decode of every
+transferred byte (paper section 5.4 - "the input reconstruction and
+output encoding ... implemented in portable performance-oriented C code").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import TimingModelError
+
+__all__ = ["GPUWorkload", "GPUCostParameters", "GPUModel"]
+
+
+@dataclass(frozen=True)
+class GPUWorkload:
+    """Work performed by one GPU execution of a benchmark."""
+
+    #: Number of kernel passes (draw calls / CAL dispatches).
+    passes: int
+    #: Total output elements summed over all passes.
+    elements: float
+    #: Total floating point operations executed by kernels.
+    flops: float
+    #: Total texture/resource fetches issued by kernels.
+    texture_fetches: float
+    #: Payload bytes copied host -> device before execution.
+    bytes_to_device: float
+    #: Payload bytes copied device -> host after execution.
+    bytes_from_device: float
+    #: Number of host<->device copy operations (stream uploads + readbacks);
+    #: each one pays the driver's fixed per-call cost in addition to the
+    #: bandwidth term.
+    transfer_calls: int = 2
+    #: Fraction of the device's effective ALU rate this kernel sustains.
+    #: The calibration kernel (the Flops benchmark, straight-line MAD code)
+    #: defines 1.0; kernels with heavy register pressure, transcendental
+    #: density or divergent control flow sustain less on the in-order
+    #: embedded fragment pipelines.  Each application documents the value
+    #: it uses in its workload model.
+    efficiency: float = 1.0
+
+    @classmethod
+    def from_statistics(cls, statistics) -> "GPUWorkload":
+        """Build a workload from runtime :class:`RunStatistics`."""
+        return cls(
+            passes=statistics.total_passes,
+            elements=statistics.total_elements,
+            flops=statistics.total_flops,
+            texture_fetches=statistics.total_texture_fetches,
+            bytes_to_device=statistics.bytes_uploaded,
+            bytes_from_device=statistics.bytes_downloaded,
+            transfer_calls=len(statistics.transfers),
+        )
+
+
+@dataclass(frozen=True)
+class GPUCostParameters:
+    """Device parameters consumed by the GPU cost model."""
+
+    name: str
+    effective_gflops: float
+    transfer_gib_per_s: float
+    pass_overhead_us: float
+    texture_fetch_ns: float
+    fill_rate_mpixels: float
+    #: Host CPU cost of packing/unpacking one byte of stream payload
+    #: (RGBA8 codec); zero for backends with native float storage.
+    codec_ns_per_byte: float = 0.0
+    #: Fixed driver cost of one texture upload / readback call.
+    transfer_call_overhead_us: float = 200.0
+
+    @classmethod
+    def from_gles2_profile(cls, profile, codec_ns_per_byte: float = 2.0
+                           ) -> "GPUCostParameters":
+        """Build parameters from an embedded GL ES 2 device profile."""
+        return cls(
+            name=profile.name,
+            effective_gflops=profile.effective_gflops,
+            transfer_gib_per_s=profile.transfer_gib_per_s,
+            pass_overhead_us=profile.pass_overhead_us,
+            texture_fetch_ns=profile.texture_fetch_ns,
+            fill_rate_mpixels=profile.fill_rate_mpixels,
+            codec_ns_per_byte=codec_ns_per_byte,
+            transfer_call_overhead_us=400.0,
+        )
+
+    @classmethod
+    def from_cal_profile(cls, profile) -> "GPUCostParameters":
+        """Build parameters from a desktop CAL device profile."""
+        return cls(
+            name=profile.name,
+            effective_gflops=profile.effective_gflops,
+            transfer_gib_per_s=profile.transfer_gib_per_s,
+            pass_overhead_us=profile.pass_overhead_us,
+            texture_fetch_ns=profile.fetch_ns,
+            fill_rate_mpixels=profile.fill_rate_mpixels,
+            codec_ns_per_byte=0.0,
+            transfer_call_overhead_us=100.0,
+        )
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """Analytic model of GPU execution time."""
+
+    params: GPUCostParameters
+
+    def with_overrides(self, **overrides) -> "GPUModel":
+        """Return a copy with some cost parameters replaced (ablations)."""
+        return GPUModel(params=replace(self.params, **overrides))
+
+    # ------------------------------------------------------------------ #
+    def transfer_time(self, workload: GPUWorkload) -> float:
+        bandwidth = self.params.transfer_gib_per_s * (1 << 30)
+        payload = workload.bytes_to_device + workload.bytes_from_device
+        copy_s = payload / bandwidth if payload else 0.0
+        codec_s = payload * self.params.codec_ns_per_byte * 1e-9
+        call_s = workload.transfer_calls * self.params.transfer_call_overhead_us * 1e-6
+        return copy_s + codec_s + call_s
+
+    def kernel_time(self, workload: GPUWorkload) -> float:
+        efficiency = min(1.0, max(1e-3, workload.efficiency))
+        compute_s = workload.flops / (self.params.effective_gflops * 1e9 * efficiency) \
+            if workload.flops else 0.0
+        fetch_s = workload.texture_fetches * self.params.texture_fetch_ns * 1e-9
+        fill_s = workload.elements / (self.params.fill_rate_mpixels * 1e6) \
+            if workload.elements else 0.0
+        overhead_s = workload.passes * self.params.pass_overhead_us * 1e-6
+        # The shader pipeline overlaps ALU work and texture fetches with
+        # rasterization; the slower of the two dominates each pass.
+        return overhead_s + max(compute_s + fetch_s, fill_s)
+
+    def time_seconds(self, workload: GPUWorkload) -> float:
+        """Modelled end-to-end GPU time (transfers + all kernel passes)."""
+        if workload.passes < 0:
+            raise TimingModelError("negative pass count")
+        return self.transfer_time(workload) + self.kernel_time(workload)

@@ -1,0 +1,149 @@
+"""Platform definitions for the two testbeds of the paper.
+
+* **Target platform** - an ARM application core paired with a VideoCore IV
+  GPU driven through OpenGL ES 2.0 (the automotive-class board of the
+  evaluation section).  The CPU has no usable SIMD floating point, so the
+  reference C implementations run scalar.
+* **Reference platform** - an Intel Core 2 Duo T9400 with an AMD Mobility
+  Radeon HD 3400 driven through AMD's Brook+/CAL runtime.  Brook+ kernels
+  are vectorized and so (moderately) are the CPU reference loops.
+
+The numbers below are *effective* throughput figures for the kind of code
+each benchmark runs, calibrated so the Flops benchmark reproduces the
+GPU/CPU capability ratios of Figure 1 (26.7x on the target, 23x on the
+reference platform).  They are then reused unchanged for every other
+experiment; EXPERIMENTS.md records how well the remaining figures'
+shapes are reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..cal.device import get_cal_device
+from ..gles2.device import get_device_profile
+from .cpu_model import CPUModel, CPUWorkload
+from .gpu_model import GPUCostParameters, GPUModel, GPUWorkload
+
+__all__ = ["Platform", "TARGET_PLATFORM", "REFERENCE_PLATFORM", "PLATFORMS",
+           "get_platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A CPU + GPU pair with everything the speedup model needs."""
+
+    name: str
+    description: str
+    cpu: CPUModel
+    gpu: GPUModel
+    #: Which runtime backend corresponds to this platform's GPU.
+    backend_name: str
+    #: Whether the platform's CPU reference code benefits from SIMD.
+    cpu_vectorized: bool = False
+    #: Maximum stream dimension supported by the GPU (texture size).
+    max_stream_dimension: int = 2048
+
+    # ------------------------------------------------------------------ #
+    def cpu_time(self, workload: CPUWorkload) -> float:
+        """Modelled time of the CPU reference implementation."""
+        return self.cpu.time_seconds(workload, vectorized=self.cpu_vectorized)
+
+    def gpu_time(self, workload: GPUWorkload) -> float:
+        """Modelled end-to-end GPU time (including transfers)."""
+        return self.gpu.time_seconds(workload)
+
+    def speedup(self, gpu_workload: GPUWorkload, cpu_workload: CPUWorkload) -> float:
+        """GPU/CPU speedup (>1 means the GPU wins), as reported in the paper."""
+        gpu = self.gpu_time(gpu_workload)
+        cpu = self.cpu_time(cpu_workload)
+        if gpu <= 0:
+            return float("inf")
+        return cpu / gpu
+
+
+# --------------------------------------------------------------------------- #
+# Target platform: ARM + VideoCore IV through OpenGL ES 2.0 (Brook Auto).
+# --------------------------------------------------------------------------- #
+_TARGET_CPU = CPUModel(
+    name="arm1176",
+    frequency_ghz=0.7,
+    flops_per_cycle=0.25,      # scalar VFP, long latency chains
+    simd_speedup=1.0,
+    l1_bytes=16 * 1024,
+    l2_bytes=128 * 1024,
+    l1_bandwidth_gib=4.0,
+    l2_bandwidth_gib=1.5,
+    memory_bandwidth_gib=0.8,
+    l1_latency_ns=2.0,
+    l2_latency_ns=15.0,
+    memory_latency_ns=150.0,
+)
+
+_TARGET_GPU = GPUModel(
+    GPUCostParameters.from_gles2_profile(
+        get_device_profile("videocore-iv"), codec_ns_per_byte=2.0
+    )
+)
+
+TARGET_PLATFORM = Platform(
+    name="arm-videocore-iv",
+    description="ARM application core + VideoCore IV GPU via OpenGL ES 2.0 "
+                "(Brook Auto backend)",
+    cpu=_TARGET_CPU,
+    gpu=_TARGET_GPU,
+    backend_name="gles2",
+    cpu_vectorized=False,
+    max_stream_dimension=2048,
+)
+
+# --------------------------------------------------------------------------- #
+# Reference platform: Core 2 Duo T9400 + Mobility Radeon HD 3400 via CAL.
+# --------------------------------------------------------------------------- #
+_REFERENCE_CPU = CPUModel(
+    name="core2-t9400",
+    frequency_ghz=2.53,
+    flops_per_cycle=0.65,      # scalar compiled C with some ILP
+    simd_speedup=2.2,          # SSE on the vectorizable reference loops
+    l1_bytes=32 * 1024,
+    l2_bytes=6 * 1024 * 1024,
+    l1_bandwidth_gib=40.0,
+    l2_bandwidth_gib=16.0,
+    memory_bandwidth_gib=6.0,
+    l1_latency_ns=1.2,
+    l2_latency_ns=6.0,
+    memory_latency_ns=70.0,
+)
+
+_REFERENCE_GPU = GPUModel(
+    GPUCostParameters.from_cal_profile(get_cal_device("radeon-hd3400"))
+)
+
+REFERENCE_PLATFORM = Platform(
+    name="x86-core2-hd3400",
+    description="Intel Core 2 Duo T9400 + AMD Mobility Radeon HD 3400 via "
+                "Brook+/CAL (reference desktop backend)",
+    cpu=_REFERENCE_CPU,
+    gpu=_REFERENCE_GPU,
+    backend_name="cal",
+    cpu_vectorized=False,
+    max_stream_dimension=4096,
+)
+
+
+PLATFORMS: Dict[str, Platform] = {
+    TARGET_PLATFORM.name: TARGET_PLATFORM,
+    REFERENCE_PLATFORM.name: REFERENCE_PLATFORM,
+    # Aliases used by the evaluation harness.
+    "target": TARGET_PLATFORM,
+    "reference": REFERENCE_PLATFORM,
+}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform by name or alias ("target" / "reference")."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        raise KeyError(f"unknown platform {name!r}; available: {sorted(PLATFORMS)}")

@@ -1,0 +1,74 @@
+"""Shared fixtures for the Brook Auto reproduction test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze, parse
+from repro.runtime import BrookRuntime
+
+#: A small, fully compliant translation unit exercising most language
+#: features: scalar constants, streams, gathers, indexof, a helper
+#: function, a bounded loop and a reduction.
+SAMPLE_SOURCE = """
+float square(float value) {
+    return value * value;
+}
+
+kernel void saxpy(float alpha, float x<>, float y<>, out float result<>) {
+    result = alpha * x + y;
+}
+
+kernel void gather_scale(float data<>, float lut[], float n, out float scaled<>) {
+    float2 position = indexof(data);
+    float acc = 0.0;
+    for (int i = 0; i < 4; i = i + 1) {
+        acc = acc + square(data) * 0.25;
+    }
+    scaled = acc + lut[position.x] * n;
+}
+
+reduce void total(float value<>, reduce float accumulator) {
+    accumulator += value;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def sample_source():
+    return SAMPLE_SOURCE
+
+
+@pytest.fixture(scope="session")
+def sample_unit():
+    return parse(SAMPLE_SOURCE, "sample.br")
+
+
+@pytest.fixture(scope="session")
+def sample_program():
+    return analyze(parse(SAMPLE_SOURCE, "sample.br"))
+
+
+@pytest.fixture
+def cpu_runtime():
+    return BrookRuntime(backend="cpu")
+
+
+@pytest.fixture
+def gles2_runtime():
+    return BrookRuntime(backend="gles2", device="videocore-iv")
+
+
+@pytest.fixture
+def cal_runtime():
+    return BrookRuntime(backend="cal", device="radeon-hd3400")
+
+
+@pytest.fixture(params=["cpu", "gles2", "cal"])
+def any_runtime(request):
+    """Parametrised runtime covering every backend."""
+    return BrookRuntime(backend=request.param)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,185 @@
+"""Algorithm-level property tests for the reference applications.
+
+Each application's CPU reference and Brook implementation should not just
+agree with each other - they should satisfy the mathematical properties
+of the algorithm they claim to implement.  These tests check those
+invariants (mostly on the Brook/GL ES 2 path, since that is the paper's
+contribution).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_application
+from repro.apps.black_scholes import RISK_FREE_RATE, _cnd
+from repro.apps.image_filter import FILTER_3X3
+from repro.apps.mandelbrot import MAX_ITERATIONS
+
+
+def brook_outputs(name, size, seed=0, backend="gles2", **app_kwargs):
+    app = get_application(name)
+    for key, value in app_kwargs.items():
+        setattr(app, key, value)
+    runtime = app.create_runtime(backend)
+    module = app.compile(runtime)
+    inputs = app.generate_inputs(size, seed)
+    return inputs, app.run_brook(runtime, module, size, inputs)
+
+
+class TestFinancialKernels:
+    def test_black_scholes_put_call_parity(self):
+        """C - P = S - K * exp(-rT) must hold for every option priced."""
+        inputs, outputs = brook_outputs("black_scholes", 12, seed=5)
+        s, k, t = inputs["price"], inputs["strike"], inputs["years"]
+        parity = s - k * np.exp(-RISK_FREE_RATE * t)
+        np.testing.assert_allclose(outputs["call"] - outputs["put"], parity,
+                                   rtol=5e-3, atol=1e-2)
+
+    def test_black_scholes_call_within_no_arbitrage_bounds(self):
+        inputs, outputs = brook_outputs("black_scholes", 12, seed=6)
+        s, k, t = inputs["price"], inputs["strike"], inputs["years"]
+        lower = np.maximum(s - k * np.exp(-RISK_FREE_RATE * t), 0.0)
+        assert np.all(outputs["call"] >= lower - 1e-2)
+        assert np.all(outputs["call"] <= s + 1e-2)
+
+    def test_cnd_is_a_distribution_function(self):
+        xs = np.linspace(-6, 6, 201)
+        values = _cnd(xs)
+        assert np.all(np.diff(values) >= -1e-7)           # monotone
+        assert values[0] == pytest.approx(0.0, abs=1e-5)
+        assert values[-1] == pytest.approx(1.0, abs=1e-5)
+        assert _cnd(np.array([0.0]))[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_binomial_price_is_nonnegative_and_bounded(self):
+        inputs, outputs = brook_outputs("binomial", 10, seed=2)
+        values = outputs["value"]
+        assert np.all(values >= -1e-4)
+        assert np.all(values <= inputs["price"] + 1e-3)
+
+    def test_binomial_approaches_black_scholes(self):
+        """With matching parameters the CRR lattice approximates the
+        Black-Scholes closed form (European call, no dividends)."""
+        from repro.apps.binomial import BinomialOptionApp, VOLATILITY, YEARS
+        app = BinomialOptionApp(num_steps=63)
+        price = np.full((4, 4), 50.0, dtype=np.float32)
+        strike = np.full((4, 4), 45.0, dtype=np.float32)
+        lattice = app.cpu_reference(4, {"price": price, "strike": strike})["value"]
+        sqrt_t = np.sqrt(YEARS)
+        d1 = (np.log(50.0 / 45.0) + (RISK_FREE_RATE + 0.5 * VOLATILITY ** 2) * YEARS) \
+            / (VOLATILITY * sqrt_t)
+        d2 = d1 - VOLATILITY * sqrt_t
+        closed_form = 50.0 * _cnd(np.array([d1]))[0] \
+            - 45.0 * np.exp(-RISK_FREE_RATE * YEARS) * _cnd(np.array([d2]))[0]
+        assert lattice[0, 0] == pytest.approx(closed_form, rel=0.02)
+
+
+class TestDataProcessingKernels:
+    def test_prefix_sum_last_element_is_total(self):
+        inputs, outputs = brook_outputs("prefix_sum", 12, seed=1)
+        scan = outputs["scan"].reshape(-1)
+        total = inputs["values"].sum(dtype=np.float64)
+        assert scan[-1] == pytest.approx(float(total), rel=1e-4)
+
+    def test_prefix_sum_is_monotone_for_nonnegative_inputs(self):
+        _, outputs = brook_outputs("prefix_sum", 12, seed=3)
+        scan = outputs["scan"].reshape(-1)
+        assert np.all(np.diff(scan) >= -1e-4)
+
+    def test_bitonic_sort_output_is_sorted_permutation(self):
+        inputs, outputs = brook_outputs("bitonic_sort", 8, seed=4)
+        result = outputs["sorted"].reshape(-1)
+        assert np.all(np.diff(result) >= 0)
+        np.testing.assert_array_equal(np.sort(inputs["values"].reshape(-1)), result)
+
+    def test_binary_search_finds_every_key(self):
+        inputs, outputs = brook_outputs("binary_search", 12, seed=5)
+        table = inputs["table"].reshape(-1)
+        keys = inputs["keys"].reshape(-1)
+        positions = outputs["position"].reshape(-1).astype(int)
+        assert np.all(positions >= 0)
+        np.testing.assert_array_equal(table[positions], keys)
+
+    def test_spmv_is_linear_in_the_vector(self):
+        """SpMV(A, 2x) == 2 * SpMV(A, x)."""
+        app = get_application("spmv")
+        runtime = app.create_runtime("cpu")
+        module = app.compile(runtime)
+        inputs = app.generate_inputs(64, seed=6)
+        base = app.run_brook(runtime, module, 64, inputs)["row_sum"]
+        scaled_inputs = dict(inputs)
+        scaled_inputs["vector"] = inputs["vector"] * 2.0
+        runtime2 = app.create_runtime("cpu")
+        module2 = app.compile(runtime2)
+        doubled = app.run_brook(runtime2, module2, 64, scaled_inputs)["row_sum"]
+        np.testing.assert_allclose(doubled, 2.0 * base, rtol=1e-5, atol=1e-5)
+
+
+class TestGraphAndImageKernels:
+    def test_floyd_warshall_triangle_inequality(self):
+        _, outputs = brook_outputs("floyd_warshall", 10, seed=7)
+        dist = outputs["dist"].astype(np.float64)
+        n = dist.shape[0]
+        # d(i, j) <= d(i, k) + d(k, j) for every k after convergence.
+        for k in range(n):
+            through = dist[:, k:k + 1] + dist[k:k + 1, :]
+            assert np.all(dist <= through + 1e-3)
+
+    def test_floyd_warshall_never_increases_distances(self):
+        inputs, outputs = brook_outputs("floyd_warshall", 10, seed=8)
+        assert np.all(outputs["dist"] <= inputs["weights"] + 1e-4)
+
+    def test_floyd_warshall_diagonal_is_zero(self):
+        _, outputs = brook_outputs("floyd_warshall", 10, seed=9)
+        np.testing.assert_allclose(np.diag(outputs["dist"]), 0.0, atol=1e-6)
+
+    def test_image_filter_preserves_constant_images(self):
+        app = get_application("image_filter")
+        runtime = app.create_runtime("gles2")
+        module = app.compile(runtime)
+        constant = {"image": np.full((16, 16), 25.0, dtype=np.float32)}
+        filtered = app.run_brook(runtime, module, 16, constant)["filtered"]
+        np.testing.assert_allclose(filtered, 25.0, rtol=1e-5)
+
+    def test_image_filter_kernel_weights_sum_to_one(self):
+        assert FILTER_3X3.sum() == pytest.approx(1.0)
+
+    def test_image_filter_output_within_input_range(self):
+        inputs, outputs = brook_outputs("image_filter", 16, seed=10)
+        assert outputs["filtered"].min() >= inputs["image"].min() - 1e-3
+        assert outputs["filtered"].max() <= inputs["image"].max() + 1e-3
+
+    def test_mandelbrot_known_points(self):
+        """The origin never escapes; points far outside the set escape
+        immediately."""
+        _, outputs = brook_outputs("mandelbrot", 16)
+        iterations = outputs["iterations"]
+        assert iterations.max() == MAX_ITERATIONS       # interior points
+        assert iterations.min() <= 2                     # far exterior corners
+
+    def test_mandelbrot_is_deterministic(self):
+        _, first = brook_outputs("mandelbrot", 16)
+        _, second = brook_outputs("mandelbrot", 16, seed=99)
+        np.testing.assert_array_equal(first["iterations"], second["iterations"])
+
+    def test_sgemm_identity_matrix(self):
+        app = get_application("sgemm")
+        runtime = app.create_runtime("gles2")
+        module = app.compile(runtime)
+        rng = np.random.default_rng(11)
+        a = rng.uniform(-1, 1, (16, 16)).astype(np.float32)
+        identity = np.eye(16, dtype=np.float32)
+        outputs = app.run_brook(runtime, module, 16, {"a": a, "b": identity})
+        np.testing.assert_allclose(outputs["c"], a, rtol=1e-5, atol=1e-5)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_sgemm_matches_numpy_for_random_seeds(self, seed):
+        app = get_application("sgemm")
+        runtime = app.create_runtime("cpu")
+        module = app.compile(runtime)
+        inputs = app.generate_inputs(12, seed=seed)
+        outputs = app.run_brook(runtime, module, 12, inputs)
+        expected = inputs["a"].astype(np.float64) @ inputs["b"].astype(np.float64)
+        np.testing.assert_allclose(outputs["c"], expected, rtol=2e-3, atol=1e-3)

@@ -1,0 +1,211 @@
+"""Integration tests for the Brook+ reference application suite.
+
+Every application is compiled through the full Brook Auto pipeline,
+executed functionally on the CPU and the simulated OpenGL ES 2 backends
+at a small input size, and validated against its own CPU reference -
+exactly the validation methodology the Brook+ samples implement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application, list_applications
+from repro.apps.base import BrookApplication
+from repro.apps.handwritten_sgemm import BrookRuntimeOverheadModel, HandwrittenSgemm
+from repro.timing import REFERENCE_PLATFORM, TARGET_PLATFORM
+
+ALL_APPS = list_applications()
+
+#: Functional test sizes, kept small so the SIMT simulation stays fast.
+SMALL_SIZE = {
+    "flops": 12,
+    "binomial": 12,
+    "black_scholes": 16,
+    "prefix_sum": 16,
+    "spmv": 64,
+    "binary_search": 16,
+    "bitonic_sort": 8,
+    "floyd_warshall": 12,
+    "image_filter": 16,
+    "mandelbrot": 16,
+    "sgemm": 16,
+}
+
+
+class TestRegistry:
+    def test_eleven_applications_registered(self):
+        assert len(ALL_APPS) == 11
+
+    def test_expected_names(self):
+        assert set(ALL_APPS) == {
+            "flops", "binomial", "black_scholes", "prefix_sum", "spmv",
+            "binary_search", "bitonic_sort", "floyd_warshall", "image_filter",
+            "mandelbrot", "sgemm",
+        }
+
+    def test_unknown_application_raises(self):
+        from repro.errors import BrookError
+        with pytest.raises(BrookError):
+            get_application("raytracer")
+
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_metadata_complete(self, name):
+        app = get_application(name)
+        assert isinstance(app, BrookApplication)
+        assert app.description
+        assert app.figure in ("figure1", "figure2", "figure3", "figure4")
+        assert app.brook_source.strip()
+        assert app.default_sizes
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_compiles_and_certifies_for_gles2(self, name):
+        app = get_application(name)
+        runtime = app.create_runtime("gles2", "videocore-iv")
+        module = app.compile(runtime)
+        assert module.certification.is_compliant
+
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_glsl_es_artifacts_generated(self, name):
+        app = get_application(name)
+        runtime = app.create_runtime("gles2", "videocore-iv")
+        module = app.compile(runtime)
+        for kernel in module.program.kernels.values():
+            assert kernel.glsl_es is not None
+            assert "gl_FragColor" in kernel.glsl_es
+
+
+class TestFunctionalValidation:
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_cpu_backend_matches_reference(self, name):
+        app = get_application(name)
+        result = app.run(backend="cpu", size=SMALL_SIZE[name], seed=7)
+        assert result.valid, f"max rel error {result.max_rel_error:.2e}"
+
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_gles2_backend_matches_reference(self, name):
+        app = get_application(name)
+        result = app.run(backend="gles2", size=SMALL_SIZE[name], seed=7)
+        assert result.valid, f"max rel error {result.max_rel_error:.2e}"
+
+    @pytest.mark.parametrize("name", ["sgemm", "image_filter", "binary_search"])
+    def test_cal_backend_matches_reference(self, name):
+        app = get_application(name)
+        result = app.run(backend="cal", size=SMALL_SIZE[name], seed=7)
+        assert result.valid
+
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_inputs_are_seeded_and_reproducible(self, name):
+        app = get_application(name)
+        first = app.generate_inputs(SMALL_SIZE[name], seed=3)
+        second = app.generate_inputs(SMALL_SIZE[name], seed=3)
+        different = app.generate_inputs(SMALL_SIZE[name], seed=4)
+        for key in first:
+            np.testing.assert_array_equal(first[key], second[key])
+        if first:  # mandelbrot has no inputs
+            assert any(not np.array_equal(first[k], different[k]) for k in first)
+
+    def test_run_records_statistics(self):
+        app = get_application("sgemm")
+        result = app.run(backend="gles2", size=16, seed=0)
+        assert result.statistics.total_passes >= 1
+        assert result.statistics.bytes_uploaded > 0
+        assert result.wall_clock_seconds > 0
+
+    def test_validation_detects_corruption(self):
+        app = get_application("sgemm")
+        inputs = app.generate_inputs(8, seed=0)
+        reference = app.cpu_reference(8, inputs)
+        corrupted = {"c": reference["c"] + 1.0}
+        valid, error = app.validate(corrupted, reference)
+        assert not valid and error > app.validation_rtol
+
+    def test_validation_detects_missing_output(self):
+        app = get_application("sgemm")
+        inputs = app.generate_inputs(8, seed=0)
+        reference = app.cpu_reference(8, inputs)
+        valid, _ = app.validate({}, reference)
+        assert not valid
+
+    def test_bitonic_sort_requires_power_of_two_count(self):
+        app = get_application("bitonic_sort")
+        with pytest.raises(ValueError):
+            app.generate_inputs(12)
+
+
+class TestWorkloadModels:
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_workloads_are_positive_and_monotonic(self, name):
+        app = get_application(name)
+        sizes = app.sizes_for(TARGET_PLATFORM)[:3]
+        previous_flops = 0.0
+        for size in sizes:
+            gpu = app.gpu_workload(size, TARGET_PLATFORM)
+            cpu = app.cpu_workload(size, TARGET_PLATFORM)
+            assert gpu.flops > 0 and gpu.passes >= 1
+            assert cpu.flops >= 0
+            assert gpu.flops >= previous_flops
+            previous_flops = gpu.flops
+
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_speedup_series_has_expected_sizes(self, name):
+        app = get_application(name)
+        series = app.speedup_series(TARGET_PLATFORM)
+        assert len(series) == len(app.sizes_for(TARGET_PLATFORM))
+        assert all(speedup > 0 for _, speedup in series)
+
+    def test_spmv_capped_at_1024_on_target(self):
+        app = get_application("spmv")
+        assert max(app.sizes_for(TARGET_PLATFORM)) == 1024
+        assert max(app.sizes_for(REFERENCE_PLATFORM)) == 2048
+
+    def test_flops_workload_matches_paper_configuration(self):
+        app = get_application("flops")
+        workload = app.gpu_workload(512, TARGET_PLATFORM)
+        # ~2 GFLOP over 1 MB of data (512 x 512 floats).
+        assert workload.flops == pytest.approx(2.0e9, rel=0.15)
+        assert workload.bytes_to_device == 512 * 512 * 4
+
+    def test_measured_flops_close_to_model(self):
+        """Cross-check the closed-form workload model against the counters
+        of the functional simulation (per DESIGN.md section 5)."""
+        app = get_application("sgemm")
+        size = 16
+        result = app.run(backend="gles2", size=size, seed=0)
+        modeled = app.gpu_workload(size, TARGET_PLATFORM)
+        measured = result.statistics.total_flops
+        # The evaluator additionally counts loop bookkeeping, so the two
+        # agree to within a small factor, not exactly.
+        assert modeled.flops <= measured <= 3.0 * modeled.flops
+
+    def test_measured_transfers_match_model_exactly(self):
+        app = get_application("image_filter")
+        size = 32
+        result = app.run(backend="gles2", size=size, seed=0)
+        modeled = app.gpu_workload(size, TARGET_PLATFORM)
+        assert result.statistics.bytes_uploaded == modeled.bytes_to_device
+        assert result.statistics.bytes_downloaded == modeled.bytes_from_device
+
+
+class TestHandwrittenSgemm:
+    def test_matches_reference(self):
+        hand = HandwrittenSgemm()
+        result = hand.run(32, seed=5)
+        np.testing.assert_allclose(result.c, hand.reference(32, seed=5),
+                                   rtol=2e-3, atol=1e-3)
+
+    def test_counts_gl_level_work(self):
+        hand = HandwrittenSgemm()
+        result = hand.run(16, seed=1)
+        assert result.fragments == 16 * 16
+        assert result.texture_fetches == 2 * 16 ** 3
+        assert result.bytes_uploaded == 2 * 16 * 16 * 4
+
+    def test_brook_overhead_model_band(self):
+        overhead = BrookRuntimeOverheadModel()
+        assert overhead.brook_time(1.0) > 1.0
+        # Large kernels amortise the fixed overhead towards the code penalty.
+        ratio_large = 10.0 / overhead.brook_time(10.0)
+        ratio_small = 0.005 / overhead.brook_time(0.005)
+        assert ratio_small < ratio_large <= 0.95

@@ -1,0 +1,142 @@
+"""Cross-backend equivalence and property-based end-to-end tests.
+
+Brook's portability promise is that the same kernel computes the same
+result on every backend ("the same Brook kernel to be executed in the
+same way independently of the target device", section 5.2).  These tests
+check that promise end to end - CPU vs simulated OpenGL ES 2 vs simulated
+CAL - including on shapes that force texture padding, and use hypothesis
+to drive the data.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import BrookRuntime
+
+PIPELINE = """
+float weight(float x) {
+    return 0.5 + 0.5 * cos(x);
+}
+
+kernel void transform(float a<>, float b<>, float gain, out float o<>) {
+    float acc = 0.0;
+    for (int i = 0; i < 3; i = i + 1) {
+        acc = acc + weight(a * float(i)) * b;
+    }
+    o = (acc > 1.0) ? acc * gain : acc - gain;
+}
+"""
+
+GATHER_KERNEL = """
+kernel void smear(float a<>, float lut[][], float width, float height,
+                  out float o<>) {
+    float2 p = indexof(a);
+    float x1 = min(p.x + 1.0, width - 1.0);
+    float y1 = min(p.y + 1.0, height - 1.0);
+    o = a + lut[p.y][x1] + lut[y1][p.x];
+}
+"""
+
+REDUCE_KERNEL = "reduce void total(float v<>, reduce float acc) { acc += v; }"
+
+
+def run_on(backend, source, kernel, streams, scalars, out_shape):
+    runtime = BrookRuntime(backend=backend)
+    module = runtime.compile(source)
+    handles = [runtime.stream_from(data) for data in streams]
+    out = runtime.stream(out_shape)
+    module.kernel(kernel)(*handles, *scalars, out)
+    return out.read()
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("shape", [(8, 8), (5, 9), (3, 17), (16,)])
+    def test_transform_kernel_matches_across_backends(self, shape, rng):
+        a = rng.uniform(-2, 2, shape).astype(np.float32)
+        b = rng.uniform(-2, 2, shape).astype(np.float32)
+        results = {
+            backend: run_on(backend, PIPELINE, "transform", [a, b], [1.5], shape)
+            for backend in ("cpu", "gles2", "cal")
+        }
+        np.testing.assert_allclose(results["gles2"], results["cpu"],
+                                   rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(results["cal"], results["cpu"],
+                                   rtol=1e-6, atol=1e-7)
+
+    @pytest.mark.parametrize("shape", [(6, 6), (7, 13)])
+    def test_gather_kernel_matches_across_backends(self, shape, rng):
+        a = rng.uniform(0, 1, shape).astype(np.float32)
+        lut = rng.uniform(0, 1, shape).astype(np.float32)
+        expected = None
+        for backend in ("cpu", "gles2", "cal"):
+            runtime = BrookRuntime(backend=backend)
+            module = runtime.compile(GATHER_KERNEL)
+            sa = runtime.stream_from(a)
+            slut = runtime.stream_from(lut)
+            out = runtime.stream(shape)
+            module.smear(sa, slut, float(shape[-1]), float(shape[0]), out)
+            result = out.read()
+            if expected is None:
+                expected = result
+            else:
+                np.testing.assert_allclose(result, expected, rtol=1e-6, atol=1e-6)
+
+    def test_npot_shape_regression(self, rng):
+        """Regression test: non-power-of-two streams must sample correctly
+        through padded textures (paper section 5.3 bookkeeping)."""
+        shape = (12, 12)
+        a = rng.uniform(-1, 1, shape).astype(np.float32)
+        b = rng.uniform(-1, 1, shape).astype(np.float32)
+        gles2 = run_on("gles2", PIPELINE, "transform", [a, b], [0.5], shape)
+        cpu = run_on("cpu", PIPELINE, "transform", [a, b], [0.5], shape)
+        np.testing.assert_allclose(gles2, cpu, rtol=1e-5, atol=1e-6)
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=12),
+           st.floats(min_value=-4.0, max_value=4.0, allow_nan=False),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_saxpy_matches_numpy_on_gles2(self, rows, cols, alpha, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-100, 100, (rows, cols)).astype(np.float32)
+        y = rng.uniform(-100, 100, (rows, cols)).astype(np.float32)
+        runtime = BrookRuntime(backend="gles2")
+        module = runtime.compile(
+            "kernel void saxpy(float a, float x<>, float y<>, out float r<>) {"
+            " r = a * x + y; }"
+        )
+        sx, sy = runtime.stream_from(x), runtime.stream_from(y)
+        out = runtime.stream((rows, cols))
+        module.saxpy(alpha, sx, sy, out)
+        expected = np.float32(alpha) * x + y
+        np.testing.assert_allclose(out.read(), expected, rtol=1e-6, atol=1e-5)
+
+    @given(st.integers(min_value=1, max_value=14),
+           st.integers(min_value=1, max_value=14),
+           st.integers(min_value=0, max_value=2 ** 31 - 1),
+           st.sampled_from(["cpu", "gles2", "cal"]))
+    @settings(max_examples=20, deadline=None)
+    def test_reduction_equals_numpy_sum(self, rows, cols, seed, backend):
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-10, 10, (rows, cols)).astype(np.float32)
+        runtime = BrookRuntime(backend=backend)
+        module = runtime.compile(REDUCE_KERNEL)
+        stream = runtime.stream_from(data)
+        result = module.total(stream)
+        assert result == pytest.approx(float(data.astype(np.float64).sum()),
+                                       rel=1e-3, abs=1e-3)
+
+    @given(st.integers(min_value=2, max_value=40),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_gles2_storage_roundtrip_is_lossless(self, count, seed):
+        rng = np.random.default_rng(seed)
+        data = (rng.standard_normal(count) * 10.0 ** rng.integers(-10, 10)
+                ).astype(np.float32)
+        runtime = BrookRuntime(backend="gles2")
+        stream = runtime.stream_from(data)
+        np.testing.assert_array_equal(stream.read(), data)

@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart rendering of the figure series."""
+
+import pytest
+
+from repro.evaluation import figure3
+from repro.evaluation.charts import ascii_chart, figure_chart
+
+
+class TestAsciiChart:
+    SERIES = {"demo": [(128, 0.5), (256, 1.0), (512, 2.0), (1024, 8.0)]}
+
+    def test_contains_title_and_legend(self):
+        chart = ascii_chart(self.SERIES, title="Demo chart")
+        assert chart.splitlines()[0] == "Demo chart"
+        assert "o = demo" in chart
+
+    def test_break_even_line_present(self):
+        chart = ascii_chart(self.SERIES)
+        assert any(line.startswith("    1.00x +") for line in chart.splitlines())
+
+    def test_all_sizes_on_axis(self):
+        chart = ascii_chart(self.SERIES)
+        for size in (128, 256, 512, 1024):
+            assert str(size) in chart
+
+    def test_higher_speedups_plot_higher(self):
+        chart_lines = ascii_chart(self.SERIES).splitlines()
+        rows_with_marker = [i for i, line in enumerate(chart_lines) if "o" in line]
+        # The first marker row (highest speedup) is above the last one.
+        assert rows_with_marker[0] < rows_with_marker[-1]
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        chart = ascii_chart({
+            "first": [(128, 2.0), (256, 3.0)],
+            "second": [(128, 0.2), (256, 0.4)],
+        })
+        assert "o = first" in chart and "x = second" in chart
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_single_point_series(self):
+        chart = ascii_chart({"single": [(256, 5.0)]})
+        assert "256" in chart
+
+    def test_dimensions_respected(self):
+        chart = ascii_chart(self.SERIES, width=40, height=10)
+        body_lines = [line for line in chart.splitlines() if "|" in line or "+" in line]
+        assert len(body_lines) >= 10
+
+
+class TestFigureChart:
+    def test_figure3_chart_contains_every_application(self):
+        result = figure3.run()
+        chart = figure_chart(result)
+        for name in figure3.APPLICATIONS:
+            assert name in chart
+
+    def test_reference_platform_chart(self):
+        result = figure3.run()
+        chart = figure_chart(result, platform_label="reference")
+        assert "reference platform" in chart

@@ -1,0 +1,101 @@
+"""Tests for the ``brookauto`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+COMPLIANT = """
+kernel void scale(float a<>, float k, out float o<>) {
+    o = a * k;
+}
+"""
+
+NON_COMPLIANT = """
+kernel void f(float *p, out float o<>) {
+    o = p[0];
+}
+"""
+
+
+@pytest.fixture
+def compliant_file(tmp_path):
+    path = tmp_path / "scale.br"
+    path.write_text(COMPLIANT)
+    return path
+
+
+@pytest.fixture
+def non_compliant_file(tmp_path):
+    path = tmp_path / "legacy.br"
+    path.write_text(NON_COMPLIANT)
+    return path
+
+
+class TestCompileCommand:
+    def test_compile_writes_artifacts(self, compliant_file, tmp_path, capsys):
+        output = tmp_path / "out"
+        exit_code = main(["compile", str(compliant_file),
+                          "--output-dir", str(output)])
+        assert exit_code == 0
+        assert (output / "scale.es2.frag").exists()
+        assert (output / "scale.gl.frag").exists()
+        assert (output / "scale.cpu.c").exists()
+        assert "COMPLIANT" in capsys.readouterr().out
+
+    def test_compile_rejects_non_compliant_source(self, non_compliant_file, capsys):
+        exit_code = main(["compile", str(non_compliant_file)])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_no_strict_accepts_it(self, non_compliant_file, tmp_path):
+        exit_code = main(["compile", str(non_compliant_file), "--no-strict",
+                          "--output-dir", str(tmp_path / "o")])
+        assert exit_code == 0
+
+
+class TestCheckCommand:
+    def test_check_compliant(self, compliant_file, capsys):
+        assert main(["check", str(compliant_file)]) == 0
+        assert "COMPLIANT" in capsys.readouterr().out
+
+    def test_check_non_compliant_exit_code(self, non_compliant_file, capsys):
+        assert main(["check", str(non_compliant_file)]) == 2
+        assert "BA-001" in capsys.readouterr().out
+
+    def test_check_json_format(self, compliant_file, capsys):
+        main(["check", str(compliant_file), "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["compliant"] is True
+
+    def test_check_markdown_format(self, compliant_file, capsys):
+        main(["check", str(compliant_file), "--format", "markdown"])
+        assert "| Rule |" in capsys.readouterr().out
+
+    def test_check_on_constrained_device(self, compliant_file):
+        assert main(["check", str(compliant_file),
+                     "--device", "constrained-es2"]) == 0
+
+
+class TestRunAppAndEvaluate:
+    def test_run_app_validates(self, capsys):
+        exit_code = main(["run-app", "image_filter", "--backend", "gles2",
+                          "--size", "16"])
+        assert exit_code == 0
+        assert "validation PASSED" in capsys.readouterr().out
+
+    def test_run_app_cpu_backend(self, capsys):
+        assert main(["run-app", "sgemm", "--backend", "cpu", "--size", "8"]) == 0
+
+    def test_run_app_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run-app", "raytracer"])
+
+    def test_evaluate_figure1(self, capsys):
+        assert main(["evaluate", "figure1"]) == 0
+        assert "26.7" in capsys.readouterr().out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,211 @@
+"""Unit tests for the GLSL ES 1.0, desktop GLSL and C code generators."""
+
+import pytest
+
+from repro.core.codegen.c_backend import generate_c
+from repro.core.codegen.glsl_desktop import generate_desktop_glsl
+from repro.core.codegen.glsl_es import generate_glsl_es
+from repro.core.parser import parse
+from repro.errors import CodegenError
+
+
+def kernel_and_helpers(source):
+    unit = parse(source)
+    helpers = [f for f in unit.functions if not (f.is_kernel or f.is_reduction)]
+    return unit.kernels[0], helpers
+
+
+SIMPLE = "kernel void scale(float a<>, float k, out float o<>) { o = a * k; }"
+
+GATHER = (
+    "kernel void lookup(float a<>, float lut[], float table[][], out float o<>) {"
+    " float2 p = indexof(a);"
+    " o = lut[p.x] + table[p.y][p.x]; }"
+)
+
+
+class TestGLSLES:
+    def test_simple_kernel_structure(self):
+        kernel, helpers = kernel_and_helpers(SIMPLE)
+        shader = generate_glsl_es(kernel, helpers)
+        assert "precision highp float;" in shader
+        assert "uniform sampler2D __stream_a;" in shader
+        assert "uniform float k;" in shader
+        assert "void main()" in shader
+        assert "gl_FragColor = __brook_encode_float(o);" in shader
+
+    def test_inputs_are_decoded_from_rgba8(self):
+        kernel, helpers = kernel_and_helpers(SIMPLE)
+        shader = generate_glsl_es(kernel, helpers)
+        assert "__brook_decode_float(texture2D(__stream_a, __brook_texcoord))" in shader
+
+    def test_codec_functions_present(self):
+        kernel, _ = kernel_and_helpers(SIMPLE)
+        shader = generate_glsl_es(kernel)
+        assert "__brook_encode_float" in shader
+        assert "__brook_decode_float" in shader
+        assert "exp2" in shader  # arithmetic-only reconstruction
+
+    def test_gather_uses_normalized_coordinates(self):
+        kernel, helpers = kernel_and_helpers(GATHER)
+        shader = generate_glsl_es(kernel, helpers)
+        # Hidden uniforms with the texture dimensions (paper section 5.2).
+        assert "uniform vec2 __dim_lut;" in shader
+        assert "uniform vec2 __dim_table;" in shader
+        # Indices scaled by the hidden dimensions.
+        assert "/ __dim_lut.x" in shader
+        assert "/ __dim_table" in shader
+
+    def test_indexof_lowered_to_scaled_texcoord(self):
+        kernel, helpers = kernel_and_helpers(GATHER)
+        shader = generate_glsl_es(kernel, helpers)
+        assert "floor(__brook_texcoord * __brook_output_size)" in shader
+
+    def test_helper_functions_emitted(self):
+        source = (
+            "float sq(float x) { return x * x; }\n"
+            "kernel void f(float a<>, out float o<>) { o = sq(a); }"
+        )
+        kernel, helpers = kernel_and_helpers(source)
+        shader = generate_glsl_es(kernel, helpers)
+        assert "float sq(float x)" in shader
+
+    def test_builtin_renaming(self):
+        source = (
+            "kernel void f(float a<>, out float o<>) {"
+            " o = lerp(frac(a), rsqrt(a), 0.5) + fmod(a, 2.0); }"
+        )
+        kernel, _ = kernel_and_helpers(source)
+        shader = generate_glsl_es(kernel)
+        assert "mix(" in shader
+        assert "fract(" in shader
+        assert "inversesqrt(" in shader
+        assert "mod(" in shader
+
+    def test_loops_and_branches_emitted(self):
+        source = (
+            "kernel void f(float a<>, out float o<>) {"
+            " o = 0.0;"
+            " for (int i = 0; i < 4; i = i + 1) {"
+            "   if (a > 0.5) { o += a; } else { o -= a; } } }"
+        )
+        kernel, _ = kernel_and_helpers(source)
+        shader = generate_glsl_es(kernel)
+        assert "for (int i = 0;" in shader
+        assert "if ((a > 0.5))" in shader
+
+    def test_multi_output_kernel_rejected(self):
+        kernel, _ = kernel_and_helpers(
+            "kernel void f(float a<>, out float x<>, out float y<>) {"
+            " x = a; y = a; }"
+        )
+        with pytest.raises(CodegenError):
+            generate_glsl_es(kernel)
+
+    def test_vector_stream_rejected(self):
+        kernel, _ = kernel_and_helpers(
+            "kernel void f(float4 a<>, out float o<>) { o = a.x; }"
+        )
+        with pytest.raises(CodegenError):
+            generate_glsl_es(kernel)
+
+    def test_reduction_shader_structure(self):
+        kernel, _ = kernel_and_helpers(
+            "reduce void total(float a<>, reduce float r) { r += a; }"
+        )
+        shader = generate_glsl_es(kernel)
+        assert "uniform sampler2D __reduce_input;" in shader
+        assert "__reduce_live_size" in shader
+        assert "__reduce_total" in shader
+
+    def test_scalar_int_parameter(self):
+        kernel, _ = kernel_and_helpers(
+            "kernel void f(float a<>, int n, out float o<>) { o = a * float(n); }"
+        )
+        shader = generate_glsl_es(kernel)
+        assert "uniform int n;" in shader
+
+
+class TestDesktopGLSL:
+    def test_texture_rectangle_addressing(self):
+        kernel, helpers = kernel_and_helpers(GATHER)
+        shader = generate_desktop_glsl(kernel, helpers)
+        assert "sampler2DRect" in shader
+        assert "texture2DRect" in shader
+        # Non-normalized: no division by hidden dimensions.
+        assert "__dim_lut" not in shader
+
+    def test_no_rgba8_codec_on_desktop(self):
+        kernel, _ = kernel_and_helpers(SIMPLE)
+        shader = generate_desktop_glsl(kernel)
+        assert "__brook_encode_float" not in shader
+
+    def test_indexof_uses_fragcoord(self):
+        kernel, helpers = kernel_and_helpers(GATHER)
+        shader = generate_desktop_glsl(kernel, helpers)
+        assert "gl_FragCoord" in shader
+
+    def test_multiple_outputs_use_gl_fragdata(self):
+        kernel, _ = kernel_and_helpers(
+            "kernel void f(float a<>, out float x<>, out float y<>) {"
+            " x = a; y = a; }"
+        )
+        shader = generate_desktop_glsl(kernel)
+        assert "gl_FragData[0]" in shader
+        assert "gl_FragData[1]" in shader
+
+    def test_vector_kernel_supported(self):
+        kernel, _ = kernel_and_helpers(
+            "kernel void f(float4 a<>, out float4 o<>) { o = a * 2.0; }"
+        )
+        shader = generate_desktop_glsl(kernel)
+        assert "vec4" in shader
+
+
+class TestCBackend:
+    def test_driver_loop_structure(self):
+        kernel, _ = kernel_and_helpers(SIMPLE)
+        code = generate_c(kernel)
+        assert "void brook_cpu_scale(" in code
+        assert "for (__y = 0; __y < __height; ++__y)" in code
+        assert "const float *a" in code
+        assert "float *o" in code
+
+    def test_gather_parameter_becomes_pointer_plus_width(self):
+        kernel, _ = kernel_and_helpers(GATHER)
+        code = generate_c(kernel)
+        assert "const float *lut" in code
+        assert "size_t lut_width" in code
+        assert "lut[(size_t)(" in code
+
+    def test_math_functions_use_c99_spellings(self):
+        kernel, _ = kernel_and_helpers(
+            "kernel void f(float a<>, out float o<>) {"
+            " o = sqrt(abs(a)) + pow(a, 2.0) + lerp(a, 1.0, 0.5); }"
+        )
+        code = generate_c(kernel)
+        assert "sqrtf(" in code
+        assert "fabsf(" in code
+        assert "powf(" in code
+        assert "brook_lerp(" in code
+
+    def test_helpers_are_static_functions(self):
+        source = (
+            "float sq(float x) { return x * x; }\n"
+            "kernel void f(float a<>, out float o<>) { o = sq(a); }"
+        )
+        kernel, helpers = kernel_and_helpers(source)
+        code = generate_c(kernel, helpers)
+        assert "static float sq(float x)" in code
+
+    def test_vector_typedefs_present(self):
+        kernel, _ = kernel_and_helpers(SIMPLE)
+        code = generate_c(kernel)
+        assert "typedef struct { float x, y, z, w; } brook_float4;" in code
+
+    def test_indexof_maps_to_brook_index(self):
+        kernel, _ = kernel_and_helpers(
+            "kernel void f(float a<>, out float o<>) { o = indexof(a).x; }"
+        )
+        code = generate_c(kernel)
+        assert "__brook_index" in code

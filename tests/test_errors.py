@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy and source locations."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_brook_error(self):
+        for name in ("BrookSyntaxError", "BrookTypeError", "CertificationError",
+                     "CodegenError", "RuntimeBrookError", "StreamError",
+                     "KernelLaunchError", "BackendError", "GLES2Error",
+                     "CALError", "TimingModelError"):
+            exc_type = getattr(errors, name)
+            assert issubclass(exc_type, errors.BrookError), name
+
+    def test_runtime_errors_group(self):
+        assert issubclass(errors.StreamError, errors.RuntimeBrookError)
+        assert issubclass(errors.KernelLaunchError, errors.RuntimeBrookError)
+        assert issubclass(errors.BackendError, errors.RuntimeBrookError)
+
+    def test_catching_base_class(self):
+        with pytest.raises(errors.BrookError):
+            raise errors.GLES2Error("boom")
+
+
+class TestSourceLocation:
+    def test_string_form(self):
+        location = errors.SourceLocation("kernel.br", 12, 5)
+        assert str(location) == "kernel.br:12:5"
+
+    def test_defaults(self):
+        location = errors.SourceLocation()
+        assert location.line == 1 and location.column == 1
+
+    def test_syntax_error_prefixes_location(self):
+        error = errors.BrookSyntaxError("unexpected token",
+                                        errors.SourceLocation("f.br", 3, 7))
+        assert "f.br:3:7" in str(error)
+        assert error.bare_message == "unexpected token"
+
+    def test_type_error_without_location(self):
+        error = errors.BrookTypeError("bad type")
+        assert str(error) == "bad type"
+        assert error.location is None
+
+    def test_certification_error_carries_violations(self):
+        error = errors.CertificationError("failed", violations=["v1", "v2"])
+        assert error.violations == ["v1", "v2"]
+
+    def test_certification_error_default_violations(self):
+        assert errors.CertificationError("failed").violations == []
+
+    def test_locations_are_immutable_and_hashable(self):
+        location = errors.SourceLocation("a.br", 1, 2)
+        assert hash(location) == hash(errors.SourceLocation("a.br", 1, 2))
+        with pytest.raises(Exception):
+            location.line = 5

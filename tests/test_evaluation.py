@@ -1,0 +1,172 @@
+"""Tests for the evaluation harness (Figures 1-4, productivity, compliance)."""
+
+import pytest
+
+from repro.evaluation import compliance, figure1, figure2, figure3, figure4, productivity
+from repro.evaluation.report import full_report
+from repro.evaluation.__main__ import main as evaluation_main
+
+
+class TestFigure1:
+    def test_ratios_match_paper(self):
+        result = figure1.run()
+        by_platform = {row.platform: row for row in result.rows}
+        target = by_platform["arm-videocore-iv"]
+        reference = by_platform["x86-core2-hd3400"]
+        assert target.measured_ratio == pytest.approx(26.7, rel=0.10)
+        assert reference.measured_ratio == pytest.approx(23.0, rel=0.10)
+
+    def test_same_order_of_magnitude(self):
+        assert figure1.run().ratios_same_order
+
+    def test_gpu_faster_than_cpu_on_both_platforms(self):
+        for row in figure1.run().rows:
+            assert row.gpu_seconds < row.cpu_seconds
+
+    def test_render_mentions_reproduced(self):
+        text = figure1.render()
+        assert "REPRODUCED" in text
+        assert "26.7" in text
+
+
+class TestFigure2:
+    def test_covers_the_four_applications(self):
+        result = figure2.run()
+        assert {entry.app for entry in result.series} == set(figure2.APPLICATIONS)
+
+    def test_no_application_beats_the_cpu(self):
+        for entry in figure2.run().series:
+            assert entry.target_max < 1.0, entry.app
+
+    def test_financial_apps_below_20_percent(self):
+        result = figure2.run()
+        assert result.series_for("binomial").target_max < 0.25
+        assert result.series_for("black_scholes").target_max < 0.25
+
+    def test_all_paper_expectations_hold(self):
+        assert figure2.run().all_expectations_hold
+
+    def test_trend_agrees_with_reference_platform(self):
+        for entry in figure2.run().series:
+            assert entry.trend_matches_reference, entry.app
+
+    def test_render_contains_tables(self):
+        text = figure2.render()
+        assert "binomial" in text and "spmv" in text
+        assert "MISMATCH" not in text
+
+
+class TestFigure3:
+    def test_covers_the_six_applications(self):
+        result = figure3.run()
+        assert {entry.app for entry in result.series} == set(figure3.APPLICATIONS)
+
+    def test_every_application_reaches_a_speedup(self):
+        for entry in figure3.run().series:
+            assert entry.target_max > 1.0, entry.app
+
+    def test_headline_magnitudes(self):
+        result = figure3.run()
+        assert 70 <= result.series_for("bitonic_sort").target_at(256) <= 270
+        assert 8 <= result.series_for("sgemm").target_max <= 15
+        assert result.series_for("mandelbrot").target_max >= 15
+        assert 4 <= result.series_for("floyd_warshall").target_final <= 8
+        assert 1.3 <= result.series_for("binary_search").target_at(2048) <= 3.5
+
+    def test_all_paper_expectations_hold(self):
+        assert figure3.run().all_expectations_hold
+
+    def test_trend_agrees_with_reference_platform(self):
+        for entry in figure3.run().series:
+            assert entry.trend_matches_reference, entry.app
+
+    def test_render_contains_every_app(self):
+        text = figure3.render()
+        for name in figure3.APPLICATIONS:
+            assert name in text
+        assert "MISMATCH" not in text
+
+
+class TestFigure4:
+    def test_ratios_inside_paper_band(self):
+        result = figure4.run()
+        assert result.within_paper_band
+        for row in result.rows:
+            assert 0.40 <= row.ratio <= 1.0
+
+    def test_ratio_grows_with_matrix_size(self):
+        assert figure4.run().ratio_grows_with_size
+
+    def test_smallest_size_near_50_percent(self):
+        first = figure4.run().rows[0]
+        assert first.ratio < 0.70
+
+    def test_largest_size_near_90_percent(self):
+        last = figure4.run().rows[-1]
+        assert last.ratio > 0.80
+
+    def test_functional_check_passes(self):
+        assert figure4.functional_check(size=16)
+
+    def test_render_mentions_band(self):
+        assert "50-90%" in figure4.render()
+
+
+class TestProductivity:
+    def test_brook_version_is_an_order_of_magnitude_smaller(self):
+        result = productivity.run()
+        assert result.measured_ratio >= 5.0
+        assert result.order_of_magnitude_reproduced
+
+    def test_brook_loc_same_ballpark_as_paper(self):
+        result = productivity.run()
+        brook = next(e for e in result.entries if "Brook" in e.implementation)
+        # The paper's Brook sgemm is 70 lines; ours is of the same order
+        # (tens of lines, not hundreds).
+        assert 10 <= brook.measured_loc <= 150
+
+    def test_count_code_lines_ignores_comments(self):
+        text = "// comment\nfloat x;\n/* block\n comment */\nfloat y;\n\n"
+        assert productivity.count_code_lines(text) == 2
+
+    def test_render_includes_paper_numbers(self):
+        text = productivity.render()
+        assert "70" in text and "1500" in text
+
+
+class TestCompliance:
+    def test_every_application_compliant(self):
+        result = compliance.run()
+        assert result.all_applications_compliant
+        assert len(result.applications) == 11
+
+    def test_counter_example_rejected_with_many_rules(self):
+        result = compliance.run()
+        assert result.counter_example_rejected
+        violated = set(result.counter_example.violated_rules)
+        assert {"BA-001", "BA-002", "BA-003", "BA-004", "BA-005"} <= violated
+
+    def test_overall_reproduced(self):
+        assert compliance.run().reproduced
+
+    def test_render_contains_rule_catalogue(self):
+        text = compliance.render()
+        assert "BA-001" in text and "BA-012" in text
+        assert "REJECTED" in text
+
+
+class TestReportAndCli:
+    def test_full_report_contains_every_section(self):
+        text = full_report()
+        for marker in ("Figure 1", "Figure 2", "Figure 3", "Figure 4",
+                       "Productivity", "ISO 26262"):
+            assert marker in text
+
+    def test_module_cli_single_experiment(self, capsys):
+        assert evaluation_main(["figure1"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 1" in captured.out
+
+    def test_module_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            evaluation_main(["figure9"])

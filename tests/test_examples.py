@@ -1,0 +1,37 @@
+"""Smoke tests running the example scripts end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+@pytest.mark.parametrize("script,expected_markers", [
+    ("quickstart.py", ["COMPLIANT", "saxpy max abs error", "GLSL ES 1.0"]),
+    ("adas_edge_detection.py", ["Pipeline certification: COMPLIANT",
+                                "Edge pixels detected"]),
+    ("adas_route_planning.py", ["Fastest route", "fw_relax__dist_out"]),
+    ("certification_audit.py", ["BA-001", "verdict: COMPLIANT",
+                                "moving_average(0..63) = 31.5"]),
+])
+def test_example_runs_and_prints_expected_output(script, expected_markers):
+    result = run_example(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in expected_markers:
+        assert marker in result.stdout, f"{script}: missing {marker!r}"
+
+
+def test_examples_directory_contains_at_least_three_scripts():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3
+    assert (EXAMPLES_DIR / "quickstart.py").exists()

@@ -1,0 +1,219 @@
+"""Unit tests for the simulated OpenGL ES 2.0 substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GLES2Error
+from repro.gles2 import (
+    DEVICE_PROFILES,
+    Framebuffer,
+    FragmentShader,
+    GLES2Context,
+    GLES2Limits,
+    ShaderProgram,
+    Texture2D,
+    get_device_profile,
+)
+from repro.gles2.shader import FragmentJob
+from repro.runtime.numerics import decode_float_rgba8, encode_float_rgba8
+
+
+class TestLimits:
+    def test_default_limits_are_minimal_es2(self):
+        limits = GLES2Limits()
+        assert limits.max_color_attachments == 1
+        assert not limits.float_textures_supported
+        assert not limits.npot_textures_supported
+
+    def test_to_target_limits(self):
+        target = GLES2Limits(max_texture_size=1024).to_target_limits()
+        assert target.max_texture_size == 1024
+        assert target.max_kernel_outputs == 1
+        assert target.requires_power_of_two
+
+    def test_device_profiles_available(self):
+        assert "videocore-iv" in DEVICE_PROFILES
+        assert "mali-400" in DEVICE_PROFILES
+        profile = get_device_profile("videocore-iv")
+        assert profile.limits.max_texture_size == 2048
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            get_device_profile("geforce-rtx")
+
+
+class TestTexture:
+    def make(self, width=64, height=32, **limit_overrides):
+        limits = GLES2Limits(**limit_overrides) if limit_overrides else GLES2Limits()
+        return Texture2D(width, height, limits)
+
+    def test_creation_and_size(self):
+        texture = self.make(64, 32)
+        assert texture.shape == (32, 64)
+        assert texture.size_bytes == 64 * 32 * 4
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(GLES2Error):
+            self.make(100, 64)
+
+    def test_npot_allowed_when_supported(self):
+        texture = self.make(100, 60, npot_textures_supported=True)
+        assert texture.width == 100
+
+    def test_square_only_constraint(self):
+        with pytest.raises(GLES2Error):
+            self.make(64, 32, square_textures_only=True)
+
+    def test_oversized_texture_rejected(self):
+        with pytest.raises(GLES2Error):
+            self.make(4096, 4096, max_texture_size=2048)
+
+    def test_upload_download_roundtrip(self):
+        texture = self.make(8, 8)
+        rgba = np.random.default_rng(0).integers(0, 255, (8, 8, 4)).astype(np.uint8)
+        texture.tex_image_2d(rgba)
+        np.testing.assert_array_equal(texture.read_pixels(), rgba)
+
+    def test_upload_wrong_shape_rejected(self):
+        texture = self.make(8, 8)
+        with pytest.raises(GLES2Error):
+            texture.tex_image_2d(np.zeros((4, 4, 4), dtype=np.uint8))
+
+    def test_sub_image_update(self):
+        texture = self.make(8, 8)
+        patch = np.full((2, 2, 4), 255, dtype=np.uint8)
+        texture.tex_sub_image_2d(2, 3, patch)
+        np.testing.assert_array_equal(texture.data[3:5, 2:4], patch)
+        assert texture.data[0, 0, 0] == 0
+
+    def test_sub_image_out_of_bounds_rejected(self):
+        texture = self.make(8, 8)
+        with pytest.raises(GLES2Error):
+            texture.tex_sub_image_2d(7, 7, np.zeros((4, 4, 4), dtype=np.uint8))
+
+    def test_normalized_sampling_nearest(self):
+        texture = self.make(4, 4)
+        data = np.arange(4 * 4 * 4, dtype=np.uint8).reshape(4, 4, 4)
+        texture.tex_image_2d(data)
+        # Centre of texel (2, 1): u = (2+0.5)/4, v = (1+0.5)/4.
+        sample = texture.sample_normalized(np.array([0.625]), np.array([0.375]))
+        np.testing.assert_array_equal(sample[0], data[1, 2])
+
+    def test_out_of_range_coordinates_clamp_instead_of_crashing(self):
+        texture = self.make(4, 4)
+        data = np.arange(4 * 4 * 4, dtype=np.uint8).reshape(4, 4, 4)
+        texture.tex_image_2d(data)
+        sample = texture.sample_normalized(np.array([-5.0, 9.0]), np.array([0.1, 2.0]))
+        np.testing.assert_array_equal(sample[0], data[0, 0])
+        np.testing.assert_array_equal(sample[1], data[3, 3])
+
+    def test_sample_count_tracked(self):
+        texture = self.make(4, 4)
+        texture.sample_normalized(np.zeros(10), np.zeros(10))
+        assert texture.sample_count == 10
+
+
+class TestFramebuffer:
+    def test_incomplete_without_attachment(self):
+        framebuffer = Framebuffer("fbo")
+        assert not framebuffer.is_complete
+        with pytest.raises(GLES2Error):
+            _ = framebuffer.width
+
+    def test_complete_with_attachment(self):
+        limits = GLES2Limits()
+        framebuffer = Framebuffer("fbo")
+        framebuffer.attach_color(Texture2D(16, 8, limits))
+        assert framebuffer.is_complete
+        assert framebuffer.width == 16
+        assert framebuffer.height == 8
+
+    def test_detach(self):
+        framebuffer = Framebuffer("fbo")
+        framebuffer.attach_color(Texture2D(16, 16, GLES2Limits()))
+        framebuffer.detach_color()
+        assert not framebuffer.is_complete
+
+
+class _ConstantShader(FragmentShader):
+    """Writes a constant float into every fragment (encoded as RGBA8)."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def run(self, job: FragmentJob):
+        values = np.full(job.fragment_count, self.value, dtype=np.float32)
+        return encode_float_rgba8(values)
+
+
+class _CopyShader(FragmentShader):
+    """Copies the bound "source" texture through the RGBA8 codec."""
+
+    def run(self, job: FragmentJob):
+        texture = job.sampler("source")
+        texels = texture.sample_normalized(job.texcoord[:, 0], job.texcoord[:, 1])
+        return encode_float_rgba8(decode_float_rgba8(texels) * 2.0)
+
+
+class TestContext:
+    def test_draw_requires_program_and_framebuffer(self):
+        context = GLES2Context()
+        with pytest.raises(GLES2Error):
+            context.draw_fullscreen_quad()
+        context.use_program(ShaderProgram(_ConstantShader(1.0), name="c"))
+        with pytest.raises(GLES2Error):
+            context.draw_fullscreen_quad()
+
+    def test_constant_fill_draw(self):
+        context = GLES2Context()
+        target = context.create_texture(8, 8, name="target")
+        framebuffer = context.create_framebuffer()
+        framebuffer.attach_color(target)
+        context.use_program(ShaderProgram(_ConstantShader(3.5), name="fill"))
+        context.bind_framebuffer(framebuffer)
+        stats = context.draw_fullscreen_quad()
+        assert stats.fragments == 64
+        np.testing.assert_allclose(decode_float_rgba8(target.data), 3.5)
+
+    def test_copy_shader_reads_bound_texture(self):
+        context = GLES2Context()
+        source = context.create_texture(4, 4, name="source")
+        target = context.create_texture(4, 4, name="target")
+        values = np.arange(16, dtype=np.float32).reshape(4, 4)
+        context.upload(source, encode_float_rgba8(values))
+        program = ShaderProgram(_CopyShader(), name="copy")
+        program.bind_texture("source", source)
+        framebuffer = context.create_framebuffer()
+        framebuffer.attach_color(target)
+        context.use_program(program)
+        context.bind_framebuffer(framebuffer)
+        stats = context.draw_fullscreen_quad()
+        np.testing.assert_allclose(decode_float_rgba8(target.data), values * 2.0)
+        assert stats.texture_fetches == 16
+
+    def test_viewport_restricts_fragments(self):
+        context = GLES2Context()
+        target = context.create_texture(8, 8)
+        framebuffer = context.create_framebuffer()
+        framebuffer.attach_color(target)
+        context.use_program(ShaderProgram(_ConstantShader(1.0), name="fill"))
+        context.bind_framebuffer(framebuffer)
+        stats = context.draw_fullscreen_quad(viewport=(4, 2))
+        assert stats.fragments == 8
+
+    def test_transfer_statistics(self):
+        context = GLES2Context()
+        texture = context.create_texture(16, 16)
+        context.upload(texture, np.zeros((16, 16, 4), dtype=np.uint8))
+        context.download(texture)
+        assert context.transfers.bytes_uploaded == 16 * 16 * 4
+        assert context.transfers.bytes_downloaded == 16 * 16 * 4
+        context.reset_statistics()
+        assert context.transfers.bytes_uploaded == 0
+
+    def test_device_memory_accounting(self):
+        context = GLES2Context()
+        texture = context.create_texture(32, 32)
+        assert context.device_memory_in_use() == 32 * 32 * 4
+        context.delete_texture(texture)
+        assert context.device_memory_in_use() == 0

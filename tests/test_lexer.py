@@ -1,0 +1,153 @@
+"""Unit tests for the Brook kernel-language lexer."""
+
+import pytest
+
+from repro.core.lexer import Lexer, Token, TokenKind, tokenize
+from repro.errors import BrookSyntaxError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (token,) = tokenize("velocity")[:-1]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "velocity"
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert texts("_tmp_2") == ["_tmp_2"]
+
+    def test_keyword_kernel(self):
+        (token,) = tokenize("kernel")[:-1]
+        assert token.kind is TokenKind.KEYWORD
+
+    def test_type_names_are_keywords(self):
+        for name in ("float", "float2", "float3", "float4", "int", "void"):
+            (token,) = tokenize(name)[:-1]
+            assert token.kind is TokenKind.KEYWORD, name
+
+    def test_banned_constructs_still_lex_as_keywords(self):
+        for name in ("goto", "struct", "typedef", "switch"):
+            (token,) = tokenize(name)[:-1]
+            assert token.kind is TokenKind.KEYWORD, name
+
+    def test_int_literal(self):
+        (token,) = tokenize("42")[:-1]
+        assert token.kind is TokenKind.INT_LITERAL
+        assert token.text == "42"
+
+    def test_hex_literal(self):
+        (token,) = tokenize("0x1F")[:-1]
+        assert token.kind is TokenKind.INT_LITERAL
+        assert int(token.text, 0) == 31
+
+    def test_float_literal(self):
+        (token,) = tokenize("3.25")[:-1]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+
+    def test_float_literal_with_exponent(self):
+        (token,) = tokenize("1.5e-3")[:-1]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+        assert float(token.text) == pytest.approx(1.5e-3)
+
+    def test_float_literal_with_f_suffix(self):
+        (token,) = tokenize("2.5f")[:-1]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+        assert token.text == "2.5"
+
+    def test_float_literal_leading_dot_digit(self):
+        (token,) = tokenize("0.5")[:-1]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+
+    def test_integer_then_member_access_not_a_float(self):
+        # ``indexof(a).x`` style chains must not glue the dot to a number.
+        tokens = texts("v.x")
+        assert tokens == ["v", ".", "x"]
+
+    def test_string_literal(self):
+        (token,) = tokenize('"hello"')[:-1]
+        assert token.kind is TokenKind.STRING
+        assert token.text == "hello"
+
+
+class TestPunctuation:
+    def test_multi_character_operators_are_single_tokens(self):
+        for op in ("==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/="):
+            assert texts(f"a {op} b")[1] == op
+
+    def test_increment_and_decrement(self):
+        assert texts("i++")[1] == "++"
+        assert texts("--i")[0] == "--"
+
+    def test_stream_declarator_is_two_tokens(self):
+        assert texts("a<>") == ["a", "<", ">"]
+
+    def test_maximal_munch_prefers_longest(self):
+        assert texts("a<=b") == ["a", "<=", "b"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(BrookSyntaxError):
+            tokenize("a @ b")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_is_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_is_skipped(self):
+        assert texts("a /* comment \n more */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(BrookSyntaxError):
+            tokenize("a /* never closed")
+
+    def test_preprocessor_line_is_skipped(self):
+        assert texts("#include <x.h>\nfloat") == ["float"]
+
+    def test_newlines_and_tabs_are_whitespace(self):
+        assert texts("a\n\t b") == ["a", "b"]
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b", filename="test.br")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_filename_is_recorded(self):
+        tokens = tokenize("a", filename="kernel.br")
+        assert tokens[0].location.filename == "kernel.br"
+
+    def test_token_helpers(self):
+        token = tokenize("kernel")[0]
+        assert token.is_keyword("kernel")
+        assert not token.is_keyword("reduce")
+        assert not token.is_punct("(")
+
+
+class TestWholeKernel:
+    def test_kernel_signature_token_stream(self):
+        source = "kernel void f(float a<>, out float b<>) { b = a; }"
+        token_texts = texts(source)
+        assert token_texts[0] == "kernel"
+        assert token_texts[1] == "void"
+        assert "out" in token_texts
+        assert token_texts.count("<") == 2
+        assert token_texts[-1] == "}"
+
+    def test_token_count_reasonable(self):
+        source = "kernel void f(float a<>, out float b<>) { b = a * 2.0; }"
+        assert len(tokenize(source)) > 15

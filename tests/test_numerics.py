@@ -1,0 +1,127 @@
+"""Unit and property-based tests for the float<->RGBA8 numerics (section 5.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.numerics import (
+    MIN_NORMAL,
+    RELATIVE_PRECISION,
+    decode_float_rgba8,
+    encode_float_rgba8,
+    quantize_roundtrip,
+)
+
+
+class TestEncodeDecodeBasics:
+    def test_zero_round_trips_to_zero(self):
+        assert quantize_roundtrip(np.float32(0.0)) == 0.0
+
+    def test_simple_values_exact(self):
+        values = np.array([1.0, -1.0, 0.5, 2.0, 1234.5678, -3.25e-5, 7.0e20],
+                          dtype=np.float32)
+        np.testing.assert_array_equal(quantize_roundtrip(values), values)
+
+    def test_integers_up_to_2_24_exact(self):
+        values = np.array([1, 2, 3, 1000, 65535, 16777215], dtype=np.float32)
+        np.testing.assert_array_equal(quantize_roundtrip(values), values)
+
+    def test_denormals_flush_to_zero(self):
+        tiny = np.array([1e-40, -1e-39], dtype=np.float32)
+        np.testing.assert_array_equal(quantize_roundtrip(tiny), np.zeros(2))
+
+    def test_min_normal_survives(self):
+        value = np.float32(MIN_NORMAL)
+        assert quantize_roundtrip(value) == value
+
+    def test_encode_shape(self):
+        values = np.zeros((3, 5), dtype=np.float32)
+        rgba = encode_float_rgba8(values)
+        assert rgba.shape == (3, 5, 4)
+        assert rgba.dtype == np.uint8
+
+    def test_decode_shape_validation(self):
+        with pytest.raises(ValueError):
+            decode_float_rgba8(np.zeros((4, 3), dtype=np.uint8))
+
+    def test_decode_preserves_leading_shape(self):
+        values = np.arange(12, dtype=np.float32).reshape(3, 4) + 1.0
+        decoded = decode_float_rgba8(encode_float_rgba8(values))
+        assert decoded.shape == (3, 4)
+
+    def test_sign_stored_in_first_channel(self):
+        positive = encode_float_rgba8(np.float32(1.5))
+        negative = encode_float_rgba8(np.float32(-1.5))
+        assert positive[0] < 128
+        assert negative[0] >= 128
+
+    def test_relative_precision_constant_reasonable(self):
+        # The packing is bit exact, so the documented bound is one ulp.
+        assert RELATIVE_PRECISION <= 2.0 ** -20
+
+
+class TestProperties:
+    @given(st.floats(min_value=-1.0e38, max_value=1.0e38,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_is_exact_or_flushes_denormals(self, value):
+        original = np.float32(value)
+        result = quantize_roundtrip(original)
+        if abs(float(original)) < MIN_NORMAL:
+            assert result == 0.0
+        else:
+            assert result == original
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_idempotent_on_arrays(self, values):
+        array = np.asarray(values, dtype=np.float32)
+        once = quantize_roundtrip(array)
+        twice = quantize_roundtrip(once)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(st.floats(min_value=1e-30, max_value=1e30,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=200, deadline=None)
+    def test_ordering_preserved(self, value):
+        base = np.float32(value)
+        larger = np.float32(base * 2.0)
+        decoded = quantize_roundtrip(np.array([base, larger], dtype=np.float32))
+        assert decoded[0] < decoded[1]
+
+    @given(st.floats(min_value=-1e30, max_value=1e30,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=200, deadline=None)
+    def test_negation_symmetry(self, value):
+        array = np.array([value, -value], dtype=np.float32)
+        decoded = quantize_roundtrip(array)
+        assert decoded[0] == -decoded[1]
+
+
+class TestGLSLPreludeConsistency:
+    """The GLSL ES prelude must implement the same packing; the arithmetic
+    reconstruction there is checked by mirroring its formula here."""
+
+    @staticmethod
+    def _glsl_style_decode(rgba):
+        r, g, b, a = (float(rgba[..., i]) for i in range(4))
+        sign_bit = np.floor(r / 128.0)
+        e_hi = r - sign_bit * 128.0
+        e_lo = np.floor(g / 128.0)
+        biased = e_hi * 2.0 + e_lo
+        if biased == 0.0:
+            return 0.0
+        m_hi = g - e_lo * 128.0
+        mant_bits = m_hi * 65536.0 + b * 256.0 + a
+        mant = 1.0 + mant_bits / 8388608.0
+        value = mant * 2.0 ** (biased - 127.0)
+        return -value if sign_bit > 0.5 else value
+
+    @pytest.mark.parametrize("value", [1.0, -1.0, 0.37, 123456.78, -9.6e-12, 2.5e20])
+    def test_arithmetic_reconstruction_matches(self, value):
+        rgba = encode_float_rgba8(np.float32(value))
+        reconstructed = self._glsl_style_decode(rgba.astype(np.float64))
+        assert reconstructed == pytest.approx(float(np.float32(value)), rel=1e-6)

@@ -1,0 +1,307 @@
+"""Unit tests for the Brook kernel-language parser."""
+
+import pytest
+
+from repro.core import ast_nodes as ast
+from repro.core.parser import parse
+from repro.core.types import FLOAT, FLOAT2, FLOAT4, INT, ParamKind
+from repro.errors import BrookSyntaxError
+
+
+def parse_kernel(source):
+    unit = parse(source)
+    assert len(unit.kernels) >= 1
+    return unit.kernels[0]
+
+
+def parse_expr(expr_text):
+    kernel = parse_kernel(
+        f"kernel void f(float a<>, float lut[], out float o<>) {{ o = {expr_text}; }}"
+    )
+    stmt = kernel.body.statements[0]
+    assert isinstance(stmt, ast.ExprStatement)
+    assert isinstance(stmt.expr, ast.Assignment)
+    return stmt.expr.value
+
+
+class TestSignatures:
+    def test_simple_kernel(self):
+        kernel = parse_kernel("kernel void f(float a<>, out float b<>) { b = a; }")
+        assert kernel.name == "f"
+        assert kernel.is_kernel and not kernel.is_reduction
+        assert kernel.return_type.is_void
+
+    def test_stream_parameter_kinds(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>, float c, float g[], "
+            "float m[][], iter float it<>) { b = a; }"
+        )
+        kinds = {p.name: p.kind for p in kernel.params}
+        assert kinds["a"] is ParamKind.STREAM
+        assert kinds["b"] is ParamKind.OUT_STREAM
+        assert kinds["c"] is ParamKind.SCALAR
+        assert kinds["g"] is ParamKind.GATHER
+        assert kinds["m"] is ParamKind.GATHER
+        assert kinds["it"] is ParamKind.ITERATOR
+
+    def test_gather_rank(self):
+        kernel = parse_kernel(
+            "kernel void f(float g[], float m[][], out float b<>) { b = g[0]; }"
+        )
+        assert kernel.param("g").gather_rank == 1
+        assert kernel.param("m").gather_rank == 2
+
+    def test_gather_with_static_extent(self):
+        kernel = parse_kernel(
+            "kernel void f(float lut[256], out float b<>) { b = lut[0]; }"
+        )
+        assert kernel.param("lut").kind is ParamKind.GATHER
+
+    def test_reduce_kernel(self):
+        unit = parse("reduce void sum(float a<>, reduce float r) { r += a; }")
+        kernel = unit.kernels[0]
+        assert kernel.is_reduction
+        assert kernel.reduce_params[0].name == "r"
+
+    def test_reduce_stream_accumulator(self):
+        unit = parse("reduce void sum(float a<>, reduce float r<>) { r += a; }")
+        assert unit.kernels[0].reduce_params[0].name == "r"
+
+    def test_helper_function(self):
+        unit = parse("float sq(float x) { return x * x; }")
+        assert len(unit.helpers) == 1
+        assert unit.helpers[0].return_type == FLOAT
+
+    def test_pointer_parameter_is_recorded(self):
+        kernel = parse_kernel("kernel void f(float *p, out float b<>) { b = 0.0; }")
+        assert kernel.param("p").is_pointer
+
+    def test_vector_types(self):
+        kernel = parse_kernel(
+            "kernel void f(float4 a<>, float2 c, out float4 b<>) { b = a; }"
+        )
+        assert kernel.param("a").type == FLOAT4
+        assert kernel.param("c").type == FLOAT2
+
+    def test_multiple_functions(self):
+        unit = parse(
+            "float h(float x) { return x; }\n"
+            "kernel void k1(float a<>, out float b<>) { b = a; }\n"
+            "kernel void k2(float a<>, out float b<>) { b = h(a); }\n"
+        )
+        assert [f.name for f in unit.functions] == ["h", "k1", "k2"]
+        assert unit.kernel("k2").name == "k2"
+        with pytest.raises(KeyError):
+            unit.kernel("missing")
+
+
+class TestStatements:
+    def test_declaration_with_initialiser(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>) { float x = a * 2.0; b = x; }"
+        )
+        decl = kernel.body.statements[0]
+        assert isinstance(decl, ast.DeclStatement)
+        assert decl.name == "x"
+        assert decl.decl_type == FLOAT
+
+    def test_multi_declaration_splits(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>) { float x = 1.0, y = 2.0; b = x + y; }"
+        )
+        block = kernel.body.statements[0]
+        assert isinstance(block, ast.Block)
+        assert len(block.statements) == 2
+
+    def test_if_else(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>) {"
+            " if (a > 0.0) { b = 1.0; } else { b = -1.0; } }"
+        )
+        stmt = kernel.body.statements[0]
+        assert isinstance(stmt, ast.IfStatement)
+        assert stmt.else_branch is not None
+
+    def test_if_without_braces(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>) { if (a > 0.0) b = 1.0; else b = 0.0; }"
+        )
+        stmt = kernel.body.statements[0]
+        assert isinstance(stmt.then_branch, ast.ExprStatement)
+
+    def test_for_loop(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>) {"
+            " float acc = 0.0;"
+            " for (int i = 0; i < 8; i = i + 1) { acc += a; }"
+            " b = acc; }"
+        )
+        loop = kernel.body.statements[1]
+        assert isinstance(loop, ast.ForStatement)
+        assert isinstance(loop.init, ast.DeclStatement)
+        assert loop.init.decl_type == INT
+
+    def test_for_loop_with_increment_operator(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>) {"
+            " float acc = 0.0;"
+            " for (int i = 0; i < 8; i++) { acc += a; }"
+            " b = acc; }"
+        )
+        loop = kernel.body.statements[1]
+        assert isinstance(loop.update, ast.Assignment)
+        assert loop.update.op == "+="
+
+    def test_while_loop(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>) {"
+            " float i = 0.0; while (i < a) { i += 1.0; } b = i; }"
+        )
+        assert isinstance(kernel.body.statements[1], ast.WhileStatement)
+
+    def test_do_while_loop(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>) {"
+            " float i = 0.0; do { i += 1.0; } while (i < a); b = i; }"
+        )
+        assert isinstance(kernel.body.statements[1], ast.DoWhileStatement)
+
+    def test_break_and_continue(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>) {"
+            " b = 0.0;"
+            " for (int i = 0; i < 8; i = i + 1) {"
+            "   if (a < 0.0) { break; }"
+            "   if (a > 10.0) { continue; }"
+            "   b += 1.0;"
+            " } }"
+        )
+        loop = kernel.body.statements[1]
+        nodes = list(loop.walk())
+        assert any(isinstance(n, ast.BreakStatement) for n in nodes)
+        assert any(isinstance(n, ast.ContinueStatement) for n in nodes)
+
+    def test_goto_is_parsed(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>) { goto end; b = a; }"
+        )
+        assert isinstance(kernel.body.statements[0], ast.GotoStatement)
+        assert kernel.body.statements[0].label == "end"
+
+    def test_return_statement(self):
+        unit = parse("float h(float x) { return x + 1.0; }")
+        ret = unit.helpers[0].body.statements[0]
+        assert isinstance(ret, ast.ReturnStatement)
+        assert ret.value is not None
+
+
+class TestExpressions:
+    def test_precedence_multiplication_before_addition(self):
+        expr = parse_expr("a + a * 2.0")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expr("(a + a) * 2.0")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.BinaryOp)
+
+    def test_comparison_and_logical(self):
+        expr = parse_expr("a > 0.0 && a < 1.0")
+        assert expr.op == "&&"
+        assert expr.left.op == ">"
+        assert expr.right.op == "<"
+
+    def test_ternary(self):
+        expr = parse_expr("a > 0.0 ? 1.0 : 2.0")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_unary_negation(self):
+        expr = parse_expr("-a")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "-"
+
+    def test_call_with_arguments(self):
+        expr = parse_expr("max(a, 2.0)")
+        assert isinstance(expr, ast.CallExpr)
+        assert expr.callee == "max"
+        assert len(expr.args) == 2
+
+    def test_vector_constructor(self):
+        expr = parse_expr("float2(a, 1.0).x")
+        assert isinstance(expr, ast.MemberExpr)
+        assert isinstance(expr.base, ast.ConstructorExpr)
+        assert expr.base.target_type == FLOAT2
+
+    def test_indexof(self):
+        expr = parse_expr("indexof(a).x")
+        assert isinstance(expr.base, ast.IndexOfExpr)
+        assert expr.base.stream == "a"
+
+    def test_gather_indexing(self):
+        expr = parse_expr("lut[a]")
+        assert isinstance(expr, ast.IndexExpr)
+        assert isinstance(expr.base, ast.Identifier)
+
+    def test_chained_gather_indexing(self):
+        expr = parse_expr("lut[1.0][2.0]")
+        assert isinstance(expr, ast.IndexExpr)
+        assert isinstance(expr.base, ast.IndexExpr)
+
+    def test_compound_assignment(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>) { b = 0.0; b += a; }"
+        )
+        stmt = kernel.body.statements[1]
+        assert stmt.expr.op == "+="
+
+    def test_swizzle(self):
+        expr = parse_expr("float4(a, a, a, a).wzyx.x")
+        assert isinstance(expr, ast.MemberExpr)
+        assert expr.member == "x"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(BrookSyntaxError):
+            parse("kernel void f(float a<>, out float b<>) { b = a }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(BrookSyntaxError):
+            parse("kernel void f(float a<>, out float b<>) { b = a;")
+
+    def test_missing_parameter_type(self):
+        with pytest.raises(BrookSyntaxError):
+            parse("kernel void f(a<>, out float b<>) { b = a; }")
+
+    def test_bad_expression(self):
+        with pytest.raises(BrookSyntaxError):
+            parse("kernel void f(float a<>, out float b<>) { b = * ; }")
+
+    def test_error_mentions_location(self):
+        with pytest.raises(BrookSyntaxError) as excinfo:
+            parse("kernel void f(float a<>, out float b<>) {\n b = a }", "k.br")
+        assert "k.br" in str(excinfo.value)
+
+
+class TestRoundTrip:
+    def test_to_source_reparses(self, sample_unit):
+        regenerated = sample_unit.to_source()
+        reparsed = parse(regenerated)
+        assert [f.name for f in reparsed.functions] == \
+            [f.name for f in sample_unit.functions]
+
+    def test_to_source_preserves_parameter_kinds(self, sample_unit):
+        reparsed = parse(sample_unit.to_source())
+        for original, again in zip(sample_unit.functions, reparsed.functions):
+            assert [p.kind for p in original.params] == [p.kind for p in again.params]
+
+    def test_walk_visits_nested_nodes(self):
+        kernel = parse_kernel(
+            "kernel void f(float a<>, out float b<>) {"
+            " if (a > 0.0) { for (int i = 0; i < 4; i = i + 1) { b += a; } } }"
+        )
+        node_types = {type(node).__name__ for node in kernel.walk()}
+        assert {"IfStatement", "ForStatement", "Assignment"} <= node_types

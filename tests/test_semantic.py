@@ -1,0 +1,210 @@
+"""Unit tests for semantic analysis (name resolution and type checking)."""
+
+import pytest
+
+from repro.core import ast_nodes as ast
+from repro.core.parser import parse
+from repro.core.semantic import analyze
+from repro.core.types import BOOL, FLOAT, FLOAT2, ParamKind
+from repro.errors import BrookTypeError
+
+
+def analyze_source(source):
+    return analyze(parse(source))
+
+
+def analyze_kernel_body(body, params="float a<>, float lut[], out float o<>"):
+    program = analyze_source(f"kernel void f({params}) {{ {body} }}")
+    return program.kernel_info("f")
+
+
+class TestAcceptedPrograms:
+    def test_sample_program(self, sample_source):
+        program = analyze_source(sample_source)
+        assert {info.name for info in program.kernels} == \
+            {"saxpy", "gather_scale", "total"}
+        assert {info.name for info in program.helpers} == {"square"}
+
+    def test_expression_types_are_annotated(self):
+        program = analyze_source(
+            "kernel void f(float a<>, out float o<>) { o = a * 2.0; }"
+        )
+        kernel = program.kernel_info("f").definition
+        assignment = kernel.body.statements[0].expr
+        assert assignment.type == FLOAT
+        assert assignment.value.type == FLOAT
+
+    def test_indexof_is_float2(self):
+        info = analyze_kernel_body("float2 p = indexof(a); o = p.x;")
+        decl = info.definition.body.statements[0]
+        assert decl.init.type == FLOAT2
+
+    def test_comparison_yields_bool(self):
+        info = analyze_kernel_body("o = (a > 1.0) ? 1.0 : 0.0;")
+        conditional = info.definition.body.statements[0].expr.value
+        assert conditional.cond.type == BOOL
+
+    def test_helper_call_types(self):
+        program = analyze_source(
+            "float doubled(float x) { return x * 2.0; }\n"
+            "kernel void f(float a<>, out float o<>) { o = doubled(a); }"
+        )
+        info = program.kernel_info("f")
+        assert info.callees == ["doubled"]
+
+    def test_gather_2d_chained_access(self):
+        analyze_source(
+            "kernel void f(float m[][], out float o<>) {"
+            " float2 p = indexof(o); o = m[p.y][p.x]; }"
+        )
+
+    def test_gather_2d_single_float2_index(self):
+        analyze_source(
+            "kernel void f(float m[][], out float o<>) {"
+            " o = m[indexof(o)]; }"
+        )
+
+    def test_scalar_broadcast_into_vector(self):
+        analyze_source(
+            "kernel void f(float a<>, out float o<>) {"
+            " float2 v = float2(a, a); v = 0.0; o = v.x; }"
+        )
+
+    def test_reduce_kernel_signature(self):
+        program = analyze_source(
+            "reduce void total(float a<>, reduce float r) { r += a; }"
+        )
+        assert program.kernel_info("total").definition.is_reduction
+
+
+class TestRejectedPrograms:
+    def test_undeclared_identifier(self):
+        with pytest.raises(BrookTypeError):
+            analyze_kernel_body("o = missing;")
+
+    def test_duplicate_function(self):
+        with pytest.raises(BrookTypeError):
+            analyze_source(
+                "kernel void f(float a<>, out float o<>) { o = a; }\n"
+                "kernel void f(float b<>, out float o<>) { o = b; }"
+            )
+
+    def test_redeclared_local(self):
+        with pytest.raises(BrookTypeError):
+            analyze_kernel_body("float x = 1.0; float x = 2.0; o = x;")
+
+    def test_unassigned_output_rejected(self):
+        with pytest.raises(BrookTypeError):
+            analyze_source("kernel void f(float a<>, out float o<>) { float x = a; }")
+
+    def test_call_to_unknown_function(self):
+        with pytest.raises(BrookTypeError):
+            analyze_kernel_body("o = mystery(a);")
+
+    def test_kernel_calling_kernel_rejected(self):
+        with pytest.raises(BrookTypeError):
+            analyze_source(
+                "kernel void g(float a<>, out float o<>) { o = a; }\n"
+                "kernel void f(float a<>, out float o<>) { o = g(a); }"
+            )
+
+    def test_wrong_argument_count_for_helper(self):
+        with pytest.raises(BrookTypeError):
+            analyze_source(
+                "float h(float x) { return x; }\n"
+                "kernel void f(float a<>, out float o<>) { o = h(a, a); }"
+            )
+
+    def test_indexing_non_gather_rejected(self):
+        with pytest.raises(BrookTypeError):
+            analyze_kernel_body("o = a[0];")
+
+    def test_too_many_gather_indices(self):
+        with pytest.raises(BrookTypeError):
+            analyze_kernel_body("o = lut[0.0][1.0];")
+
+    def test_invalid_swizzle_rejected(self):
+        with pytest.raises(BrookTypeError):
+            analyze_kernel_body("float2 v = indexof(a); o = v.z;")
+
+    def test_indexof_of_scalar_rejected(self):
+        with pytest.raises(BrookTypeError):
+            analyze_source(
+                "kernel void f(float a<>, float s, out float o<>) {"
+                " o = indexof(s).x; }"
+            )
+
+    def test_indexof_of_gather_rejected(self):
+        with pytest.raises(BrookTypeError):
+            analyze_kernel_body("o = indexof(lut).x;")
+
+    def test_incompatible_binary_operands(self):
+        with pytest.raises(BrookTypeError):
+            analyze_source(
+                "kernel void f(float2 a<>, float3 b<>, out float o<>) {"
+                " o = (a + b).x; }"
+            )
+
+    def test_return_value_from_void_kernel(self):
+        with pytest.raises(BrookTypeError):
+            analyze_kernel_body("return a;")
+
+    def test_non_void_helper_must_return_value(self):
+        with pytest.raises(BrookTypeError):
+            analyze_source("float h(float x) { return; }")
+
+    def test_reduce_param_outside_reduce_kernel(self):
+        with pytest.raises(BrookTypeError):
+            analyze_source(
+                "kernel void f(float a<>, reduce float r) { r += a; }"
+            )
+
+    def test_reduce_kernel_with_gather_rejected(self):
+        with pytest.raises(BrookTypeError):
+            analyze_source(
+                "reduce void total(float a<>, float lut[], reduce float r) {"
+                " r += a + lut[0]; }"
+            )
+
+    def test_helper_with_stream_parameter_rejected(self):
+        with pytest.raises(BrookTypeError):
+            analyze_source("float h(float x<>) { return x; }")
+
+    def test_void_parameter_rejected(self):
+        with pytest.raises(BrookTypeError):
+            analyze_source("kernel void f(void a, out float o<>) { o = 0.0; }")
+
+    def test_writing_vector_into_scalar_rejected(self):
+        with pytest.raises(BrookTypeError):
+            analyze_source(
+                "kernel void f(float2 a<>, out float o<>) { o = a; }"
+            )
+
+
+class TestLegacyAnalysisMode:
+    """CUDA/OpenCL-style constructs must survive analysis so the
+    certification checker can report them as rule violations."""
+
+    def test_pointer_parameter_indexing_is_tolerated(self):
+        program = analyze_source(
+            "kernel void f(float *data, out float o<>) { o = data[0]; }"
+        )
+        assert "f" in {info.name for info in program.kernels}
+
+    def test_malloc_free_are_tolerated(self):
+        analyze_source(
+            "kernel void f(float a<>, out float o<>) {"
+            " float p = malloc(16.0); free(p); o = a; }"
+        )
+
+    def test_goto_is_tolerated_by_analysis(self):
+        analyze_source(
+            "kernel void f(float a<>, out float o<>) { o = a; goto end; }"
+        )
+
+    def test_recursion_is_tolerated_by_analysis(self):
+        program = analyze_source(
+            "float rec(float x) { return rec(x - 1.0); }\n"
+            "kernel void f(float a<>, out float o<>) { o = rec(a); }"
+        )
+        assert program.functions["rec"].callees == ["rec"]

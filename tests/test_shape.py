@@ -1,0 +1,124 @@
+"""Unit and property-based tests for stream shapes and the 2-D translation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis.resources import TargetLimits
+from repro.errors import StreamError
+from repro.runtime.shape import MAX_STREAM_RANK, StreamShape
+
+
+class TestConstruction:
+    def test_from_int(self):
+        shape = StreamShape.of(16)
+        assert shape.dims == (16,)
+        assert shape.rank == 1
+
+    def test_from_tuple(self):
+        assert StreamShape.of((4, 8)).dims == (4, 8)
+
+    def test_from_existing_shape(self):
+        shape = StreamShape.of((4, 8))
+        assert StreamShape.of(shape) is shape
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(StreamError):
+            StreamShape.of((4, 0))
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(StreamError):
+            StreamShape(())
+
+    def test_too_many_dimensions_rejected(self):
+        with pytest.raises(StreamError):
+            StreamShape.of((2,) * (MAX_STREAM_RANK + 1))
+
+    def test_element_count(self):
+        assert StreamShape.of((3, 4, 5)).element_count == 60
+
+
+class TestLayout:
+    def test_1d_layout(self):
+        shape = StreamShape.of(100)
+        assert shape.layout_2d == (1, 100)
+
+    def test_2d_layout(self):
+        shape = StreamShape.of((32, 64))
+        assert shape.rows == 32
+        assert shape.cols == 64
+
+    def test_3d_collapses_leading_dimensions(self):
+        shape = StreamShape.of((2, 3, 16))
+        assert shape.layout_2d == (6, 16)
+
+    def test_4d_collapses_leading_dimensions(self):
+        shape = StreamShape.of((2, 3, 4, 8))
+        assert shape.layout_2d == (24, 8)
+
+    def test_texture_extent_pot_padding(self):
+        limits = TargetLimits(requires_power_of_two=True)
+        assert StreamShape.of((30, 100)).texture_extent(limits) == (128, 32)
+
+    def test_texture_extent_no_padding(self):
+        limits = TargetLimits(requires_power_of_two=False)
+        assert StreamShape.of((30, 100)).texture_extent(limits) == (100, 30)
+
+    def test_element_positions(self):
+        positions = StreamShape.of((2, 3)).element_positions()
+        assert positions.shape == (6, 2)
+        np.testing.assert_array_equal(positions[:, 0], [0, 1, 2, 0, 1, 2])
+        np.testing.assert_array_equal(positions[:, 1], [0, 0, 0, 1, 1, 1])
+
+
+class TestFlattenUnflatten:
+    def test_flatten_2d_identity(self):
+        shape = StreamShape.of((4, 8))
+        data = np.arange(32, dtype=np.float32).reshape(4, 8)
+        np.testing.assert_array_equal(shape.flatten(data), data)
+
+    def test_flatten_1d_makes_row(self):
+        shape = StreamShape.of(6)
+        flat = shape.flatten(np.arange(6, dtype=np.float32))
+        assert flat.shape == (1, 6)
+
+    def test_flatten_3d(self):
+        shape = StreamShape.of((2, 3, 4))
+        data = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        assert shape.flatten(data).shape == (6, 4)
+
+    def test_flatten_rejects_wrong_shape(self):
+        with pytest.raises(StreamError):
+            StreamShape.of((4, 4)).flatten(np.zeros((2, 2), dtype=np.float32))
+
+    def test_flatten_vector_elements(self):
+        shape = StreamShape.of((2, 3))
+        data = np.zeros((2, 3, 4), dtype=np.float32)
+        assert shape.flatten(data, element_width=4).shape == (2, 3, 4)
+
+    @given(st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_flatten_unflatten_roundtrip(self, dims):
+        shape = StreamShape.of(tuple(dims))
+        data = np.random.default_rng(0).uniform(
+            size=shape.dims).astype(np.float32)
+        restored = shape.unflatten(shape.flatten(data))
+        np.testing.assert_array_equal(restored, data)
+
+    @given(st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_layout_preserves_element_count(self, dims):
+        shape = StreamShape.of(tuple(dims))
+        rows, cols = shape.layout_2d
+        assert rows * cols == shape.element_count
+
+    @given(st.integers(min_value=1, max_value=2048),
+           st.integers(min_value=1, max_value=2048))
+    @settings(max_examples=80, deadline=None)
+    def test_pot_padding_is_sufficient_and_power_of_two(self, rows, cols):
+        limits = TargetLimits(requires_power_of_two=True, max_texture_size=4096)
+        width, height = StreamShape.of((rows, cols)).texture_extent(limits)
+        assert width >= cols and height >= rows
+        assert width & (width - 1) == 0
+        assert height & (height - 1) == 0

@@ -1,0 +1,203 @@
+"""Unit tests for the analytic performance models and platform definitions."""
+
+import pytest
+
+from repro.runtime.profiling import KernelLaunchRecord, RunStatistics, TransferRecord
+from repro.timing import (
+    CPUModel,
+    CPUWorkload,
+    GPUCostParameters,
+    GPUModel,
+    GPUWorkload,
+    PLATFORMS,
+    Platform,
+    REFERENCE_PLATFORM,
+    TARGET_PLATFORM,
+    get_platform,
+)
+from repro.errors import TimingModelError
+
+
+def simple_gpu_workload(**overrides):
+    base = dict(passes=1, elements=1_000_000, flops=10_000_000,
+                texture_fetches=1_000_000, bytes_to_device=4_000_000,
+                bytes_from_device=4_000_000)
+    base.update(overrides)
+    return GPUWorkload(**base)
+
+
+class TestCPUModel:
+    def setup_method(self):
+        self.cpu = CPUModel(name="test", frequency_ghz=1.0, flops_per_cycle=1.0,
+                            l1_bytes=32 * 1024, l2_bytes=256 * 1024,
+                            memory_bandwidth_gib=1.0)
+
+    def test_compute_bound_time(self):
+        workload = CPUWorkload(flops=1e9)
+        assert self.cpu.time_seconds(workload) == pytest.approx(1.0)
+
+    def test_ilp_factor_scales_compute(self):
+        slow = self.cpu.time_seconds(CPUWorkload(flops=1e9, ilp_factor=1.0))
+        fast = self.cpu.time_seconds(CPUWorkload(flops=1e9, ilp_factor=2.0))
+        assert fast == pytest.approx(slow / 2.0)
+
+    def test_vectorized_speedup(self):
+        cpu = CPUModel(name="simd", frequency_ghz=1.0, flops_per_cycle=1.0,
+                       simd_speedup=4.0)
+        workload = CPUWorkload(flops=1e9)
+        assert cpu.time_seconds(workload, vectorized=True) == pytest.approx(0.25)
+
+    def test_streaming_bandwidth_tiers(self):
+        small = CPUWorkload(flops=0, bytes_streamed=1e6, working_set_bytes=1e3)
+        large = CPUWorkload(flops=0, bytes_streamed=1e6, working_set_bytes=1e9)
+        assert self.cpu.time_seconds(large) > self.cpu.time_seconds(small)
+
+    def test_random_access_latency_tiers(self):
+        cached = CPUWorkload(flops=0, random_accesses=1e6, working_set_bytes=1e3)
+        uncached = CPUWorkload(flops=0, random_accesses=1e6, working_set_bytes=1e9)
+        assert self.cpu.time_seconds(uncached) > self.cpu.time_seconds(cached) * 5
+
+    def test_compute_and_streaming_overlap(self):
+        # max(compute, stream) rather than the sum.
+        workload = CPUWorkload(flops=1e9, bytes_streamed=1e6, working_set_bytes=1e3)
+        assert self.cpu.time_seconds(workload) == pytest.approx(1.0, rel=0.01)
+
+    def test_negative_workload_rejected(self):
+        with pytest.raises(TimingModelError):
+            self.cpu.time_seconds(CPUWorkload(flops=-1))
+
+    def test_scaled_helper(self):
+        workload = CPUWorkload(flops=100, bytes_streamed=10, random_accesses=5)
+        doubled = workload.scaled(2.0)
+        assert doubled.flops == 200 and doubled.random_accesses == 10
+
+
+class TestGPUModel:
+    def setup_method(self):
+        self.model = GPUModel(GPUCostParameters(
+            name="test-gpu", effective_gflops=10.0, transfer_gib_per_s=1.0,
+            pass_overhead_us=100.0, texture_fetch_ns=2.0,
+            fill_rate_mpixels=1000.0, codec_ns_per_byte=1.0,
+            transfer_call_overhead_us=0.0,
+        ))
+
+    def test_compute_time(self):
+        workload = simple_gpu_workload(flops=1e10, texture_fetches=0, elements=0,
+                                       bytes_to_device=0, bytes_from_device=0,
+                                       passes=0)
+        assert self.model.time_seconds(workload) == pytest.approx(1.0)
+
+    def test_efficiency_scales_compute(self):
+        fast = simple_gpu_workload(efficiency=1.0)
+        slow = simple_gpu_workload(efficiency=0.5)
+        assert self.model.kernel_time(slow) > self.model.kernel_time(fast)
+
+    def test_pass_overhead_accumulates(self):
+        one = simple_gpu_workload(passes=1)
+        many = simple_gpu_workload(passes=100)
+        difference = self.model.kernel_time(many) - self.model.kernel_time(one)
+        assert difference == pytest.approx(99 * 100e-6, rel=0.01)
+
+    def test_transfer_includes_codec_cost(self):
+        workload = simple_gpu_workload()
+        no_codec = self.model.with_overrides(codec_ns_per_byte=0.0)
+        assert self.model.transfer_time(workload) > no_codec.transfer_time(workload)
+
+    def test_transfer_call_overhead(self):
+        with_calls = self.model.with_overrides(transfer_call_overhead_us=500.0)
+        workload = simple_gpu_workload(transfer_calls=4)
+        delta = with_calls.transfer_time(workload) - self.model.transfer_time(workload)
+        assert delta == pytest.approx(4 * 500e-6)
+
+    def test_fill_rate_floor(self):
+        # A kernel with almost no arithmetic is bounded by the fill rate.
+        workload = simple_gpu_workload(flops=0, texture_fetches=0,
+                                       elements=1_000_000_000, passes=1,
+                                       bytes_to_device=0, bytes_from_device=0)
+        assert self.model.kernel_time(workload) >= 1.0
+
+    def test_from_profiles(self):
+        from repro.cal.device import get_cal_device
+        from repro.gles2.device import get_device_profile
+        embedded = GPUCostParameters.from_gles2_profile(get_device_profile("videocore-iv"))
+        desktop = GPUCostParameters.from_cal_profile(get_cal_device("radeon-hd3400"))
+        assert embedded.codec_ns_per_byte > 0
+        assert desktop.codec_ns_per_byte == 0
+
+    def test_workload_from_statistics(self):
+        stats = RunStatistics()
+        stats.record_transfer(TransferRecord("s", "upload", 1024, 256))
+        stats.record_transfer(TransferRecord("s", "download", 2048, 512))
+        stats.record_launch(KernelLaunchRecord("k", elements=256, flops=1000,
+                                               texture_fetches=64, passes=2))
+        workload = GPUWorkload.from_statistics(stats)
+        assert workload.bytes_to_device == 1024
+        assert workload.bytes_from_device == 2048
+        assert workload.passes == 2
+        assert workload.transfer_calls == 2
+
+
+class TestPlatforms:
+    def test_platform_registry(self):
+        assert get_platform("target") is TARGET_PLATFORM
+        assert get_platform("reference") is REFERENCE_PLATFORM
+        assert get_platform(TARGET_PLATFORM.name) is TARGET_PLATFORM
+        with pytest.raises(KeyError):
+            get_platform("apple-m1")
+        assert set(PLATFORMS) >= {"target", "reference"}
+
+    def test_target_is_embedded_gles2(self):
+        assert TARGET_PLATFORM.backend_name == "gles2"
+        assert TARGET_PLATFORM.gpu.params.codec_ns_per_byte > 0
+        assert not TARGET_PLATFORM.cpu_vectorized
+
+    def test_reference_is_desktop_cal(self):
+        assert REFERENCE_PLATFORM.backend_name == "cal"
+        assert REFERENCE_PLATFORM.max_stream_dimension == 4096
+
+    def test_reference_cpu_is_much_faster(self):
+        assert REFERENCE_PLATFORM.cpu.peak_gflops > 5 * TARGET_PLATFORM.cpu.peak_gflops
+
+    def test_speedup_helper(self):
+        gpu_workload = simple_gpu_workload()
+        cpu_workload = CPUWorkload(flops=1e9, working_set_bytes=1e4)
+        speedup = TARGET_PLATFORM.speedup(gpu_workload, cpu_workload)
+        assert speedup == pytest.approx(
+            TARGET_PLATFORM.cpu_time(cpu_workload)
+            / TARGET_PLATFORM.gpu_time(gpu_workload)
+        )
+
+    def test_figure1_calibration_holds(self):
+        """The headline calibration: 26.7x (target) and 23x (reference)."""
+        from repro.apps.flops import FlopsApp
+        app = FlopsApp()
+        target_ratio = app.modeled_point(512, TARGET_PLATFORM).speedup
+        reference_ratio = app.modeled_point(512, REFERENCE_PLATFORM).speedup
+        assert target_ratio == pytest.approx(26.7, rel=0.10)
+        assert reference_ratio == pytest.approx(23.0, rel=0.10)
+
+
+class TestProfilingRecords:
+    def test_summary_fields(self):
+        stats = RunStatistics()
+        stats.record_transfer(TransferRecord("a", "upload", 100, 25))
+        stats.record_launch(KernelLaunchRecord("k", 25, 250, 10))
+        summary = stats.summary()
+        assert summary["bytes_uploaded"] == 100
+        assert summary["flops"] == 250
+        assert summary["passes"] == 1
+
+    def test_clear(self):
+        stats = RunStatistics()
+        stats.record_launch(KernelLaunchRecord("k", 1, 1, 1))
+        stats.clear()
+        assert stats.total_passes == 0
+
+    def test_per_kernel_merges_records(self):
+        stats = RunStatistics()
+        stats.record_launch(KernelLaunchRecord("k", 10, 100, 5))
+        stats.record_launch(KernelLaunchRecord("k", 20, 200, 10, passes=3))
+        merged = stats.per_kernel()["k"]
+        assert merged.elements == 30
+        assert merged.flops == 300
+        assert merged.passes == 4

@@ -1,0 +1,147 @@
+"""Unit tests for the Brook type system."""
+
+import pytest
+
+from repro.core.types import (
+    BOOL,
+    FLOAT,
+    FLOAT2,
+    FLOAT3,
+    FLOAT4,
+    INT,
+    VOID,
+    BrookType,
+    ParamKind,
+    ScalarKind,
+    common_type,
+    numpy_dtype,
+    swizzle_indices,
+    swizzle_result_type,
+    type_from_name,
+    vector_type,
+)
+
+
+class TestBrookType:
+    def test_names(self):
+        assert FLOAT.name == "float"
+        assert FLOAT2.name == "float2"
+        assert FLOAT4.name == "float4"
+        assert INT.name == "int"
+        assert VOID.name == "void"
+
+    def test_predicates(self):
+        assert FLOAT.is_float and not FLOAT.is_vector
+        assert FLOAT3.is_vector
+        assert INT.is_integer
+        assert BOOL.is_bool
+        assert VOID.is_void
+
+    def test_scalar_of_vector(self):
+        assert FLOAT4.scalar == FLOAT
+        assert FLOAT.scalar == FLOAT
+
+    def test_with_width(self):
+        assert FLOAT.with_width(3) == FLOAT3
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            BrookType(ScalarKind.FLOAT, 5)
+        with pytest.raises(ValueError):
+            BrookType(ScalarKind.FLOAT, 0)
+
+    def test_void_vector_rejected(self):
+        with pytest.raises(ValueError):
+            BrookType(ScalarKind.VOID, 2)
+
+    def test_equality_and_hash(self):
+        assert BrookType(ScalarKind.FLOAT, 2) == FLOAT2
+        assert len({FLOAT, FLOAT2, FLOAT}) == 2
+
+
+class TestTypeLookup:
+    @pytest.mark.parametrize("name,expected", [
+        ("float", FLOAT), ("float2", FLOAT2), ("float3", FLOAT3),
+        ("float4", FLOAT4), ("int", INT), ("bool", BOOL), ("void", VOID),
+    ])
+    def test_type_from_name(self, name, expected):
+        assert type_from_name(name) == expected
+
+    def test_double_maps_to_float(self):
+        assert type_from_name("double") == FLOAT
+
+    def test_unknown_name_is_none(self):
+        assert type_from_name("texture") is None
+
+    def test_vector_type_builder(self):
+        assert vector_type(FLOAT, 3) == FLOAT3
+        assert vector_type(INT, 2).kind is ScalarKind.INT
+
+
+class TestCommonType:
+    def test_same_types(self):
+        assert common_type(FLOAT, FLOAT) == FLOAT
+
+    def test_int_promotes_to_float(self):
+        assert common_type(INT, FLOAT) == FLOAT
+        assert common_type(FLOAT, INT) == FLOAT
+
+    def test_scalar_broadcasts_to_vector(self):
+        assert common_type(FLOAT, FLOAT4) == FLOAT4
+        assert common_type(FLOAT4, INT) == FLOAT4
+
+    def test_mismatched_vectors_are_incompatible(self):
+        assert common_type(FLOAT2, FLOAT3) is None
+
+    def test_void_is_incompatible(self):
+        assert common_type(VOID, FLOAT) is None
+
+    def test_bool_pairs(self):
+        assert common_type(BOOL, BOOL) == BOOL
+
+
+class TestSwizzles:
+    def test_single_component(self):
+        assert swizzle_result_type(FLOAT4, "x") == FLOAT
+        assert swizzle_result_type(FLOAT2, "y") == FLOAT
+
+    def test_multi_component(self):
+        assert swizzle_result_type(FLOAT4, "xyz") == FLOAT3
+        assert swizzle_result_type(FLOAT4, "wzyx") == FLOAT4
+
+    def test_rgba_selectors(self):
+        assert swizzle_result_type(FLOAT4, "rgb") == FLOAT3
+
+    def test_out_of_range_component(self):
+        assert swizzle_result_type(FLOAT2, "z") is None
+
+    def test_invalid_letters(self):
+        assert swizzle_result_type(FLOAT4, "xq") is None
+        assert swizzle_result_type(FLOAT4, "") is None
+        assert swizzle_result_type(FLOAT4, "xyzwx") is None
+
+    def test_swizzle_indices(self):
+        assert swizzle_indices("xyzw") == (0, 1, 2, 3)
+        assert swizzle_indices("rg") == (0, 1)
+        assert swizzle_indices("wx") == (3, 0)
+
+
+class TestStorage:
+    def test_numpy_dtypes(self):
+        assert numpy_dtype(FLOAT) == "float32"
+        assert numpy_dtype(INT) == "int32"
+        assert numpy_dtype(BOOL) == "bool"
+
+    def test_void_has_no_storage(self):
+        with pytest.raises(ValueError):
+            numpy_dtype(VOID)
+
+
+class TestParamKind:
+    def test_values(self):
+        assert ParamKind.STREAM.value == "stream"
+        assert ParamKind.OUT_STREAM.value == "out"
+        assert ParamKind.GATHER.value == "gather"
+        assert ParamKind.REDUCE.value == "reduce"
+        assert ParamKind.SCALAR.value == "scalar"
+        assert ParamKind.ITERATOR.value == "iter"
