@@ -33,9 +33,16 @@ reduce void total(float value<>, reduce float accumulator) {
 
 def main() -> None:
     # The runtime owns the backend: "gles2" is the paper's embedded target,
-    # "cpu" and "cal" are the validation and reference backends.
-    runtime = BrookRuntime(backend="gles2", device="videocore-iv")
+    # "cpu" and "cal" are the validation and reference backends (run
+    # `brookauto backends` for the full registry).  Using the runtime as a
+    # context manager releases every stream when the block exits.
+    with BrookRuntime(backend="gles2", device="videocore-iv") as runtime:
+        run_quickstart(runtime)
+    print("\nSession closed; device memory in use:",
+          runtime.device_memory_in_use(), "bytes")
 
+
+def run_quickstart(runtime: BrookRuntime) -> None:
     # Compilation enforces the Brook Auto subset; a rule violation would
     # raise CertificationError here, before anything touches the device.
     module = runtime.compile(SAXPY_SOURCE)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Service-grade runtime API: sessions, compile cache, plans and queues.
+
+This example shows the surfaces a long-lived process (think: a request
+loop serving many kernel launches) uses on top of the quickstart flow:
+
+1. ``with BrookRuntime(...)`` - a session that releases every stream and
+   its device memory on exit,
+2. the compile cache - recompiling the same source is free,
+3. ``KernelHandle.bind`` - validate and classify launch arguments once,
+   then re-launch without per-call overhead,
+4. ``rt.queue()`` - batch many launches and flush them in one pass,
+5. the backend registry - the execution targets available to
+   ``BrookRuntime(backend=...)``.
+
+Run with::
+
+    python examples/service_runtime.py
+"""
+
+import numpy as np
+
+from repro import BrookRuntime, available_backends
+
+SOURCE = """
+kernel void saxpy(float alpha, float x<>, float y<>, out float r<>) {
+    r = alpha * x + y;
+}
+
+reduce void total(float value<>, reduce float accumulator) {
+    accumulator += value;
+}
+"""
+
+STEPS = 50
+
+
+def main() -> None:
+    print("Registered backends:", ", ".join(available_backends()))
+
+    with BrookRuntime(backend="gles2", device="videocore-iv") as rt:
+        # --- compile cache -------------------------------------------- #
+        module = rt.compile(SOURCE)
+        module = rt.compile(SOURCE)      # identical source + options: cached
+        info = rt.compile_cache_info()
+        print(f"Compile cache: {info['hits']} hit(s), "
+              f"{info['misses']} miss(es)")
+
+        size = 32
+        x = rt.stream_from(np.linspace(0.0, 1.0, size * size,
+                                       dtype=np.float32).reshape(size, size),
+                           name="x")
+        y = rt.stream_from(np.zeros((size, size), dtype=np.float32), name="y")
+        out = rt.stream((size, size), name="out")
+
+        # --- prepared launches ---------------------------------------- #
+        # bind() validates and classifies the arguments once; each
+        # plan.launch() then goes straight to the backend.
+        plan = module.saxpy.bind(0.5, x, y, out)
+        for _ in range(STEPS):
+            plan.launch()
+        print(f"Prepared plan launched {STEPS} times "
+              f"({rt.statistics.total_passes} kernel passes recorded)")
+
+        # --- command queue -------------------------------------------- #
+        rt.reset_statistics()
+        with rt.queue() as q:
+            module.saxpy(2.0, x, y, out)     # deferred
+            queued_sum = module.total(out)   # deferred, result after flush
+            print(f"Queue holds {len(q)} pending launch(es), "
+                  f"{rt.statistics.total_passes} passes recorded so far")
+        print(f"Queue flushed: sum(out) = {queued_sum.result:.2f}, "
+              f"{rt.statistics.total_passes} passes recorded in bulk")
+
+        print("Live streams:",
+              sorted(stream.name for stream in rt.live_streams()))
+        print("Device memory in use inside the session:",
+              rt.device_memory_in_use(), "bytes")
+
+    print("Device memory in use after the session:",
+          rt.device_memory_in_use(), "bytes")
+
+
+if __name__ == "__main__":
+    main()

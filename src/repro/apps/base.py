@@ -142,27 +142,46 @@ class BrookApplication(abc.ABC):
         return worst <= tolerance, worst
 
     def run(self, backend: str = "cpu", size: int = 64, seed: int = 0,
-            device: Optional[str] = None, keep_outputs: bool = False
-            ) -> AppRunResult:
-        """Run the application end to end on ``backend`` and validate it."""
-        runtime = self.create_runtime(backend, device)
-        module = self.compile(runtime)
-        inputs = self.generate_inputs(size, seed)
-        reference = self.cpu_reference(size, inputs)
-        with WallClockTimer() as timer:
-            outputs = self.run_brook(runtime, module, size, inputs)
-        valid, error = self.validate(outputs, reference)
-        return AppRunResult(
-            app=self.name,
-            backend=runtime.backend.name,
-            size=size,
-            valid=valid,
-            max_rel_error=error,
-            statistics=runtime.statistics,
-            wall_clock_seconds=timer.elapsed,
-            outputs=outputs if keep_outputs else {},
-            reference=reference if keep_outputs else {},
-        )
+            device: Optional[str] = None, keep_outputs: bool = False,
+            runtime: Optional[BrookRuntime] = None) -> AppRunResult:
+        """Run the application end to end on ``backend`` and validate it.
+
+        Without an explicit ``runtime`` a fresh one is created for the run
+        and closed afterwards, releasing its device memory.  A server loop
+        running the same application repeatedly can pass a long-lived
+        ``runtime`` instead to reuse its compile cache across runs; the
+        caller then owns its lifecycle (and ``backend``/``device`` are
+        ignored).  The runtime's statistics are reset at the start of the
+        run so the returned statistics describe this run only.
+        """
+        owns_runtime = runtime is None
+        if owns_runtime:
+            runtime = self.create_runtime(backend, device)
+        try:
+            # Fresh statistics per run; a swap (not an in-place clear) keeps
+            # the statistics returned by previous runs of a reused runtime
+            # intact.
+            runtime.statistics = RunStatistics()
+            module = self.compile(runtime)
+            inputs = self.generate_inputs(size, seed)
+            reference = self.cpu_reference(size, inputs)
+            with WallClockTimer() as timer:
+                outputs = self.run_brook(runtime, module, size, inputs)
+            valid, error = self.validate(outputs, reference)
+            return AppRunResult(
+                app=self.name,
+                backend=runtime.backend.name,
+                size=size,
+                valid=valid,
+                max_rel_error=error,
+                statistics=runtime.statistics,
+                wall_clock_seconds=timer.elapsed,
+                outputs=outputs if keep_outputs else {},
+                reference=reference if keep_outputs else {},
+            )
+        finally:
+            if owns_runtime:
+                runtime.close()
 
     # ------------------------------------------------------------------ #
     # Modelled performance (the quantities the figures plot)

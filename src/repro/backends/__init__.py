@@ -1,6 +1,7 @@
 """Runtime backends binding the Brook runtime to an execution substrate.
 
-Three backends exist, mirroring the paper's evaluation setup:
+Three backends ship with the reproduction, mirroring the paper's
+evaluation setup:
 
 * :mod:`cpu` - the host CPU backend (Brook's original validation path),
 * :mod:`gles2_backend` - the paper's contribution: streams live in RGBA8
@@ -8,12 +9,25 @@ Three backends exist, mirroring the paper's evaluation setup:
   shader passes with normalized coordinates,
 * :mod:`cal_backend` - the AMD CAL style desktop backend used as the
   reference platform (float resources, non-normalized addressing).
+
+All three register themselves with :mod:`repro.backends.registry`;
+additional execution targets plug in the same way through
+:func:`register_backend` and become constructible via
+``BrookRuntime(backend="<name>")`` without editing core files.
 """
 
 from .base import Backend, StreamStorage, create_backend
 from .cal_backend import CALBackend
 from .cpu import CPUBackend
 from .gles2_backend import GLES2Backend
+from .registry import (
+    BackendEntry,
+    available_backends,
+    backend_entry,
+    register_backend,
+    resolve_backend_name,
+    unregister_backend,
+)
 
 __all__ = [
     "Backend",
@@ -22,4 +36,10 @@ __all__ = [
     "CPUBackend",
     "GLES2Backend",
     "CALBackend",
+    "BackendEntry",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "backend_entry",
+    "resolve_backend_name",
 ]

@@ -20,6 +20,7 @@ from ..core.compiler import CompiledKernel
 from ..core import ast_nodes as ast
 from ..core.exec.evaluator import KernelEvaluator, KernelExecutionStats
 from ..core.exec.gather import GatherSource
+from ..errors import KernelLaunchError
 from ..runtime.profiling import KernelLaunchRecord, TransferRecord
 from ..runtime.shape import StreamShape
 
@@ -139,6 +140,16 @@ class Backend(abc.ABC):
         """
         from ..runtime.reduction import partial_reduce
 
+        in_dims = input_stream.shape.dims
+        out_dims = output_stream.shape.dims
+        if len(out_dims) != len(in_dims) or any(
+            extent % out_extent for extent, out_extent in zip(in_dims, out_dims)
+        ):
+            raise KernelLaunchError(
+                f"reduction output stream {output_stream.name!r} has extents "
+                f"{out_dims} which do not evenly divide the input extents "
+                f"{in_dims}"
+            )
         data = self.device_view(input_stream.storage)
         result = partial_reduce(
             kernel.definition, helpers, np.asarray(data, dtype=np.float32),
@@ -179,22 +190,19 @@ class Backend(abc.ABC):
 
 
 def create_backend(name: str, device: Optional[str] = None) -> Backend:
-    """Factory for backends by name.
+    """Construct a backend by registered name or alias.
+
+    This is a thin wrapper over the backend registry
+    (:mod:`repro.backends.registry`): the built-in backends ``"cpu"``,
+    ``"gles2"`` and ``"cal"`` are always available, and anything added
+    through :func:`~repro.backends.registry.register_backend` resolves
+    here as well.
 
     Args:
-        name: ``"cpu"``, ``"gles2"`` or ``"cal"``.
+        name: Registered backend name or alias.
         device: Optional device profile name understood by the backend
             (e.g. ``"videocore-iv"``, ``"mali-400"``, ``"radeon-hd3400"``).
     """
-    from .cal_backend import CALBackend
-    from .cpu import CPUBackend
-    from .gles2_backend import GLES2Backend
+    from . import registry
 
-    normalized = name.lower()
-    if normalized in ("cpu", "host"):
-        return CPUBackend()
-    if normalized in ("gles2", "opengl-es2", "es2", "gl"):
-        return GLES2Backend(device or "videocore-iv")
-    if normalized in ("cal", "brook+", "brookplus", "desktop"):
-        return CALBackend(device or "radeon-hd3400")
-    raise ValueError(f"unknown backend {name!r}; expected 'cpu', 'gles2' or 'cal'")
+    return registry.create_backend(name, device)

@@ -15,7 +15,7 @@ from typing import Dict
 import numpy as np
 
 from ..cal.context import CALContext
-from ..cal.device import CALDeviceProfile, get_cal_device
+from ..cal.device import CAL_DEVICE_PROFILES, CALDeviceProfile, get_cal_device
 from ..core import ast_nodes as ast
 from ..core.analysis.resources import TargetLimits
 from ..core.compiler import CompiledKernel
@@ -25,6 +25,7 @@ from ..runtime.profiling import KernelLaunchRecord, TransferRecord
 from ..runtime.reduction import multipass_reduce
 from ..runtime.shape import StreamShape
 from .base import Backend, StreamStorage
+from .registry import register_backend
 
 __all__ = ["CALBackend", "CALStreamStorage"]
 
@@ -173,3 +174,12 @@ class CALBackend(Backend):
             reduction=True,
         )
         return result.value, record
+
+
+register_backend(
+    "cal",
+    lambda device=None: CALBackend(device or "radeon-hd3400"),
+    aliases=("brook+", "brookplus", "desktop"),
+    description="simulated AMD CAL desktop GPU (the reference platform)",
+    devices=tuple(sorted(CAL_DEVICE_PROFILES)),
+)

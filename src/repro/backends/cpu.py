@@ -21,6 +21,7 @@ from ..runtime.profiling import KernelLaunchRecord, TransferRecord
 from ..runtime.reduction import multipass_reduce
 from ..runtime.shape import StreamShape
 from .base import Backend, StreamStorage
+from .registry import register_backend
 
 __all__ = ["CPUBackend", "CPUStreamStorage"]
 
@@ -171,3 +172,11 @@ class CPUBackend(Backend):
             reduction=True,
         )
         return result.value, record
+
+
+register_backend(
+    "cpu",
+    lambda device=None: CPUBackend(),
+    aliases=("host",),
+    description="host CPU backend (Brook's original validation path)",
+)

@@ -22,7 +22,7 @@ from ..core.exec.evaluator import KernelEvaluator
 from ..core.exec.gather import ClampingGatherSource
 from ..errors import BackendError, KernelLaunchError
 from ..gles2.context import GLES2Context
-from ..gles2.device import GPUDeviceProfile, get_device_profile
+from ..gles2.device import DEVICE_PROFILES, GPUDeviceProfile, get_device_profile
 from ..gles2.framebuffer import Framebuffer
 from ..gles2.shader import FragmentJob, FragmentShader, ShaderProgram
 from ..gles2.texture import Texture2D
@@ -31,6 +31,7 @@ from ..runtime.profiling import KernelLaunchRecord, TransferRecord
 from ..runtime.reduction import multipass_reduce
 from ..runtime.shape import StreamShape
 from .base import Backend, StreamStorage
+from .registry import register_backend
 
 __all__ = ["GLES2Backend", "GLES2StreamStorage", "BrookKernelShader"]
 
@@ -272,3 +273,12 @@ class GLES2Backend(Backend):
             reduction=True,
         )
         return result.value, record
+
+
+register_backend(
+    "gles2",
+    lambda device=None: GLES2Backend(device or "videocore-iv"),
+    aliases=("opengl-es2", "es2", "gl"),
+    description="simulated OpenGL ES 2.0 embedded GPU (the paper's target)",
+    devices=tuple(sorted(DEVICE_PROFILES)),
+)

@@ -1,0 +1,179 @@
+"""Backend registry: pluggable execution targets for the Brook runtime.
+
+The runtime resolves backend names through this registry instead of a
+hard-coded ``if``/``elif`` chain, so new execution targets (and test
+doubles) plug in without editing core files:
+
+.. code-block:: python
+
+    from repro.backends.registry import register_backend, available_backends
+
+    register_backend("mybackend", MyBackend, aliases=("mine",),
+                     description="my experimental target")
+    rt = BrookRuntime(backend="mybackend")      # now resolvable
+
+A factory is any callable accepting one optional ``device`` argument and
+returning a :class:`~repro.backends.base.Backend`.  The three built-in
+backends (``cpu``, ``gles2``, ``cal``) register themselves when their
+modules are imported; :func:`create_backend` imports them on first use so
+the registry is always populated.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BackendEntry",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "backend_entry",
+    "resolve_backend_name",
+    "create_backend",
+]
+
+#: A backend factory: called with the requested device profile name (or
+#: ``None`` for the backend's default device) and returns a Backend.
+BackendFactory = Callable[[Optional[str]], "object"]
+
+
+@dataclass(frozen=True)
+class BackendEntry:
+    """One registered backend."""
+
+    name: str
+    factory: BackendFactory
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+    #: Known device profile names (informational; shown by ``brookauto
+    #: backends``).  Empty for backends without device profiles.
+    devices: Tuple[str, ...] = ()
+
+
+_LOCK = threading.Lock()
+_ENTRIES: Dict[str, BackendEntry] = {}
+_ALIASES: Dict[str, str] = {}
+_BUILTINS_LOADED = False
+
+
+def register_backend(
+    name: str,
+    factory: BackendFactory,
+    aliases: Sequence[str] = (),
+    description: str = "",
+    devices: Sequence[str] = (),
+    replace: bool = False,
+) -> BackendEntry:
+    """Register a backend factory under ``name`` (plus optional aliases).
+
+    Args:
+        name: Canonical backend name (case-insensitive).
+        factory: Callable ``factory(device: Optional[str]) -> Backend``.
+            A Backend subclass whose constructor accepts an optional
+            device profile argument works directly.
+        aliases: Additional names resolving to the same factory.
+        description: One-line description shown by ``brookauto backends``.
+        devices: Known device profile names (informational).
+        replace: Allow overwriting *this backend's* existing registration
+            (same canonical name).  Without it a re-registration raises
+            :class:`ValueError`, which catches accidental double
+            registration.  A name or alias owned by a *different* backend
+            always collides - ``replace`` never steals it.
+    """
+    if not callable(factory):
+        raise TypeError(f"backend factory for {name!r} must be callable")
+    canonical = name.lower()
+    entry = BackendEntry(
+        name=canonical,
+        factory=factory,
+        aliases=tuple(alias.lower() for alias in aliases),
+        description=description,
+        devices=tuple(devices),
+    )
+    with _LOCK:
+        taken = {canonical, *entry.aliases}
+        for candidate in sorted(taken):
+            owner = _ALIASES.get(candidate)
+            if owner is not None and owner != canonical:
+                raise ValueError(
+                    f"backend name {candidate!r} is already registered "
+                    f"(by backend {owner!r})"
+                )
+        if canonical in _ENTRIES and not replace:
+            raise ValueError(
+                f"backend {canonical!r} is already registered; "
+                "pass replace=True to override"
+            )
+        previous = _ENTRIES.get(canonical)
+        if previous is not None:
+            # Drop stale aliases of the entry being replaced.
+            for alias in previous.aliases:
+                if _ALIASES.get(alias) == canonical:
+                    del _ALIASES[alias]
+        _ENTRIES[canonical] = entry
+        for candidate in taken:
+            _ALIASES[candidate] = canonical
+    return entry
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (and its aliases) from the registry."""
+    canonical = name.lower()
+    with _LOCK:
+        entry = _ENTRIES.pop(canonical, None)
+        if entry is None:
+            raise ValueError(f"backend {name!r} is not registered")
+        for alias in (canonical, *entry.aliases):
+            if _ALIASES.get(alias) == canonical:
+                del _ALIASES[alias]
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in backend modules so they self-register."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    from . import cal_backend, cpu, gles2_backend  # noqa: F401 (registration)
+    _BUILTINS_LOADED = True
+
+
+def available_backends() -> List[str]:
+    """Sorted canonical names of every registered backend."""
+    _ensure_builtins()
+    with _LOCK:
+        return sorted(_ENTRIES)
+
+
+def backend_entry(name: str) -> BackendEntry:
+    """Registry entry for ``name`` (canonical name or alias)."""
+    _ensure_builtins()
+    with _LOCK:
+        canonical = _ALIASES.get(name.lower())
+        entry = _ENTRIES.get(canonical) if canonical is not None else None
+    if entry is None:
+        raise ValueError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(available_backends())}"
+        )
+    return entry
+
+
+def resolve_backend_name(name: str) -> str:
+    """Canonical name for ``name`` (which may be an alias)."""
+    return backend_entry(name).name
+
+
+def create_backend(name: str, device: Optional[str] = None):
+    """Construct a backend by registered name or alias.
+
+    Args:
+        name: A canonical backend name or alias, e.g. ``"cpu"``,
+            ``"gles2"``, ``"cal"`` or anything added via
+            :func:`register_backend`.
+        device: Optional device profile name passed to the factory
+            (e.g. ``"videocore-iv"``, ``"mali-400"``, ``"radeon-hd3400"``).
+    """
+    return backend_entry(name).factory(device)

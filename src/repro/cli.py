@@ -12,6 +12,8 @@ compiler is used in a build system:
   (same as ``python -m repro.evaluation``).
 * ``brookauto run-app <name>`` - run one of the reference applications on
   a chosen backend and validate it against its CPU reference.
+* ``brookauto backends`` - list the registered execution backends, their
+  aliases and known device profiles (from the backend registry).
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ import sys
 from typing import Optional
 
 from .apps.base import get_application, list_applications
+from .backends.registry import available_backends, backend_entry
 from .core.compiler import CompilerOptions, compile_source
 from .core.reporting import report_to_json, report_to_markdown, report_to_text
 from .errors import BrookError
@@ -92,6 +95,19 @@ def _cmd_run_app(args: argparse.Namespace) -> int:
     return 0 if result.valid else 1
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    for name in available_backends():
+        entry = backend_entry(name)
+        print(name)
+        if entry.description:
+            print(f"  description: {entry.description}")
+        if entry.aliases:
+            print(f"  aliases: {', '.join(sorted(entry.aliases))}")
+        if entry.devices:
+            print(f"  devices: {', '.join(entry.devices)}")
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     return evaluation_main([args.experiment])
 
@@ -125,11 +141,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run-app", help="run a reference application")
     run_parser.add_argument("app", choices=list_applications())
     run_parser.add_argument("--backend", default="gles2",
-                            choices=("cpu", "gles2", "cal"))
+                            choices=available_backends())
     run_parser.add_argument("--device", default="videocore-iv")
     run_parser.add_argument("--size", type=int, default=64)
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.set_defaults(func=_cmd_run_app)
+
+    backends_parser = sub.add_parser(
+        "backends", help="list registered execution backends")
+    backends_parser.set_defaults(func=_cmd_backends)
 
     eval_parser = sub.add_parser("evaluate", help="regenerate the paper's figures")
     eval_parser.add_argument("experiment", nargs="?", default="all",

@@ -14,7 +14,9 @@ static analysis results and the certification report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import CodegenError
@@ -66,6 +68,29 @@ class CompilerOptions:
     emit_glsl_es: bool = True
     emit_desktop_glsl: bool = True
     emit_c: bool = True
+
+    def fingerprint(self) -> str:
+        """Stable digest of every option that influences compilation.
+
+        Two option sets with the same fingerprint produce identical
+        compiler output for the same source, which is what the runtime's
+        compile cache keys on.  Target limits and parameter bounds are
+        serialised field by field so equal values hash equally regardless
+        of object identity.
+        """
+        payload = {}
+        for option in fields(self):
+            value = getattr(self, option.name)
+            if option.name == "target":
+                value = {f.name: getattr(value, f.name) for f in fields(value)}
+            elif option.name == "param_bounds":
+                value = {
+                    kernel: dict(sorted(bounds.items()))
+                    for kernel, bounds in sorted(value.items())
+                }
+            payload[option.name] = value
+        encoded = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
 @dataclass

@@ -1,6 +1,14 @@
-"""Brook Auto runtime: streams, kernel launches, reductions and statistics."""
+"""Brook Auto runtime: streams, kernel launches, reductions and statistics.
+
+Service-grade surfaces: :class:`BrookRuntime` is a context manager whose
+``close`` releases every live stream, :meth:`BrookRuntime.compile` caches
+compiled programs, :meth:`KernelHandle.bind` prepares reusable
+:class:`LaunchPlan` objects, and ``BrookRuntime.queue()`` returns a
+:class:`CommandQueue` batching launches.
+"""
 
 from .kernel import KernelHandle
+from .launch import CommandQueue, LaunchPlan, QueuedLaunch
 from .numerics import (
     RELATIVE_PRECISION,
     decode_float_rgba8,
@@ -19,6 +27,9 @@ __all__ = [
     "Stream",
     "StreamShape",
     "KernelHandle",
+    "LaunchPlan",
+    "QueuedLaunch",
+    "CommandQueue",
     "KernelLaunchRecord",
     "TransferRecord",
     "RunStatistics",

@@ -11,11 +11,17 @@ care of everything the paper's runtime does behind the scenes:
   split a multi-output kernel for a single-render-target device,
 * driving the multipass reduction engine for ``reduce`` kernels, and
 * recording work statistics with the runtime.
+
+For repeated launches with the same arguments, :meth:`KernelHandle.bind`
+prepares a :class:`~repro.runtime.launch.LaunchPlan` that performs the
+validation and classification once; ``plan.launch()`` then goes straight
+to the backend.  A plain call builds a fresh plan each time, so both
+paths execute identically.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +29,7 @@ from ..core import ast_nodes as ast
 from ..core.compiler import CompiledProgram
 from ..core.types import ParamKind
 from ..errors import KernelLaunchError
+from .launch import LaunchPlan
 from .shape import StreamShape
 from .stream import Stream
 
@@ -55,10 +62,23 @@ class KernelHandle:
 
     # ------------------------------------------------------------------ #
     def __call__(self, *args, **kwargs):
+        """Launch the kernel (or enqueue it when a command queue is active).
+
+        Returns the reduced value for reduction kernels, ``None`` for map
+        kernels; inside an active ``rt.queue()`` block it returns a
+        :class:`~repro.runtime.launch.QueuedLaunch` whose ``result`` is
+        populated when the queue flushes.
+        """
+        plan = self.bind(*args, **kwargs)
+        queue = self.runtime._active_queue
+        if queue is not None:
+            return queue.submit(plan)
+        return plan.launch()
+
+    def bind(self, *args, **kwargs) -> LaunchPlan:
+        """Validate and classify the arguments once into a reusable plan."""
         bindings = self._bind_arguments(args, kwargs)
-        if self.is_reduction:
-            return self._run_reduction(bindings)
-        return self._run_map(bindings)
+        return LaunchPlan(self, bindings)
 
     # ------------------------------------------------------------------ #
     def _bind_arguments(self, args, kwargs) -> Dict[str, object]:
@@ -110,6 +130,24 @@ class KernelHandle:
                     )
         return bindings
 
+    def _coerce_scalar(self, param_name: str, value: object) -> float:
+        array = np.asarray(value)
+        if array.size != 1:
+            raise KernelLaunchError(
+                f"argument {param_name!r} of {self.original_name!r} is a "
+                f"scalar constant; got an array of shape {array.shape} "
+                f"({array.size} elements)"
+            )
+        # array.item() extracts the single value regardless of ndim
+        # (float() of a size-1 1-d array is an error on NumPy >= 2.0).
+        try:
+            return float(array.item())
+        except (TypeError, ValueError) as exc:
+            raise KernelLaunchError(
+                f"argument {param_name!r} of {self.original_name!r} is not "
+                f"convertible to a float scalar: {exc}"
+            ) from exc
+
     def _classify(self, kernel_def: ast.FunctionDef, bindings: Dict[str, object]):
         stream_args: Dict[str, Stream] = {}
         gather_args: Dict[str, Stream] = {}
@@ -124,25 +162,12 @@ class KernelHandle:
             elif param.kind is ParamKind.GATHER:
                 gather_args[param.name] = value
             elif param.kind is ParamKind.SCALAR:
-                scalar_args[param.name] = float(np.asarray(value))
+                scalar_args[param.name] = self._coerce_scalar(param.name, value)
             elif param.kind is ParamKind.OUT_STREAM:
                 out_args[param.name] = value
         return stream_args, gather_args, scalar_args, out_args
 
     # ------------------------------------------------------------------ #
-    def _run_map(self, bindings: Dict[str, object]) -> None:
-        domain = self._output_domain(bindings)
-        for piece_name in self.piece_names:
-            piece = self.program.kernel(piece_name)
-            stream_args, gather_args, scalar_args, out_args = self._classify(
-                piece.definition, bindings
-            )
-            record = self.runtime.backend.launch(
-                piece, self._helpers, domain,
-                stream_args, gather_args, scalar_args, out_args,
-            )
-            self.runtime.statistics.record_launch(record)
-
     def _output_domain(self, bindings: Dict[str, object]) -> StreamShape:
         out_shapes = []
         for param in self.original.output_params:
@@ -167,40 +192,6 @@ class KernelHandle:
                     f"same shape; got {first.dims} and {other.dims}"
                 )
         return first
-
-    # ------------------------------------------------------------------ #
-    def _run_reduction(self, bindings: Dict[str, object]):
-        stream_param = self.original.stream_params[0]
-        input_stream = bindings.get(stream_param.name)
-        if not isinstance(input_stream, Stream):
-            raise KernelLaunchError(
-                f"reduction {self.original_name!r} needs its input stream "
-                f"{stream_param.name!r}"
-            )
-        piece = self.program.kernel(self.piece_names[0])
-
-        # Brook distinguishes reductions to a scalar from reductions to a
-        # smaller stream (every output element reduces one block of the
-        # input); the latter is requested by passing a multi-element stream
-        # as the accumulator argument.
-        accumulator = None
-        for param in self.original.reduce_params:
-            candidate = bindings.get(param.name)
-            if isinstance(candidate, Stream):
-                accumulator = candidate
-        if accumulator is not None and accumulator.element_count > 1:
-            record = self.runtime.backend.reduce_into(
-                piece, self._helpers, input_stream, accumulator
-            )
-            self.runtime.statistics.record_launch(record)
-            return accumulator.read()
-
-        value, record = self.runtime.backend.reduce(piece, self._helpers, input_stream)
-        self.runtime.statistics.record_launch(record)
-        # If the caller passed a 1-element stream for the accumulator, fill it.
-        if accumulator is not None:
-            accumulator.write(np.full(accumulator.dims, value, dtype=np.float32))
-        return value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "reduce" if self.is_reduction else "kernel"

@@ -1,0 +1,246 @@
+"""Prepared kernel launches and deferred command queues.
+
+Calling a :class:`~repro.runtime.kernel.KernelHandle` validates and
+classifies its arguments on every call.  For a long-lived service that
+launches the same kernel over the same streams thousands of times, that
+per-call work is pure overhead, so the handle can *bind* its arguments
+once into a :class:`LaunchPlan`:
+
+.. code-block:: python
+
+    plan = module.saxpy.bind(2.0, x, y, out)
+    for _ in range(steps):
+        plan.launch()              # no re-validation, no re-classification
+
+A :class:`CommandQueue` (obtained from ``rt.queue()``) batches launches:
+kernel calls made while the queue is active are recorded instead of
+executed, and :meth:`CommandQueue.flush` runs them in submission order in
+one pass, recording their statistics in bulk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import KernelLaunchError
+from .stream import Stream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import KernelHandle
+    from .profiling import KernelLaunchRecord
+    from .runtime import BrookRuntime
+
+__all__ = ["LaunchPlan", "QueuedLaunch", "CommandQueue"]
+
+
+class LaunchPlan:
+    """One kernel launch with its arguments validated and classified.
+
+    Created through :meth:`KernelHandle.bind`; the constructor expects
+    *already validated* bindings.  The plan resolves the launch domain
+    and splits the arguments by parameter kind once, so every subsequent
+    :meth:`launch` goes straight to the backend.
+    """
+
+    def __init__(self, handle: "KernelHandle", bindings: Dict[str, object]):
+        self.handle = handle
+        self.runtime: "BrookRuntime" = handle.runtime
+        self.is_reduction = handle.is_reduction
+        self._bindings = bindings
+        self._bound_streams = [
+            value for value in bindings.values() if isinstance(value, Stream)
+        ]
+        if self.is_reduction:
+            self._prepare_reduction(bindings)
+        else:
+            self._domain = handle._output_domain(bindings)
+            self._pieces = [
+                (piece, handle._classify(piece.definition, bindings))
+                for piece in (handle.program.kernel(name)
+                              for name in handle.piece_names)
+            ]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def kernel_name(self) -> str:
+        return self.handle.original_name
+
+    def launch(self):
+        """Execute the plan and record its statistics with the runtime.
+
+        Returns the reduced value for reduction kernels, ``None`` for map
+        kernels (outputs land in the bound output streams) - the same
+        contract as calling the kernel handle directly.
+        """
+        records: List["KernelLaunchRecord"] = []
+        # Launches that already ran stay recorded even when a later piece
+        # of the same plan fails - the statistics feed the performance
+        # model and must reflect the work the device actually did.
+        try:
+            return self.execute(records)
+        finally:
+            self.runtime.statistics.record_launches(records)
+
+    def execute(self, records: List["KernelLaunchRecord"]):
+        """Run the backend work, appending launch records to ``records``.
+
+        Does not register the records with the runtime's statistics -
+        :class:`CommandQueue` uses this to collect the records of a whole
+        batch and register them in one bulk call.  Records are appended
+        as each pass completes, so the caller sees the work that ran even
+        when a later pass raises.
+        """
+        self._require_launchable()
+        if self.is_reduction:
+            return self._execute_reduction(records)
+        return self._execute_map(records)
+
+    def _require_launchable(self) -> None:
+        self.runtime._require_open()
+        for stream in self._bound_streams:
+            stream._require_live()
+
+    # ------------------------------------------------------------------ #
+    def _execute_map(self, records):
+        backend = self.runtime.backend
+        helpers = self.handle._helpers
+        for piece, (stream_args, gather_args, scalar_args, out_args) in self._pieces:
+            records.append(backend.launch(
+                piece, helpers, self._domain,
+                stream_args, gather_args, scalar_args, out_args,
+            ))
+        return None
+
+    # ------------------------------------------------------------------ #
+    def _prepare_reduction(self, bindings: Dict[str, object]) -> None:
+        handle = self.handle
+        stream_param = handle.original.stream_params[0]
+        input_stream = bindings.get(stream_param.name)
+        if not isinstance(input_stream, Stream):
+            raise KernelLaunchError(
+                f"reduction {handle.original_name!r} needs its input stream "
+                f"{stream_param.name!r}"
+            )
+        self._reduce_input = input_stream
+        self._reduce_piece = handle.program.kernel(handle.piece_names[0])
+
+        # Brook distinguishes reductions to a scalar from reductions to a
+        # smaller stream (every output element reduces one block of the
+        # input); the latter is requested by passing a multi-element stream
+        # as the accumulator argument.
+        accumulator: Optional[Stream] = None
+        for param in handle.original.reduce_params:
+            candidate = bindings.get(param.name)
+            if isinstance(candidate, Stream):
+                accumulator = candidate
+        self._accumulator = accumulator
+
+    def _execute_reduction(self, records):
+        backend = self.runtime.backend
+        helpers = self.handle._helpers
+        accumulator = self._accumulator
+        if accumulator is not None and accumulator.element_count > 1:
+            records.append(backend.reduce_into(
+                self._reduce_piece, helpers, self._reduce_input, accumulator
+            ))
+            return accumulator.read()
+        value, record = backend.reduce(
+            self._reduce_piece, helpers, self._reduce_input
+        )
+        records.append(record)
+        # If the caller passed a 1-element stream for the accumulator, fill it.
+        if accumulator is not None:
+            accumulator.write(np.full(accumulator.dims, value, dtype=np.float32))
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "reduce" if self.is_reduction else "kernel"
+        return f"<LaunchPlan {kind} {self.kernel_name!r}>"
+
+
+class QueuedLaunch:
+    """A launch submitted to a :class:`CommandQueue`, resolved at flush.
+
+    ``result`` holds the launch's return value (the reduced value for
+    reductions, ``None`` for map kernels) once ``done`` is ``True``.
+    """
+
+    __slots__ = ("plan", "result", "done")
+
+    def __init__(self, plan: LaunchPlan):
+        self.plan = plan
+        self.result: object = None
+        self.done = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "pending"
+        return f"<QueuedLaunch {self.plan.kernel_name!r} {state}>"
+
+
+class CommandQueue:
+    """Deferred launch queue batching kernel calls on one runtime.
+
+    While the queue is active (inside ``with rt.queue() as q:``), kernel
+    calls on that runtime enqueue a :class:`QueuedLaunch` instead of
+    executing.  :meth:`flush` - called automatically when the ``with``
+    block exits without an exception - runs everything in submission
+    order and records the launch statistics in one bulk operation.
+    """
+
+    def __init__(self, runtime: "BrookRuntime"):
+        self.runtime = runtime
+        self._pending: List[QueuedLaunch] = []
+        self.flushed_launches = 0
+
+    # ------------------------------------------------------------------ #
+    def submit(self, plan: LaunchPlan) -> QueuedLaunch:
+        """Enqueue a prepared launch; it runs at the next :meth:`flush`."""
+        if plan.runtime is not self.runtime:
+            raise KernelLaunchError(
+                "cannot enqueue a launch plan from a different runtime"
+            )
+        queued = QueuedLaunch(plan)
+        self._pending.append(queued)
+        return queued
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def flush(self) -> List[object]:
+        """Execute every pending launch; returns their results in order.
+
+        When a launch in the batch raises, everything that already ran
+        stays executed and recorded in the statistics; the remaining
+        pending launches are discarded with the exception.
+        """
+        pending, self._pending = self._pending, []
+        records: List["KernelLaunchRecord"] = []
+        results: List[object] = []
+        try:
+            for queued in pending:
+                result = queued.plan.execute(records)
+                queued.result = result
+                queued.done = True
+                results.append(result)
+        finally:
+            self.flushed_launches += len(results)
+            self.runtime.statistics.record_launches(records)
+        return results
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "CommandQueue":
+        self.runtime._push_queue(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.runtime._pop_queue(self)
+        if exc_type is None:
+            self.flush()
+        else:
+            self._pending.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CommandQueue pending={len(self._pending)} "
+                f"flushed={self.flushed_launches}>")

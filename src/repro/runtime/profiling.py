@@ -54,6 +54,14 @@ class RunStatistics:
     def record_launch(self, record: KernelLaunchRecord) -> None:
         self.launches.append(record)
 
+    def record_launches(self, records) -> None:
+        """Record a batch of launch records in one operation.
+
+        Used by launch plans and the command queue, which collect the
+        records of a whole flush before registering them.
+        """
+        self.launches.extend(records)
+
     def clear(self) -> None:
         self.transfers.clear()
         self.launches.clear()

@@ -6,23 +6,39 @@
 
     from repro.runtime import BrookRuntime
 
-    rt = BrookRuntime(backend="gles2", device="videocore-iv")
-    module = rt.compile(BROOK_SOURCE)
-    a = rt.stream_from(host_array_a)
-    b = rt.stream_from(host_array_b)
-    c = rt.stream(host_array_a.shape)
-    module.add(a, b, c)          # kernel launch
-    result = c.read()            # stream -> host
+    with BrookRuntime(backend="gles2", device="videocore-iv") as rt:
+        module = rt.compile(BROOK_SOURCE)
+        a = rt.stream_from(host_array_a)
+        b = rt.stream_from(host_array_b)
+        c = rt.stream(host_array_a.shape)
+        module.add(a, b, c)      # kernel launch
+        result = c.read()        # stream -> host
 
-The runtime owns the backend (CPU, simulated OpenGL ES 2.0 device or
-simulated CAL device), compiles ``.br`` source with the target's limits,
-creates statically sized streams and accumulates the work statistics that
-the analytic performance model turns into modelled execution times.
+The runtime owns the backend (resolved through the backend registry:
+CPU, simulated OpenGL ES 2.0 device, simulated CAL device, or anything
+registered via :func:`repro.backends.register_backend`), compiles ``.br``
+source with the target's limits, creates statically sized streams and
+accumulates the work statistics that the analytic performance model turns
+into modelled execution times.
+
+Service-grade pieces for long-lived processes:
+
+* **Compile cache** - repeated :meth:`BrookRuntime.compile` of the same
+  source with equivalent options returns the cached
+  :class:`~repro.core.compiler.CompiledProgram` instead of re-running the
+  whole lexer -> parser -> semantic -> codegen pipeline.
+* **Session lifecycle** - the runtime tracks its streams weakly;
+  :meth:`BrookRuntime.close` (or leaving a ``with`` block) releases every
+  live stream, and :meth:`memory_usage_report` reflects live streams only.
+* **Command queues** - ``with rt.queue() as q:`` batches kernel launches
+  and flushes them in one pass, recording statistics in bulk.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+import weakref
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -30,8 +46,9 @@ from ..backends.base import Backend, create_backend
 from ..core.analysis.memory_usage import StreamDeclaration, estimate_memory_usage
 from ..core.compiler import BrookAutoCompiler, CompiledProgram, CompilerOptions
 from ..core.types import FLOAT, BrookType
-from ..errors import KernelLaunchError, StreamError
+from ..errors import RuntimeBrookError
 from .kernel import KernelHandle
+from .launch import CommandQueue
 from .profiling import RunStatistics
 from .shape import StreamShape
 from .stream import Stream
@@ -88,15 +105,21 @@ class BrookRuntime:
         backend: Union[str, Backend] = "cpu",
         device: Optional[str] = None,
         compiler_options: Optional[CompilerOptions] = None,
+        compile_cache_size: int = 64,
     ):
         """
         Args:
-            backend: Backend name (``"cpu"``, ``"gles2"``, ``"cal"``) or an
-                already constructed :class:`~repro.backends.base.Backend`.
+            backend: A registered backend name or alias (``"cpu"``,
+                ``"gles2"``, ``"cal"``, or anything added through
+                :func:`repro.backends.register_backend`) or an already
+                constructed :class:`~repro.backends.base.Backend`.
             device: Device profile for GPU backends (e.g. ``"videocore-iv"``,
                 ``"mali-400"``, ``"radeon-hd3400"``).
             compiler_options: Base compiler options; the target limits are
                 always overridden with the backend's limits.
+            compile_cache_size: Maximum number of compiled programs kept in
+                the compile cache (least recently used entries are evicted;
+                ``0`` disables caching).
         """
         if isinstance(backend, Backend):
             self.backend = backend
@@ -104,7 +127,50 @@ class BrookRuntime:
             self.backend = create_backend(backend, device)
         self._base_options = compiler_options
         self.statistics = RunStatistics()
-        self._streams: list = []
+        # Weak references only: a stream freed by the garbage collector
+        # (or via Stream.release) must not be kept alive - or reported as
+        # memory in use - by the runtime's bookkeeping.
+        self._streams: "weakref.WeakSet[Stream]" = weakref.WeakSet()
+        self._compile_cache: "OrderedDict[Tuple[str, str, str], CompiledProgram]" = \
+            OrderedDict()
+        self._compile_cache_size = max(0, int(compile_cache_size))
+        self._compile_cache_hits = 0
+        self._compile_cache_misses = 0
+        self._queues: List[CommandQueue] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeBrookError("runtime has been closed")
+
+    def close(self) -> None:
+        """End the session: release every live stream and drop the caches.
+
+        Safe to call more than once.  Collected statistics stay readable;
+        creating streams or compiling on a closed runtime raises.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queues.clear()
+        for stream in list(self._streams):
+            stream.release()
+        self._streams.clear()
+        self._compile_cache.clear()
+
+    def __enter__(self) -> "BrookRuntime":
+        self._require_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Compilation
@@ -128,7 +194,14 @@ class BrookRuntime:
                 the certification report without aborting.
             filename: Name used in diagnostics.
             scalarize: Apply the vector-to-scalar transformation pass.
+
+        Compilation results are cached: compiling the same source with an
+        equivalent option set (same options fingerprint, which includes
+        the backend's target limits) returns the cached
+        :class:`~repro.core.compiler.CompiledProgram` wrapped in a fresh
+        :class:`BrookModule`, skipping the compiler pipeline entirely.
         """
+        self._require_open()
         if self._base_options is not None:
             options = CompilerOptions(**vars(self._base_options))
         else:
@@ -137,16 +210,42 @@ class BrookRuntime:
         options.param_bounds = dict(param_bounds or {})
         options.strict = strict
         options.scalarize = scalarize
-        program = BrookAutoCompiler(options).compile(source, filename)
+
+        key = (source, filename, options.fingerprint())
+        program = self._compile_cache.get(key)
+        if program is not None:
+            self._compile_cache_hits += 1
+            self._compile_cache.move_to_end(key)
+        else:
+            self._compile_cache_misses += 1
+            program = BrookAutoCompiler(options).compile(source, filename)
+            if self._compile_cache_size > 0:
+                self._compile_cache[key] = program
+                while len(self._compile_cache) > self._compile_cache_size:
+                    self._compile_cache.popitem(last=False)
         return BrookModule(self, program)
+
+    def compile_cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and current occupancy of the compile cache."""
+        return {
+            "hits": self._compile_cache_hits,
+            "misses": self._compile_cache_misses,
+            "entries": len(self._compile_cache),
+            "capacity": self._compile_cache_size,
+        }
+
+    def clear_compile_cache(self) -> None:
+        """Drop every cached compilation (counters keep accumulating)."""
+        self._compile_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Streams
     # ------------------------------------------------------------------ #
     def stream(self, shape, element_width: int = 1, name: str = "") -> Stream:
         """Create a statically sized stream filled with zeros."""
+        self._require_open()
         stream = Stream(self, StreamShape.of(shape), element_width, name)
-        self._streams.append(stream)
+        self._streams.add(stream)
         return stream
 
     def stream_from(self, data: np.ndarray, name: str = "",
@@ -193,6 +292,31 @@ class BrookRuntime:
         return stream.read()
 
     # ------------------------------------------------------------------ #
+    # Command queues
+    # ------------------------------------------------------------------ #
+    def queue(self) -> CommandQueue:
+        """A deferred launch queue for this runtime.
+
+        Used as a context manager: kernel calls inside the ``with`` block
+        are batched and flushed in one pass when the block exits (or when
+        :meth:`~repro.runtime.launch.CommandQueue.flush` is called).
+        """
+        self._require_open()
+        return CommandQueue(self)
+
+    @property
+    def _active_queue(self) -> Optional[CommandQueue]:
+        return self._queues[-1] if self._queues else None
+
+    def _push_queue(self, queue: CommandQueue) -> None:
+        self._require_open()
+        self._queues.append(queue)
+
+    def _pop_queue(self, queue: CommandQueue) -> None:
+        if queue in self._queues:
+            self._queues.remove(queue)
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def reset_statistics(self) -> None:
@@ -201,15 +325,23 @@ class BrookRuntime:
     def device_memory_in_use(self) -> int:
         return self.backend.device_memory_in_use()
 
+    def live_streams(self) -> List[Stream]:
+        """Streams created by this runtime that are still unreleased."""
+        return [stream for stream in self._streams if not stream.released]
+
     def memory_usage_report(self):
-        """Static maximum GPU memory usage of the currently declared streams."""
+        """Static maximum GPU memory usage of the live streams.
+
+        Released (or garbage collected) streams no longer contribute, so
+        the report agrees with :meth:`device_memory_in_use`.
+        """
         declarations = [
             StreamDeclaration(
                 name=stream.name,
                 shape=stream.dims,
                 element_type=BrookType(FLOAT.kind, stream.element_width),
             )
-            for stream in self._streams
+            for stream in self.live_streams()
         ]
         return estimate_memory_usage(declarations, self.backend.target_limits())
 

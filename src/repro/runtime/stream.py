@@ -10,7 +10,8 @@ allocation, statically known maximum memory usage; paper section 4).
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+import weakref
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,13 @@ class Stream:
         self.storage = runtime.backend.create_storage(
             self.shape, self.element_width, self.name
         )
+        # The finalizer frees the device storage when the handle is
+        # released *or* garbage collected, whichever comes first; backend
+        # ``free`` is idempotent, and ``weakref.finalize`` only ever runs
+        # its callback once.
+        self._finalizer = weakref.finalize(
+            self, runtime.backend.free, self.storage
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -52,6 +60,18 @@ class Stream:
         """Host-visible payload size (elements x components x 4 bytes)."""
         return self.element_count * self.element_width * 4
 
+    @property
+    def released(self) -> bool:
+        """Whether the device storage has been freed."""
+        return not self._finalizer.alive
+
+    def _require_live(self) -> None:
+        if self.released:
+            raise StreamError(
+                f"stream {self.name!r} has been released; its device "
+                "storage is no longer available"
+            )
+
     # ------------------------------------------------------------------ #
     def write(self, data: np.ndarray) -> None:
         """``streamRead`` in Brook terms: copy host data into the stream.
@@ -59,6 +79,7 @@ class Stream:
         The data must match the declared shape exactly; streams cannot be
         resized after creation.
         """
+        self._require_live()
         flattened = self.shape.flatten(np.asarray(data, dtype=np.float32),
                                        self.element_width)
         record = self.runtime.backend.upload(self.storage, flattened)
@@ -66,6 +87,7 @@ class Stream:
 
     def read(self) -> np.ndarray:
         """``streamWrite`` in Brook terms: copy the stream back to the host."""
+        self._require_live()
         flattened, record = self.runtime.backend.download(self.storage)
         self.runtime.statistics.record_transfer(record)
         return self.shape.unflatten(flattened, self.element_width)
@@ -82,13 +104,18 @@ class Stream:
         On the OpenGL ES 2 backend the values carry the RGBA8 quantization;
         this is mainly useful in tests and debugging.
         """
+        self._require_live()
         flattened = self.runtime.backend.device_view(self.storage)
         return self.shape.unflatten(np.asarray(flattened, dtype=np.float32),
                                     self.element_width)
 
     def release(self) -> None:
-        """Free the device storage (the handle becomes unusable)."""
-        self.runtime.backend.free(self.storage)
+        """Free the device storage (the handle becomes unusable).
+
+        Safe to call more than once; releasing also happens automatically
+        when the handle is garbage collected or its runtime is closed.
+        """
+        self._finalizer()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         width = "" if self.element_width == 1 else f" float{self.element_width}"

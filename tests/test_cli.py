@@ -99,3 +99,24 @@ class TestRunAppAndEvaluate:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBackendsCommand:
+    def test_lists_registered_backends(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cpu", "gles2", "cal"):
+            assert name in out
+        assert "videocore-iv" in out
+        assert "aliases" in out
+
+    def test_lists_custom_backend(self, capsys):
+        from repro.backends import CPUBackend, register_backend, unregister_backend
+
+        register_backend("cli-test", lambda device=None: CPUBackend(),
+                         description="registered by the CLI test")
+        try:
+            assert main(["backends"]) == 0
+            assert "cli-test" in capsys.readouterr().out
+        finally:
+            unregister_backend("cli-test")

@@ -23,6 +23,9 @@ def run_example(name: str) -> subprocess.CompletedProcess:
     ("adas_route_planning.py", ["Fastest route", "fw_relax__dist_out"]),
     ("certification_audit.py", ["BA-001", "verdict: COMPLIANT",
                                 "moving_average(0..63) = 31.5"]),
+    ("service_runtime.py", ["Registered backends", "1 hit(s)",
+                            "Queue flushed",
+                            "Device memory in use after the session: 0"]),
 ])
 def test_example_runs_and_prints_expected_output(script, expected_markers):
     result = run_example(script)

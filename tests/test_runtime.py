@@ -100,9 +100,12 @@ class TestStreams:
         assert stats.bytes_downloaded == 8 * 8 * 4
 
     def test_memory_usage_report(self, gles2_runtime):
-        gles2_runtime.stream((100, 100), name="padded")
+        stream = gles2_runtime.stream((100, 100), name="padded")
         report = gles2_runtime.memory_usage_report()
         assert report.per_stream_bytes["padded"] == 128 * 128 * 4
+        # Releasing the stream removes it from the report (live streams only).
+        stream.release()
+        assert "padded" not in gles2_runtime.memory_usage_report().per_stream_bytes
 
     def test_device_memory_in_use(self, gles2_runtime):
         stream = gles2_runtime.stream((64, 64))
