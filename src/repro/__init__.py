@@ -53,6 +53,17 @@ many times::
             module.saxpy(1.0, x, y, r)
             module.saxpy(2.0, x, r, y)
 
+        pipeline = rt.fuse([                 # merge producer -> consumer
+            module.saxpy.bind(2.0, x, y, tmp),   # kernels into one pass;
+            module.saxpy.bind(1.0, tmp, r, out), # tmp never hits memory
+        ])
+        pipeline.launch()
+
+Divergence-free kernels are additionally compiled ahead of time into a
+closure program (the evaluator fast path), bypassing per-launch AST
+interpretation with bit-identical results; divergent kernels keep using
+the masked SIMT interpreter.
+
 Execution targets are pluggable through the backend registry::
 
     from repro import register_backend, available_backends
@@ -89,6 +100,8 @@ from .runtime import (
     BrookModule,
     BrookRuntime,
     CommandQueue,
+    FusedPipeline,
+    FusedPlan,
     LaunchPlan,
     Stream,
     StreamShape,
@@ -112,6 +125,8 @@ __all__ = [
     "Stream",
     "StreamShape",
     "LaunchPlan",
+    "FusedPlan",
+    "FusedPipeline",
     "CommandQueue",
     "Backend",
     "register_backend",

@@ -2,10 +2,17 @@
 
 A backend owns stream storage on its device, moves data between the host
 and that storage, launches kernel passes over an output domain and runs
-multipass reductions.  All backends execute kernels through the same
-vectorized evaluator; they differ in where stream data lives, how much
-precision survives storage, how gather accesses behave at the edges and
-which hardware limits apply.
+multipass reductions.  Backends are resolved by name through the backend
+registry (:mod:`repro.backends.registry`); the built-ins register
+themselves on import and third-party targets plug in via
+:func:`~repro.backends.registry.register_backend`.
+
+All backends execute kernels through the same engine: divergence-free
+kernels run their ahead-of-time compiled closure program
+(:mod:`repro.core.exec.compiled`), everything else goes through the
+masked SIMT interpreter (:mod:`repro.core.exec.evaluator`).  Backends
+differ in where stream data lives, how much precision survives storage,
+how gather accesses behave at the edges and which hardware limits apply.
 """
 
 from __future__ import annotations
@@ -53,6 +60,17 @@ class Backend(abc.ABC):
     @abc.abstractmethod
     def target_limits(self) -> TargetLimits:
         """Hardware limits used for certification and kernel fitting."""
+
+    def can_execute(self, kernel: CompiledKernel) -> bool:
+        """Whether this backend can launch ``kernel``.
+
+        The default accepts everything; backends that need a generated
+        artefact (the OpenGL ES 2 backend needs GLSL ES text) override
+        this.  The fusion machinery probes it before committing to a
+        fused kernel so an unlaunchable fusion falls back to the original
+        kernel sequence instead of failing at launch time.
+        """
+        return True
 
     # ------------------------------------------------------------------ #
     # Storage and transfers
@@ -177,7 +195,21 @@ class Backend(abc.ABC):
         gathers: Dict[str, GatherSource],
         scalar_args: Dict[str, float],
     ) -> "tuple[Dict[str, np.ndarray], KernelExecutionStats]":
-        """Run the kernel body once over ``domain`` with prepared inputs."""
+        """Run the kernel body once over ``domain`` with prepared inputs.
+
+        Divergence-free kernels carry a compiled closure program
+        (``kernel.fast_path``) that skips per-launch AST interpretation;
+        everything else goes through the masked interpreter.  Both paths
+        produce bit-identical outputs and equivalent work statistics.
+        """
+        if kernel.fast_path is not None:
+            return kernel.fast_path.run(
+                domain.element_count,
+                stream_inputs=stream_values,
+                scalar_args=scalar_args,
+                gathers=gathers,
+                index=domain.element_positions(),
+            )
         evaluator = KernelEvaluator(kernel.definition, helpers)
         outputs = evaluator.run(
             domain.element_count,

@@ -6,6 +6,11 @@ write several outputs per pass (the desktop hardware supports multiple
 render targets), and no RGBA8 packing is applied.  This backend stands in
 for AMD's Brook+ runtime used to obtain the grey reference curves of
 Figures 2 and 3.
+
+The backend registers itself with the backend registry under ``"cal"``
+(aliases ``"brook+"``, ``"brookplus"``, ``"desktop"``) together with its
+device profiles; it is resolved by name through the registry like every
+other execution target.
 """
 
 from __future__ import annotations
@@ -150,6 +155,9 @@ class CALBackend(Backend):
             flops=stats.flops,
             texture_fetches=stats.gather_fetches + stats.stream_reads,
             passes=1,
+            fused=kernel.fused_count,
+            saved_intermediate_bytes=kernel.saved_intermediate_bytes(
+                domain.element_count),
         )
 
     def _store_reduction_output(self, storage: CALStreamStorage,

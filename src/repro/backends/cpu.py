@@ -1,9 +1,15 @@
 """CPU backend of the Brook Auto runtime.
 
 Streams live in host memory as float32 arrays; kernels run through the
-vectorized evaluator with direct (bounds-checked) gather access.  This is
-Brook's original validation backend: every reference application checks
-its GPU output against the result of this path.
+shared execution engine (compiled fast path for straight-line bodies,
+masked evaluator otherwise) with direct (bounds-checked) gather access.
+This is Brook's original validation backend: every reference application
+checks its GPU output against the result of this path.
+
+The backend registers itself with the backend registry under ``"cpu"``
+(alias ``"host"``) and is resolved through
+:func:`repro.backends.registry.create_backend`, not constructed by the
+runtime directly.
 """
 
 from __future__ import annotations
@@ -148,6 +154,9 @@ class CPUBackend(Backend):
             flops=stats.flops,
             texture_fetches=stats.gather_fetches,
             passes=1,
+            fused=kernel.fused_count,
+            saved_intermediate_bytes=kernel.saved_intermediate_bytes(
+                domain.element_count),
         )
 
     def _store_reduction_output(self, storage: CPUStreamStorage,

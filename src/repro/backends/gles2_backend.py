@@ -7,6 +7,11 @@ output texture, sampling the inputs with normalized coordinates.  The
 texture padding needed for power-of-two / square-only devices, the
 float<->RGBA8 numerics and the multipass reductions are handled here,
 transparently to the application, exactly as sections 5.2-5.5 describe.
+
+The backend registers itself with the backend registry under ``"gles2"``
+(aliases ``"opengl-es2"``, ``"es2"``, ``"gl"``) together with its device
+profiles, so ``BrookRuntime(backend="gles2", device=...)`` resolves it
+without any hard-coded wiring.
 """
 
 from __future__ import annotations
@@ -102,16 +107,26 @@ class BrookKernelShader(FragmentShader):
              np.floor(job.texcoord[:, 1] * output_size[1])], axis=1
         ).astype(np.float32)
 
-        evaluator = KernelEvaluator(self.kernel.definition, self.helpers)
-        outputs = evaluator.run(
-            count,
-            stream_inputs=stream_values,
-            scalar_args=self.scalar_args,
-            gathers=self.gathers,
-            index=index,
-        )
-        self.last_flops = evaluator.stats.flops
-        self.last_gather_fetches = evaluator.stats.gather_fetches
+        if self.kernel.fast_path is not None:
+            outputs, stats = self.kernel.fast_path.run(
+                count,
+                stream_inputs=stream_values,
+                scalar_args=self.scalar_args,
+                gathers=self.gathers,
+                index=index,
+            )
+        else:
+            evaluator = KernelEvaluator(self.kernel.definition, self.helpers)
+            outputs = evaluator.run(
+                count,
+                stream_inputs=stream_values,
+                scalar_args=self.scalar_args,
+                gathers=self.gathers,
+                index=index,
+            )
+            stats = evaluator.stats
+        self.last_flops = stats.flops
+        self.last_gather_fetches = stats.gather_fetches
         result = outputs[self.out_name]
         return encode_float_rgba8(np.asarray(result, dtype=np.float32))
 
@@ -133,6 +148,10 @@ class GLES2Backend(Backend):
     # ------------------------------------------------------------------ #
     def target_limits(self) -> TargetLimits:
         return self.device.limits.to_target_limits()
+
+    def can_execute(self, kernel: CompiledKernel) -> bool:
+        """A kernel needs GLSL ES 1.0 text to run as a fragment pass."""
+        return kernel.glsl_es is not None
 
     # ------------------------------------------------------------------ #
     # Storage
@@ -243,6 +262,9 @@ class GLES2Backend(Backend):
             flops=shader.last_flops,
             texture_fetches=draw.texture_fetches + shader.last_gather_fetches,
             passes=1,
+            fused=kernel.fused_count,
+            saved_intermediate_bytes=kernel.saved_intermediate_bytes(
+                domain.element_count),
         )
 
     def _reduction_quantize(self):

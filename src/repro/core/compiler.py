@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, fields
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import CodegenError
 from . import ast_nodes as ast
@@ -27,6 +27,7 @@ from .certification import CertificationReport, check_program
 from .codegen.c_backend import generate_c
 from .codegen.glsl_desktop import generate_desktop_glsl
 from .codegen.glsl_es import generate_glsl_es
+from .exec.compiled import CompiledKernelProgram, compile_fast_path
 from .parser import parse
 from .semantic import AnalyzedProgram, analyze
 from .transforms.constant_fold import fold_constants
@@ -57,6 +58,11 @@ class CompilerOptions:
         emit_glsl_es: Generate GLSL ES 1.0 text.
         emit_desktop_glsl: Generate desktop GLSL text.
         emit_c: Generate C text.
+        enable_fast_path: Ahead-of-time compile divergence-free kernel
+            bodies into a closure program (see
+            :mod:`repro.core.exec.compiled`); divergent kernels always
+            fall back to the masked interpreter.  Disable to force every
+            kernel through the interpreter (benchmarking / debugging).
     """
 
     target: TargetLimits = field(default_factory=TargetLimits)
@@ -68,6 +74,7 @@ class CompilerOptions:
     emit_glsl_es: bool = True
     emit_desktop_glsl: bool = True
     emit_c: bool = True
+    enable_fast_path: bool = True
 
     def fingerprint(self) -> str:
         """Stable digest of every option that influences compilation.
@@ -106,10 +113,37 @@ class CompiledKernel:
     c_source: Optional[str] = None
     #: Maximum loop iterations per element (None when not statically bounded).
     max_loop_iterations: Optional[int] = None
+    #: Closure program for divergence-free bodies (None: use the masked
+    #: interpreter).  Shared by every launch of this kernel.
+    fast_path: Optional[CompiledKernelProgram] = field(default=None,
+                                                      compare=False)
+    #: Names of the source kernels when this kernel was produced by the
+    #: fusion transform (empty for ordinary kernels).
+    fused_from: Tuple[str, ...] = ()
+    #: Total element components of the intermediate streams eliminated by
+    #: fusion (sum of their widths); 0 for ordinary kernels.  Each saved
+    #: component is 4 bytes of stream traffic avoided twice per element
+    #: (one write by the producer pass, one read by the consumer pass).
+    fused_saved_components: int = 0
 
     @property
     def is_reduction(self) -> bool:
         return self.definition.is_reduction
+
+    @property
+    def fused_count(self) -> int:
+        """Number of source kernels this launch executes (1 if unfused)."""
+        return max(1, len(self.fused_from))
+
+    def saved_intermediate_bytes(self, element_count: int) -> int:
+        """Intermediate stream traffic one launch avoids through fusion.
+
+        Each eliminated component is 4 bytes avoided twice per element:
+        one write by the producer pass and one re-read by the consumer
+        pass.  Backends put this figure into their launch records so the
+        statistics (and the timing model) can price the fusion win.
+        """
+        return self.fused_saved_components * element_count * 4 * 2
 
 
 @dataclass
@@ -234,6 +268,9 @@ class BrookAutoCompiler:
                     compiled_kernel.c_source = generate_c(kernel, helper_defs)
                 except CodegenError:
                     compiled_kernel.c_source = None
+            if options.enable_fast_path:
+                compiled_kernel.fast_path = compile_fast_path(
+                    kernel, compiled.helpers())
             compiled.kernels[kernel.name] = compiled_kernel
         return compiled
 

@@ -8,14 +8,25 @@ branch divergence.  The same evaluator powers the CPU backend (operating
 on raw stream data) and the simulated GPU backends (operating on values
 fetched from simulated textures, including the RGBA8 round-trip of the
 OpenGL ES 2 path).
+
+Divergence-free (straight-line) kernel bodies additionally get an
+ahead-of-time *compiled fast path* (:mod:`repro.core.exec.compiled`):
+the AST is compiled once into a closure program over the same NumPy
+primitives, bypassing per-launch tree interpretation while remaining
+bit-identical to the interpreter.  Divergent kernels keep using the
+masked interpreter.
 """
 
+from .compiled import CompiledKernelProgram, compile_fast_path, is_straight_line
 from .evaluator import KernelEvaluator, KernelExecutionStats
 from .gather import ClampingGatherSource, GatherSource, NumpyGatherSource
 
 __all__ = [
     "KernelEvaluator",
     "KernelExecutionStats",
+    "CompiledKernelProgram",
+    "compile_fast_path",
+    "is_straight_line",
     "GatherSource",
     "NumpyGatherSource",
     "ClampingGatherSource",

@@ -1,0 +1,639 @@
+"""Ahead-of-time compiled evaluator fast path for straight-line kernels.
+
+The tree-walking interpreter in :mod:`repro.core.exec.evaluator` re-walks
+the kernel AST on every launch: each node pays Python ``isinstance``
+dispatch, per-operation flop accounting (an ``O(n)`` mask reduction per
+arithmetic op) and per-statement mask liveness checks.  For kernels whose
+body is *straight-line* - no ``if``/``for``/``while``/``do``, no
+``break``/``continue``/``return`` in the kernel itself - none of that
+masking machinery does anything: every thread executes every statement.
+
+This module compiles such kernels **once** into a closure program: each
+statement and expression becomes a specialised Python closure over the
+same NumPy primitives the interpreter uses (:func:`align_pair`,
+:func:`apply_builtin`, :func:`where_select`, ``_merge_masked``), so the
+compiled program is bit-identical to the interpreter while skipping AST
+dispatch entirely and replacing dynamic flop counting with a static
+per-element cost computed at compile time.
+
+Helpers qualify when their own bodies are straight-line (declarations and
+assignments followed by at most one ``return``); ternary conditionals
+(``cond ? a : b``) are selects, not divergence, and always qualify.
+Kernels that do diverge - or use any construct outside the supported
+subset - simply get no fast path (:func:`compile_fast_path` returns
+``None``) and keep running through the masked interpreter.
+
+The compiled program is cached on the
+:class:`~repro.core.compiler.CompiledKernel` by the compiler driver and
+picked up by every backend (see :meth:`repro.backends.base.Backend._evaluate`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ...errors import KernelLaunchError, RuntimeBrookError
+from .. import ast_nodes as ast
+from ..builtins import lookup_builtin
+from ..types import ParamKind, ScalarKind, swizzle_indices
+from .evaluator import (
+    KernelExecutionStats,
+    _is_int_dtype,
+    _merge_masked,
+    align_pair,
+    apply_builtin,
+    as_bool_array,
+    materialize,
+    where_select,
+)
+from .gather import GatherSource
+
+__all__ = ["CompiledKernelProgram", "compile_fast_path", "is_straight_line"]
+
+
+class _Unsupported(Exception):
+    """Internal: the kernel is outside the fast-path subset."""
+
+
+class _Ctx:
+    """Per-launch execution context shared by every compiled closure."""
+
+    __slots__ = ("size", "index", "gathers", "full_mask")
+
+    def __init__(self, size: int, index: np.ndarray,
+                 gathers: Dict[str, GatherSource]):
+        self.size = size
+        self.index = index
+        self.gathers = gathers
+        self.full_mask = np.ones(size, dtype=bool)
+
+
+#: A compiled expression: ``fn(env, ctx) -> value``.
+_ExprFn = Callable[[Dict[str, np.ndarray], _Ctx], object]
+#: A compiled statement: ``fn(env, ctx) -> None``.
+_StmtFn = Callable[[Dict[str, np.ndarray], _Ctx], None]
+
+_STRAIGHT_LINE_STATEMENTS = (ast.Block, ast.DeclStatement, ast.ExprStatement)
+
+
+def is_straight_line(body: ast.Statement) -> bool:
+    """Whether ``body`` contains only divergence-free statements.
+
+    This is the *statement-level* qualification test for the fast path:
+    declarations, expression statements and nested blocks qualify;
+    ``if``/loops/``return``/``break``/``continue``/``goto`` do not.
+    (Expressions may still disqualify a kernel later, e.g. pointer
+    operators, but those are rejected by certification anyway.)
+    """
+    return all(isinstance(node, _STRAIGHT_LINE_STATEMENTS)
+               or not isinstance(node, ast.Statement)
+               for node in body.walk())
+
+
+class CompiledKernelProgram:
+    """A kernel body compiled to a closure program.
+
+    Instances are immutable after construction and hold no per-launch
+    state, so one program is safely shared by every launch of its kernel
+    (the compiler caches it on the :class:`CompiledKernel`).
+
+    ``run`` mirrors :meth:`KernelEvaluator.run` - same argument
+    validation, same error messages, bit-identical outputs - and returns
+    ``(outputs, stats)`` with a statically derived
+    :class:`KernelExecutionStats`.
+    """
+
+    def __init__(self, kernel: ast.FunctionDef, steps: List[_StmtFn],
+                 flops_per_element: int):
+        self.kernel = kernel
+        self._steps = steps
+        self.flops_per_element = flops_per_element
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        element_count: int,
+        stream_inputs: Optional[Dict[str, np.ndarray]] = None,
+        scalar_args: Optional[Dict[str, float]] = None,
+        gathers: Optional[Dict[str, GatherSource]] = None,
+        index: Optional[np.ndarray] = None,
+    ) -> Tuple[Dict[str, np.ndarray], KernelExecutionStats]:
+        """Execute the compiled program over ``element_count`` threads."""
+        stream_inputs = dict(stream_inputs or {})
+        scalar_args = dict(scalar_args or {})
+        gathers = dict(gathers or {})
+        size = int(element_count)
+        if index is None:
+            linear = np.arange(size, dtype=np.float32)
+            index = np.stack([linear, np.zeros_like(linear)], axis=1)
+        ctx = _Ctx(size, np.asarray(index, dtype=np.float32), gathers)
+        stats = KernelExecutionStats(elements=size,
+                                     flops=self.flops_per_element * size)
+
+        env: Dict[str, np.ndarray] = {}
+        kernel = self.kernel
+        for param in kernel.params:
+            if param.kind in (ParamKind.STREAM, ParamKind.ITERATOR):
+                if param.name not in stream_inputs:
+                    raise KernelLaunchError(
+                        f"missing input stream {param.name!r} for kernel "
+                        f"{kernel.name!r}"
+                    )
+                env[param.name] = np.asarray(stream_inputs[param.name],
+                                             dtype=np.float32)
+                stats.stream_reads += size
+            elif param.kind is ParamKind.SCALAR:
+                if param.name not in scalar_args:
+                    raise KernelLaunchError(
+                        f"missing scalar argument {param.name!r} for kernel "
+                        f"{kernel.name!r}"
+                    )
+                dtype = np.int32 if param.type.kind is ScalarKind.INT else np.float32
+                env[param.name] = np.asarray(scalar_args[param.name], dtype=dtype)
+            elif param.kind is ParamKind.GATHER:
+                if param.name not in gathers:
+                    raise KernelLaunchError(
+                        f"missing gather array {param.name!r} for kernel "
+                        f"{kernel.name!r}"
+                    )
+            elif param.kind is ParamKind.OUT_STREAM:
+                width = param.type.width
+                shape = (size,) if width == 1 else (size, width)
+                env[param.name] = np.zeros(shape, dtype=np.float32)
+
+        fetch_before = {name: source.fetch_count
+                        for name, source in gathers.items()}
+        with np.errstate(all="ignore"):
+            for step in self._steps:
+                step(env, ctx)
+        stats.gather_fetches = sum(
+            source.fetch_count - fetch_before[name]
+            for name, source in gathers.items()
+        )
+
+        outputs: Dict[str, np.ndarray] = {}
+        for param in kernel.params:
+            if param.kind is ParamKind.OUT_STREAM:
+                outputs[param.name] = env[param.name]
+                stats.stream_writes += size
+        return outputs, stats
+
+
+# --------------------------------------------------------------------------- #
+# Compilation
+# --------------------------------------------------------------------------- #
+class _Compiler:
+    """Compiles one kernel (and its helper calls) to closures."""
+
+    def __init__(self, helpers: Dict[str, ast.FunctionDef]):
+        self.helpers = helpers
+        self._helper_cache: Dict[str, Tuple[Callable, int]] = {}
+        self._compiling: Set[str] = set()
+
+    # -- statements ------------------------------------------------------ #
+    def compile_body(self, body: ast.Statement, defined: Set[str]
+                     ) -> Tuple[List[_StmtFn], int]:
+        """Compile a straight-line body; returns (steps, flops/element)."""
+        steps: List[_StmtFn] = []
+        flops = 0
+        for stmt in self._flatten(body):
+            if isinstance(stmt, ast.DeclStatement):
+                step, cost = self._compile_decl(stmt, defined)
+            elif isinstance(stmt, ast.ExprStatement):
+                fn, cost = self.compile_expr(stmt.expr, defined)
+                def step(env, ctx, _fn=fn):
+                    _fn(env, ctx)
+            else:
+                raise _Unsupported(type(stmt).__name__)
+            steps.append(step)
+            flops += cost
+        return steps, flops
+
+    @staticmethod
+    def _flatten(body: ast.Statement):
+        if isinstance(body, ast.Block):
+            for stmt in body.statements:
+                yield from _Compiler._flatten(stmt)
+        else:
+            yield body
+
+    def _compile_decl(self, stmt: ast.DeclStatement, defined: Set[str]
+                      ) -> Tuple[_StmtFn, int]:
+        name = stmt.name
+        kind = stmt.decl_type.kind
+        width = stmt.decl_type.width
+        if stmt.init is not None:
+            init_fn, cost = self.compile_expr(stmt.init, defined)
+        else:
+            init_fn, cost = None, 0
+        is_int_decl = kind is ScalarKind.INT
+        dtype = np.int32 if is_int_decl else np.float32
+        defined.add(name)
+
+        def step(env, ctx):
+            if init_fn is not None:
+                value = init_fn(env, ctx)
+            else:
+                shape = (ctx.size,) if width == 1 else (ctx.size, width)
+                value = np.zeros(shape, dtype=dtype)
+            if is_int_decl and not _is_int_dtype(value):
+                value = np.asarray(np.floor(value), dtype=np.int32) \
+                    if not np.issubdtype(np.asarray(value).dtype, np.bool_) \
+                    else np.asarray(value, dtype=np.int32)
+            env[name] = np.asarray(value)
+
+        return step, cost
+
+    # -- expressions ----------------------------------------------------- #
+    def compile_expr(self, expr: ast.Expression, defined: Set[str]
+                     ) -> Tuple[_ExprFn, int]:
+        if isinstance(expr, ast.NumberLiteral):
+            constant = np.float32(expr.value) if expr.is_float \
+                else np.int32(int(expr.value))
+            return (lambda env, ctx: constant), 0
+        if isinstance(expr, ast.BoolLiteral):
+            constant = np.bool_(expr.value)
+            return (lambda env, ctx: constant), 0
+        if isinstance(expr, ast.Identifier):
+            name = expr.name
+            if name not in defined:
+                raise _Unsupported(f"read of undefined name {name!r}")
+            return (lambda env, ctx: env[name]), 0
+        if isinstance(expr, ast.UnaryOp):
+            return self._compile_unary(expr, defined)
+        if isinstance(expr, ast.BinaryOp):
+            return self._compile_binary(expr, defined)
+        if isinstance(expr, ast.Assignment):
+            return self._compile_assignment(expr, defined)
+        if isinstance(expr, ast.Conditional):
+            cond_fn, c0 = self.compile_expr(expr.cond, defined)
+            then_fn, c1 = self.compile_expr(expr.then, defined)
+            other_fn, c2 = self.compile_expr(expr.otherwise, defined)
+
+            def select(env, ctx):
+                cond = as_bool_array(cond_fn(env, ctx), ctx.size)
+                return where_select(cond, then_fn(env, ctx), other_fn(env, ctx))
+
+            return select, c0 + c1 + c2 + 1
+        if isinstance(expr, ast.CallExpr):
+            return self._compile_call(expr, defined)
+        if isinstance(expr, ast.ConstructorExpr):
+            return self._compile_constructor(expr, defined)
+        if isinstance(expr, ast.IndexExpr):
+            return self._compile_gather(expr, defined)
+        if isinstance(expr, ast.MemberExpr):
+            return self._compile_member(expr, defined)
+        if isinstance(expr, ast.IndexOfExpr):
+            return (lambda env, ctx: ctx.index), 0
+        raise _Unsupported(type(expr).__name__)
+
+    def _compile_unary(self, expr: ast.UnaryOp, defined: Set[str]):
+        operand_fn, cost = self.compile_expr(expr.operand, defined)
+        if expr.op == "-":
+            fn = lambda env, ctx: -np.asarray(operand_fn(env, ctx))
+        elif expr.op == "!":
+            fn = lambda env, ctx: ~as_bool_array(operand_fn(env, ctx), ctx.size)
+        elif expr.op == "~":
+            fn = lambda env, ctx: ~np.asarray(operand_fn(env, ctx), dtype=np.int32)
+        else:
+            raise _Unsupported(f"unary operator {expr.op!r}")
+        return fn, cost + 1
+
+    _BINARY_OPS = {
+        "+": lambda l, r: l + r,
+        "-": lambda l, r: l - r,
+        "*": lambda l, r: l * r,
+        "<": lambda l, r: l < r,
+        ">": lambda l, r: l > r,
+        "<=": lambda l, r: l <= r,
+        ">=": lambda l, r: l >= r,
+        "==": lambda l, r: l == r,
+        "!=": lambda l, r: l != r,
+    }
+
+    def _compile_binary(self, expr: ast.BinaryOp, defined: Set[str]):
+        left_fn, c0 = self.compile_expr(expr.left, defined)
+        right_fn, c1 = self.compile_expr(expr.right, defined)
+        return self._binary_from_fns(expr.op, left_fn, right_fn), c0 + c1 + 1
+
+    def _binary_from_fns(self, op: str, left_fn: _ExprFn, right_fn: _ExprFn
+                         ) -> _ExprFn:
+        simple = self._BINARY_OPS.get(op)
+        if simple is not None:
+            def fn(env, ctx):
+                left, right = align_pair(np.asarray(left_fn(env, ctx)),
+                                         np.asarray(right_fn(env, ctx)))
+                return simple(left, right)
+            return fn
+        if op == "/":
+            def fn(env, ctx):
+                left, right = align_pair(np.asarray(left_fn(env, ctx)),
+                                         np.asarray(right_fn(env, ctx)))
+                if _is_int_dtype(left) and _is_int_dtype(right):
+                    return np.where(right != 0,
+                                    left // np.where(right == 0, 1, right), 0)
+                return left / np.asarray(right, dtype=np.float32)
+            return fn
+        if op == "%":
+            def fn(env, ctx):
+                left, right = align_pair(np.asarray(left_fn(env, ctx)),
+                                         np.asarray(right_fn(env, ctx)))
+                if _is_int_dtype(left) and _is_int_dtype(right):
+                    return np.where(right != 0,
+                                    left % np.where(right == 0, 1, right), 0)
+                return np.fmod(left, right)
+            return fn
+        if op == "&&":
+            def fn(env, ctx):
+                left, right = align_pair(np.asarray(left_fn(env, ctx)),
+                                         np.asarray(right_fn(env, ctx)))
+                return as_bool_array(left, ctx.size) & as_bool_array(right, ctx.size)
+            return fn
+        if op == "||":
+            def fn(env, ctx):
+                left, right = align_pair(np.asarray(left_fn(env, ctx)),
+                                         np.asarray(right_fn(env, ctx)))
+                return as_bool_array(left, ctx.size) | as_bool_array(right, ctx.size)
+            return fn
+        raise _Unsupported(f"binary operator {op!r}")
+
+    def _compile_assignment(self, expr: ast.Assignment, defined: Set[str]):
+        value_fn, value_cost = self.compile_expr(expr.value, defined)
+        if expr.op != "=":
+            # Mirror the interpreter: the compound value is computed by
+            # re-evaluating ``target op value`` (the value expression runs
+            # twice, and its flops are counted twice).
+            target_fn, target_cost = self.compile_expr(expr.target, defined)
+            combined_fn = self._binary_from_fns(expr.op[:-1], target_fn, value_fn)
+            cost = value_cost + target_cost + value_cost + 1
+
+            def compute(env, ctx):
+                value_fn(env, ctx)
+                return combined_fn(env, ctx)
+        else:
+            compute, cost = value_fn, value_cost
+
+        store = self._compile_store(expr.target, defined)
+
+        def assign(env, ctx):
+            value = compute(env, ctx)
+            store(env, ctx, value)
+            return value
+
+        return assign, cost
+
+    def _compile_store(self, target: ast.Expression, defined: Set[str]):
+        if isinstance(target, ast.Identifier):
+            name = target.name
+            defined.add(name)
+
+            def store(env, ctx, value):
+                old = env.get(name)
+                if old is None:
+                    env[name] = materialize(value, ctx.size)
+                    return
+                if _is_int_dtype(old) and not _is_int_dtype(np.asarray(value)):
+                    value = np.asarray(np.trunc(np.asarray(value)), dtype=np.int32)
+                env[name] = _merge_masked(materialize(old, ctx.size),
+                                          materialize(value, ctx.size),
+                                          ctx.full_mask)
+
+            return store
+        if isinstance(target, ast.MemberExpr) and isinstance(target.base,
+                                                             ast.Identifier):
+            name = target.base.name
+            indices = swizzle_indices(target.member)
+            member = target.member
+
+            def store(env, ctx, value):
+                old = env.get(name)
+                if old is None:
+                    raise RuntimeBrookError(
+                        f"assignment to undeclared vector {name!r}")
+                old = materialize(old, ctx.size)
+                if old.ndim != 2:
+                    raise RuntimeBrookError(
+                        f"cannot assign component .{member} of non-vector {name!r}"
+                    )
+                new = old.copy()
+                value_arr = materialize(value, ctx.size)
+                for position, component in enumerate(indices):
+                    if value_arr.ndim == 2:
+                        component_value = value_arr[:, position]
+                    else:
+                        component_value = value_arr
+                    new[:, component] = np.where(ctx.full_mask, component_value,
+                                                 old[:, component])
+                env[name] = new
+
+            return store
+        raise _Unsupported("unsupported assignment target")
+
+    def _compile_call(self, expr: ast.CallExpr, defined: Set[str]):
+        arg_fns: List[_ExprFn] = []
+        args_cost = 0
+        for arg in expr.args:
+            fn, cost = self.compile_expr(arg, defined)
+            arg_fns.append(fn)
+            args_cost += cost
+        builtin = lookup_builtin(expr.callee)
+        if builtin is not None:
+            name = expr.callee
+
+            def call(env, ctx):
+                args = [fn(env, ctx) for fn in arg_fns]
+                return apply_builtin(name, args, ctx.size)
+
+            return call, args_cost + builtin.flop_cost
+        helper_fn, helper_cost = self._compile_helper(expr.callee)
+
+        def call(env, ctx):
+            args = [fn(env, ctx) for fn in arg_fns]
+            return helper_fn(args, ctx)
+
+        return call, args_cost + helper_cost
+
+    def _compile_helper(self, name: str):
+        if name in self._helper_cache:
+            return self._helper_cache[name]
+        helper = self.helpers.get(name)
+        if helper is None:
+            raise _Unsupported(f"call to unknown function {name!r}")
+        if name in self._compiling:
+            raise _Unsupported(f"recursive helper {name!r}")
+        self._compiling.add(name)
+        try:
+            param_names = [param.name for param in helper.params]
+            defined = set(param_names)
+            steps: List[_StmtFn] = []
+            flops = 0
+            return_fn: Optional[_ExprFn] = None
+            for stmt in self._flatten(helper.body):
+                if isinstance(stmt, ast.ReturnStatement):
+                    if stmt.value is not None:
+                        return_fn, cost = self.compile_expr(stmt.value, defined)
+                        flops += cost
+                    # Statements after a top-level return never execute
+                    # (the interpreter's mask is empty there); ignore them.
+                    break
+                if isinstance(stmt, ast.DeclStatement):
+                    step, cost = self._compile_decl(stmt, defined)
+                elif isinstance(stmt, ast.ExprStatement):
+                    fn, cost = self.compile_expr(stmt.expr, defined)
+                    def step(env, ctx, _fn=fn):
+                        _fn(env, ctx)
+                else:
+                    raise _Unsupported(
+                        f"helper {name!r} statement {type(stmt).__name__}")
+                steps.append(step)
+                flops += cost
+        finally:
+            self._compiling.discard(name)
+
+        def call(args, ctx):
+            env = {pname: materialize(value, ctx.size).copy()
+                   for pname, value in zip(param_names, args)}
+            for step in steps:
+                step(env, ctx)
+            if return_fn is None:
+                return np.float32(0.0)
+            value = return_fn(env, ctx)
+            arr = np.asarray(value)
+            init = np.zeros(ctx.size, dtype=np.float32) if arr.ndim <= 1 \
+                else np.zeros((ctx.size, arr.shape[-1]), dtype=np.float32)
+            return _merge_masked(init, value, ctx.full_mask)
+
+        self._helper_cache[name] = (call, flops)
+        return call, flops
+
+    def _compile_constructor(self, expr: ast.ConstructorExpr, defined: Set[str]):
+        arg_fns: List[_ExprFn] = []
+        cost = 0
+        for arg in expr.args:
+            fn, arg_cost = self.compile_expr(arg, defined)
+            arg_fns.append(fn)
+            cost += arg_cost
+        target = expr.target_type
+        if target.width == 1:
+            kind = target.kind
+
+            def construct(env, ctx):
+                value = np.asarray(arg_fns[0](env, ctx))
+                if kind is ScalarKind.INT:
+                    return np.asarray(np.trunc(value), dtype=np.int32)
+                if kind is ScalarKind.FLOAT:
+                    return np.asarray(value, dtype=np.float32)
+                return as_bool_array(value, ctx.size)
+
+            return construct, cost
+        width = target.width
+
+        def construct(env, ctx):
+            columns: List[np.ndarray] = []
+            for fn in arg_fns:
+                arg = np.asarray(fn(env, ctx), dtype=np.float32)
+                if arg.ndim == 2:
+                    for component in range(arg.shape[1]):
+                        columns.append(arg[:, component])
+                else:
+                    columns.append(arg)
+            if len(columns) == 1:
+                columns = columns * width
+            columns = [np.broadcast_to(np.asarray(c, dtype=np.float32),
+                                       (ctx.size,)) for c in columns]
+            return np.stack(columns, axis=1)
+
+        return construct, cost
+
+    def _compile_gather(self, expr: ast.IndexExpr, defined: Set[str]):
+        index_exprs: List[ast.Expression] = []
+        node: ast.Expression = expr
+        while isinstance(node, ast.IndexExpr):
+            index_exprs.append(node.index)
+            node = node.base
+        index_exprs.reverse()
+        if not isinstance(node, ast.Identifier) or node.name in defined:
+            # Indexing anything but a gather-array parameter is a runtime
+            # error in the interpreter; leave those kernels to it.
+            raise _Unsupported("index of a non-gather value")
+        name = node.name
+        index_fns: List[_ExprFn] = []
+        cost = 0
+        for index_expr in index_exprs:
+            fn, index_cost = self.compile_expr(index_expr, defined)
+            index_fns.append(fn)
+            cost += index_cost
+
+        def gather(env, ctx):
+            source = ctx.gathers.get(name)
+            if source is None:
+                raise RuntimeBrookError(
+                    "only gather-array parameters can be indexed during execution"
+                )
+            if len(index_fns) == 1:
+                index_value = np.asarray(index_fns[0](env, ctx))
+                if index_value.ndim == 2 and index_value.shape[1] >= 2:
+                    cols = index_value[:, 0]
+                    rows = index_value[:, 1]
+                else:
+                    cols = index_value
+                    rows = np.zeros_like(np.asarray(cols, dtype=np.float32))
+            else:
+                rows = np.asarray(index_fns[0](env, ctx))
+                cols = np.asarray(index_fns[1](env, ctx))
+            rows = np.broadcast_to(np.asarray(rows, dtype=np.float32), (ctx.size,))
+            cols = np.broadcast_to(np.asarray(cols, dtype=np.float32), (ctx.size,))
+            return source.fetch(rows, cols)
+
+        return gather, cost
+
+    def _compile_member(self, expr: ast.MemberExpr, defined: Set[str]):
+        base_fn, cost = self.compile_expr(expr.base, defined)
+        indices = swizzle_indices(expr.member)
+        member = expr.member
+
+        def select(env, ctx):
+            base = np.asarray(base_fn(env, ctx))
+            if base.ndim == 0:
+                raise RuntimeBrookError(
+                    f"cannot swizzle scalar value with .{member}")
+            if base.ndim == 1 and base.shape[0] in (2, 3, 4) \
+                    and base.shape[0] != ctx.size:
+                selected = base[list(indices)]
+                return selected[0] if len(indices) == 1 else selected
+            if base.ndim == 1:
+                raise RuntimeBrookError(
+                    f"cannot swizzle scalar per-thread value with .{member}")
+            if len(indices) == 1:
+                return base[:, indices[0]]
+            return base[:, list(indices)]
+
+        return select, cost
+
+
+def compile_fast_path(
+    kernel: ast.FunctionDef,
+    helpers: Optional[Dict[str, ast.FunctionDef]] = None,
+) -> Optional[CompiledKernelProgram]:
+    """Compile ``kernel`` into a :class:`CompiledKernelProgram`.
+
+    Returns ``None`` when the kernel does not qualify (divergent control
+    flow, reduction kernels, unsupported constructs), in which case the
+    caller keeps using the masked interpreter.
+    """
+    if kernel.is_reduction or not kernel.is_kernel:
+        return None
+    if not is_straight_line(kernel.body):
+        return None
+    defined = {
+        param.name for param in kernel.params
+        if param.kind is not ParamKind.GATHER
+    }
+    compiler = _Compiler(dict(helpers or {}))
+    try:
+        steps, flops = compiler.compile_body(kernel.body, defined)
+    except _Unsupported:
+        return None
+    return CompiledKernelProgram(kernel, steps, flops)

@@ -31,7 +31,15 @@ from ..builtins import lookup_builtin
 from ..types import ParamKind, ScalarKind, swizzle_indices
 from .gather import GatherSource
 
-__all__ = ["KernelExecutionStats", "KernelEvaluator"]
+__all__ = [
+    "KernelExecutionStats",
+    "KernelEvaluator",
+    "align_pair",
+    "as_bool_array",
+    "where_select",
+    "materialize",
+    "apply_builtin",
+]
 
 
 @dataclass
@@ -92,6 +100,124 @@ def _merge_masked(old: np.ndarray, new: np.ndarray, mask: np.ndarray) -> np.ndar
             new_arr = new_arr[:, None]
         return np.where(mask[:, None], new_arr, old_arr)
     return np.where(mask, new_arr, old_arr)
+
+
+def materialize(value, size: int) -> np.ndarray:
+    """Expand a uniform value to one entry per thread (``size`` threads)."""
+    array = np.asarray(value)
+    if array.ndim == 0:
+        return np.broadcast_to(array, (size,)).copy()
+    if array.ndim == 1 and array.shape[0] != size and array.shape[0] in (2, 3, 4):
+        return np.broadcast_to(array, (size, array.shape[0])).copy()
+    return array
+
+
+def as_bool_array(value, size: int) -> np.ndarray:
+    """Per-thread truth value of ``value`` (vectors are all-components-true)."""
+    array = np.asarray(value)
+    if array.dtype == bool:
+        result = array
+    else:
+        result = array != 0
+    if result.ndim == 0:
+        result = np.broadcast_to(result, (size,))
+    if result.ndim == 2:
+        result = result.all(axis=1)
+    return result
+
+
+def align_pair(left: np.ndarray, right: np.ndarray):
+    """Broadcast a scalar/per-thread pair against a vector operand."""
+    left = np.asarray(left)
+    right = np.asarray(right)
+    if left.ndim == 2 and right.ndim == 1 and right.shape[0] == left.shape[0]:
+        right = right[:, None]
+    elif right.ndim == 2 and left.ndim == 1 and left.shape[0] == right.shape[0]:
+        left = left[:, None]
+    return left, right
+
+
+def where_select(cond: np.ndarray, then, other):
+    """Elementwise select with the evaluator's vector broadcasting rules."""
+    then_arr, other_arr = align_pair(np.asarray(then), np.asarray(other))
+    if then_arr.ndim == 2 or other_arr.ndim == 2:
+        cond = cond[:, None] if cond.ndim == 1 else cond
+    return np.where(cond, then_arr, other_arr)
+
+
+def apply_builtin(name: str, args: List, size: int):
+    """Apply a Brook builtin to evaluated arguments.
+
+    Shared by the tree-walking interpreter and the compiled fast path so
+    both produce bit-identical results for every builtin.
+    """
+    arrays = [np.asarray(a, dtype=np.float32) if not np.issubdtype(
+        np.asarray(a).dtype, np.bool_) else np.asarray(a) for a in args]
+    if name in ("min",):
+        return np.minimum(*align_pair(arrays[0], arrays[1]))
+    if name in ("max",):
+        return np.maximum(*align_pair(arrays[0], arrays[1]))
+    if name == "clamp":
+        low, _ = align_pair(arrays[1], arrays[0])
+        high, _ = align_pair(arrays[2], arrays[0])
+        return np.minimum(np.maximum(arrays[0], low), high)
+    if name in ("lerp", "mix"):
+        a, b = align_pair(arrays[0], arrays[1])
+        t, _ = align_pair(arrays[2], a)
+        return a + t * (b - a)
+    if name == "mad":
+        a, b = align_pair(arrays[0], arrays[1])
+        c, _ = align_pair(arrays[2], a)
+        return a * b + c
+    if name == "saturate":
+        return np.clip(arrays[0], 0.0, 1.0)
+    if name == "step":
+        edge, x = align_pair(arrays[0], arrays[1])
+        return (x >= edge).astype(np.float32)
+    if name == "smoothstep":
+        edge0, edge1 = align_pair(arrays[0], arrays[1])
+        x, _ = align_pair(arrays[2], edge0)
+        t = np.clip((x - edge0) / np.where(edge1 == edge0, 1.0, edge1 - edge0),
+                    0.0, 1.0)
+        return t * t * (3.0 - 2.0 * t)
+    if name == "dot":
+        a, b = align_pair(arrays[0], arrays[1])
+        return np.sum(a * b, axis=-1)
+    if name == "length":
+        return np.sqrt(np.sum(arrays[0] * arrays[0], axis=-1))
+    if name == "distance":
+        a, b = align_pair(arrays[0], arrays[1])
+        diff = a - b
+        return np.sqrt(np.sum(diff * diff, axis=-1))
+    if name == "normalize":
+        norm = np.sqrt(np.sum(arrays[0] * arrays[0], axis=-1, keepdims=True))
+        return arrays[0] / np.where(norm == 0, 1.0, norm)
+    if name == "cross":
+        return np.cross(arrays[0], arrays[1])
+    if name == "frac":
+        return arrays[0] - np.floor(arrays[0])
+    if name == "rsqrt":
+        return 1.0 / np.sqrt(arrays[0])
+    if name == "sign":
+        return np.sign(arrays[0])
+    if name == "atan2":
+        return np.arctan2(*align_pair(arrays[0], arrays[1]))
+    if name == "pow":
+        return np.power(*align_pair(arrays[0], arrays[1]))
+    if name == "fmod":
+        return np.fmod(*align_pair(arrays[0], arrays[1]))
+    if name in ("any", "all"):
+        reducer = np.any if name == "any" else np.all
+        return reducer(as_bool_array(arrays[0], size), axis=-1)
+    simple = {
+        "sqrt": np.sqrt, "exp": np.exp, "exp2": np.exp2, "log": np.log,
+        "log2": np.log2, "sin": np.sin, "cos": np.cos, "tan": np.tan,
+        "asin": np.arcsin, "acos": np.arccos, "atan": np.arctan,
+        "floor": np.floor, "ceil": np.ceil, "round": np.round, "abs": np.abs,
+    }
+    if name in simple:
+        return simple[name](arrays[0])
+    raise RuntimeBrookError(f"builtin {name!r} has no evaluator implementation")
 
 
 class KernelEvaluator:
@@ -526,73 +652,7 @@ class KernelEvaluator:
         return frame.return_value
 
     def _apply_builtin(self, name: str, args: List):
-        arrays = [np.asarray(a, dtype=np.float32) if not np.issubdtype(
-            np.asarray(a).dtype, np.bool_) else np.asarray(a) for a in args]
-        if name in ("min",):
-            return np.minimum(*self._align(arrays[0], arrays[1]))
-        if name in ("max",):
-            return np.maximum(*self._align(arrays[0], arrays[1]))
-        if name == "clamp":
-            low, _ = self._align(arrays[1], arrays[0])
-            high, _ = self._align(arrays[2], arrays[0])
-            return np.minimum(np.maximum(arrays[0], low), high)
-        if name in ("lerp", "mix"):
-            a, b = self._align(arrays[0], arrays[1])
-            t, _ = self._align(arrays[2], a)
-            return a + t * (b - a)
-        if name == "mad":
-            a, b = self._align(arrays[0], arrays[1])
-            c, _ = self._align(arrays[2], a)
-            return a * b + c
-        if name == "saturate":
-            return np.clip(arrays[0], 0.0, 1.0)
-        if name == "step":
-            edge, x = self._align(arrays[0], arrays[1])
-            return (x >= edge).astype(np.float32)
-        if name == "smoothstep":
-            edge0, edge1 = self._align(arrays[0], arrays[1])
-            x, _ = self._align(arrays[2], edge0)
-            t = np.clip((x - edge0) / np.where(edge1 == edge0, 1.0, edge1 - edge0),
-                        0.0, 1.0)
-            return t * t * (3.0 - 2.0 * t)
-        if name == "dot":
-            a, b = self._align(arrays[0], arrays[1])
-            return np.sum(a * b, axis=-1)
-        if name == "length":
-            return np.sqrt(np.sum(arrays[0] * arrays[0], axis=-1))
-        if name == "distance":
-            a, b = self._align(arrays[0], arrays[1])
-            diff = a - b
-            return np.sqrt(np.sum(diff * diff, axis=-1))
-        if name == "normalize":
-            norm = np.sqrt(np.sum(arrays[0] * arrays[0], axis=-1, keepdims=True))
-            return arrays[0] / np.where(norm == 0, 1.0, norm)
-        if name == "cross":
-            return np.cross(arrays[0], arrays[1])
-        if name == "frac":
-            return arrays[0] - np.floor(arrays[0])
-        if name == "rsqrt":
-            return 1.0 / np.sqrt(arrays[0])
-        if name == "sign":
-            return np.sign(arrays[0])
-        if name == "atan2":
-            return np.arctan2(*self._align(arrays[0], arrays[1]))
-        if name == "pow":
-            return np.power(*self._align(arrays[0], arrays[1]))
-        if name == "fmod":
-            return np.fmod(*self._align(arrays[0], arrays[1]))
-        if name in ("any", "all"):
-            reducer = np.any if name == "any" else np.all
-            return reducer(self._as_bool(arrays[0]), axis=-1)
-        simple = {
-            "sqrt": np.sqrt, "exp": np.exp, "exp2": np.exp2, "log": np.log,
-            "log2": np.log2, "sin": np.sin, "cos": np.cos, "tan": np.tan,
-            "asin": np.arcsin, "acos": np.arccos, "atan": np.arctan,
-            "floor": np.floor, "ceil": np.ceil, "round": np.round, "abs": np.abs,
-        }
-        if name in simple:
-            return simple[name](arrays[0])
-        raise RuntimeBrookError(f"builtin {name!r} has no evaluator implementation")
+        return apply_builtin(name, args, self._size)
 
     def _eval_constructor(self, expr: ast.ConstructorExpr, mask: np.ndarray,
                           frame: _Frame):
@@ -653,41 +713,17 @@ class KernelEvaluator:
     # Small helpers
     # ------------------------------------------------------------------ #
     def _materialize(self, value) -> np.ndarray:
-        array = np.asarray(value)
-        if array.ndim == 0:
-            return np.broadcast_to(array, (self._size,)).copy()
-        if array.ndim == 1 and array.shape[0] != self._size and array.shape[0] in (2, 3, 4):
-            return np.broadcast_to(array, (self._size, array.shape[0])).copy()
-        return array
+        return materialize(value, self._size)
 
     def _as_bool(self, value) -> np.ndarray:
-        array = np.asarray(value)
-        if array.dtype == bool:
-            result = array
-        else:
-            result = array != 0
-        if result.ndim == 0:
-            result = np.broadcast_to(result, (self._size,))
-        if result.ndim == 2:
-            result = result.all(axis=1)
-        return result
+        return as_bool_array(value, self._size)
 
     @staticmethod
     def _align(left: np.ndarray, right: np.ndarray):
-        """Broadcast a scalar/per-thread pair against a vector operand."""
-        left = np.asarray(left)
-        right = np.asarray(right)
-        if left.ndim == 2 and right.ndim == 1 and right.shape[0] == left.shape[0]:
-            right = right[:, None]
-        elif right.ndim == 2 and left.ndim == 1 and left.shape[0] == right.shape[0]:
-            left = left[:, None]
-        return left, right
+        return align_pair(left, right)
 
     def _where(self, cond: np.ndarray, then, other):
-        then_arr, other_arr = self._align(np.asarray(then), np.asarray(other))
-        if then_arr.ndim == 2 or other_arr.ndim == 2:
-            cond = cond[:, None] if cond.ndim == 1 else cond
-        return np.where(cond, then_arr, other_arr)
+        return where_select(cond, then, other)
 
     def _count_flops(self, mask: np.ndarray, cost: int) -> None:
         self.stats.flops += cost * int(mask.sum())

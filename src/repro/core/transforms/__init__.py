@@ -10,10 +10,23 @@ and the OpenGL ES 2 hardware limits:
   scalar stream per component.
 * :mod:`constant_fold` - fold constant arithmetic, which both shrinks the
   generated shaders and helps the loop-bound analysis.
+* :mod:`fuse` - merge compatible producer -> consumer kernel pairs into
+  a single kernel, turning the intermediate stream into a local variable
+  (driven by ``rt.fuse([...])`` and fusing command queues rather than by
+  the compiler driver).
 """
 
 from .constant_fold import fold_constants
+from .fuse import FusionResult, check_fusable, fuse_compiled, fuse_definitions
 from .scalarize import scalarize_kernel
 from .split_outputs import split_kernel_outputs
 
-__all__ = ["fold_constants", "scalarize_kernel", "split_kernel_outputs"]
+__all__ = [
+    "fold_constants",
+    "scalarize_kernel",
+    "split_kernel_outputs",
+    "FusionResult",
+    "check_fusable",
+    "fuse_definitions",
+    "fuse_compiled",
+]

@@ -70,6 +70,10 @@ class CodegenError(BrookError):
     """Raised when a kernel cannot be lowered to the requested backend."""
 
 
+class FusionError(BrookError):
+    """A producer/consumer kernel pair cannot be legally fused."""
+
+
 class RuntimeBrookError(BrookError):
     """Base class for errors raised by the Brook runtime (host side)."""
 

@@ -3,12 +3,20 @@
 Service-grade surfaces: :class:`BrookRuntime` is a context manager whose
 ``close`` releases every live stream, :meth:`BrookRuntime.compile` caches
 compiled programs, :meth:`KernelHandle.bind` prepares reusable
-:class:`LaunchPlan` objects, and ``BrookRuntime.queue()`` returns a
-:class:`CommandQueue` batching launches.
+:class:`LaunchPlan` objects, ``BrookRuntime.queue()`` returns a
+:class:`CommandQueue` batching launches, and ``BrookRuntime.fuse()``
+merges producer -> consumer plans into :class:`FusedPipeline` objects
+that skip materialising the intermediate streams.
 """
 
 from .kernel import KernelHandle
-from .launch import CommandQueue, LaunchPlan, QueuedLaunch
+from .launch import (
+    CommandQueue,
+    FusedPipeline,
+    FusedPlan,
+    LaunchPlan,
+    QueuedLaunch,
+)
 from .numerics import (
     RELATIVE_PRECISION,
     decode_float_rgba8,
@@ -28,6 +36,8 @@ __all__ = [
     "StreamShape",
     "KernelHandle",
     "LaunchPlan",
+    "FusedPlan",
+    "FusedPipeline",
     "QueuedLaunch",
     "CommandQueue",
     "KernelLaunchRecord",

@@ -16,23 +16,40 @@ A :class:`CommandQueue` (obtained from ``rt.queue()``) batches launches:
 kernel calls made while the queue is active are recorded instead of
 executed, and :meth:`CommandQueue.flush` runs them in submission order in
 one pass, recording their statistics in bulk.
+
+**Kernel fusion** builds on prepared launches: :meth:`BrookRuntime.fuse`
+takes a list of plans forming a pipeline and merges compatible
+producer -> consumer pairs into single fused kernels (see
+:mod:`repro.core.transforms.fuse`), eliminating the intermediate
+streams' write/read traffic and the per-pass dispatch overhead.  A
+:class:`CommandQueue` created with ``rt.queue(fuse=True)`` applies the
+same merging to its batch at flush time.  Pairs that cannot be legally
+fused (reductions, gathers on the intermediate, mismatched domains, an
+intermediate that is still needed afterwards) simply stay separate
+passes - fusion never changes what a pipeline computes, only how many
+passes it takes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import KernelLaunchError
+from ..core.compiler import CompiledKernel
+from ..core.transforms.fuse import fuse_compiled
+from ..errors import FusionError, KernelLaunchError
 from .stream import Stream
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core import ast_nodes as ast
     from .kernel import KernelHandle
     from .profiling import KernelLaunchRecord
     from .runtime import BrookRuntime
+    from .shape import StreamShape
 
-__all__ = ["LaunchPlan", "QueuedLaunch", "CommandQueue"]
+__all__ = ["LaunchPlan", "FusedPlan", "FusedPipeline", "QueuedLaunch",
+           "CommandQueue", "build_fused_pipeline"]
 
 
 class LaunchPlan:
@@ -160,6 +177,263 @@ class LaunchPlan:
         return f"<LaunchPlan {kind} {self.kernel_name!r}>"
 
 
+class FusedPlan:
+    """A single launch executing several producer -> consumer kernels.
+
+    Produced by :func:`build_fused_pipeline` (via ``rt.fuse`` or a fusing
+    command queue); never constructed directly by applications.  It
+    quacks like a map-kernel :class:`LaunchPlan`: ``launch()`` records
+    its statistics, ``execute(records)`` is used by command queues, and
+    it can itself serve as the producer of a further fusion step.
+    """
+
+    is_reduction = False
+
+    def __init__(
+        self,
+        runtime: "BrookRuntime",
+        kernel: CompiledKernel,
+        helpers: Dict[str, "ast.FunctionDef"],
+        domain: "StreamShape",
+        stream_args: Dict[str, Stream],
+        gather_args: Dict[str, Stream],
+        scalar_args: Dict[str, float],
+        out_args: Dict[str, Stream],
+        enable_fast_path: bool,
+    ):
+        self.runtime = runtime
+        self.kernel = kernel
+        self.helpers = helpers
+        self.domain = domain
+        self.stream_args = stream_args
+        self.gather_args = gather_args
+        self.scalar_args = scalar_args
+        self.out_args = out_args
+        self.enable_fast_path = enable_fast_path
+        self._bound_streams = list(
+            {id(s): s for s in (*stream_args.values(), *gather_args.values(),
+                                *out_args.values())}.values()
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def kernel_name(self) -> str:
+        return self.kernel.name
+
+    @property
+    def fused_kernel_names(self) -> Tuple[str, ...]:
+        """Names of the source kernels merged into this launch."""
+        return self.kernel.fused_from
+
+    def launch(self):
+        records: List["KernelLaunchRecord"] = []
+        try:
+            return self.execute(records)
+        finally:
+            self.runtime.statistics.record_launches(records)
+
+    def execute(self, records: List["KernelLaunchRecord"]):
+        self.runtime._require_open()
+        for stream in self._bound_streams:
+            stream._require_live()
+        records.append(self.runtime.backend.launch(
+            self.kernel, self.helpers, self.domain,
+            self.stream_args, self.gather_args, self.scalar_args,
+            self.out_args,
+        ))
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        chain = "+".join(self.fused_kernel_names)
+        return f"<FusedPlan {chain!r}>"
+
+
+class FusedPipeline:
+    """An ordered sequence of launch segments produced by ``rt.fuse``.
+
+    Each segment is either a :class:`FusedPlan` (several source kernels
+    merged into one pass) or an original, unfusable :class:`LaunchPlan`
+    (reductions, gather consumers, mismatched domains).  ``launch()``
+    runs the segments in order, records all statistics in one bulk
+    operation and returns the last segment's result (the reduced value
+    when the pipeline ends in a reduction, ``None`` otherwise).
+    """
+
+    def __init__(self, runtime: "BrookRuntime",
+                 segments: List[Tuple[object, List[int]]], source_count: int):
+        self.runtime = runtime
+        #: ``(plan, source_indices)`` pairs; the indices point into the
+        #: original plan list handed to ``rt.fuse``.
+        self.segments = segments
+        self.source_count = source_count
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pass_count(self) -> int:
+        """Kernel passes the pipeline launches (after fusion)."""
+        return len(self.segments)
+
+    @property
+    def kernels_fused(self) -> int:
+        """How many passes fusion eliminated from the original pipeline."""
+        return self.source_count - len(self.segments)
+
+    @property
+    def kernel_names(self) -> List[str]:
+        return [plan.kernel_name for plan, _ in self.segments]
+
+    def launch(self):
+        records: List["KernelLaunchRecord"] = []
+        result = None
+        try:
+            for plan, _ in self.segments:
+                result = plan.execute(records)
+        finally:
+            self.runtime.statistics.record_launches(records)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FusedPipeline {self.pass_count} passes from "
+                f"{self.source_count} kernels>")
+
+
+def _plan_fusion_view(plan):
+    """Uniform (kernel, helpers, domain, args...) view of a fusable plan.
+
+    Returns ``None`` when the plan cannot participate in fusion at all
+    (reductions, compiler-split multi-piece kernels).
+    """
+    if isinstance(plan, FusedPlan):
+        return (plan.kernel, plan.helpers, plan.domain, plan.stream_args,
+                plan.gather_args, plan.scalar_args, plan.out_args,
+                plan.enable_fast_path)
+    if isinstance(plan, LaunchPlan):
+        if plan.is_reduction or len(plan._pieces) != 1:
+            return None
+        piece, (stream_args, gather_args, scalar_args, out_args) = plan._pieces[0]
+        enable = plan.handle.program.options.enable_fast_path
+        return (piece, plan.handle._helpers, plan._domain, stream_args,
+                gather_args, scalar_args, out_args, enable)
+    return None
+
+
+def _try_fuse_pair(runtime: "BrookRuntime", current, nxt,
+                   later_plans: Sequence[object]) -> Optional[FusedPlan]:
+    """Merge two adjacent plans, or return ``None`` when illegal."""
+    producer_view = _plan_fusion_view(current)
+    consumer_view = _plan_fusion_view(nxt)
+    if producer_view is None or consumer_view is None:
+        return None
+    (prod_kernel, prod_helpers, prod_domain, prod_streams, prod_gathers,
+     prod_scalars, prod_outs, prod_fast) = producer_view
+    (cons_kernel, cons_helpers, cons_domain, cons_streams, cons_gathers,
+     cons_scalars, cons_outs, cons_fast) = consumer_view
+    if prod_domain.dims != cons_domain.dims:
+        return None
+
+    # Which consumer input-stream parameters read a producer output?
+    connections: Dict[str, str] = {}
+    intermediates: List[Stream] = []
+    for out_name, out_stream in prod_outs.items():
+        consumed_by = [in_name for in_name, stream in cons_streams.items()
+                       if stream is out_stream]
+        if consumed_by:
+            for in_name in consumed_by:
+                connections[in_name] = out_name
+            intermediates.append(out_stream)
+    if not connections:
+        return None
+
+    # Every producer output must only flow producer -> consumer
+    # positionally.  A consumer that gathers from *any* producer output
+    # (connected or not) would observe the pre-producer snapshot inside
+    # the fused pass, and an aliased consumer output would race the
+    # producer's write; both require separate passes.
+    for stream in prod_outs.values():
+        if any(stream is s for s in cons_gathers.values()):
+            return None
+        if any(stream is s for s in cons_outs.values()):
+            return None
+    # A fully eliminated intermediate must additionally not be read by
+    # the producer itself (in-place kernels) or by any later plan - it
+    # will never be materialised.
+    for stream in intermediates:
+        if any(stream is s for s in (*prod_streams.values(),
+                                     *prod_gathers.values())):
+            return None
+        for later in later_plans:
+            if any(stream is s for s in getattr(later, "_bound_streams", ())):
+                return None
+
+    # Helper collision across modules: same name must mean the same code.
+    helpers = dict(prod_helpers)
+    for helper_name, definition in cons_helpers.items():
+        if helpers.get(helper_name, definition) is not definition:
+            return None
+        helpers[helper_name] = definition
+
+    try:
+        fused_kernel, result = fuse_compiled(
+            prod_kernel, cons_kernel, connections, helpers,
+            enable_fast_path=prod_fast and cons_fast,
+        )
+    except FusionError:
+        return None
+    if fused_kernel.resources.fits(runtime.backend.target_limits()):
+        return None  # merged kernel exceeds the device's limits
+    if not runtime.backend.can_execute(fused_kernel):
+        return None
+
+    eliminated = set(connections.values())
+    renamed = result.producer_renames
+    stream_args = {renamed[k]: v for k, v in prod_streams.items()}
+    stream_args.update({k: v for k, v in cons_streams.items()
+                        if k not in connections})
+    gather_args = {renamed[k]: v for k, v in prod_gathers.items()}
+    gather_args.update(cons_gathers)
+    scalar_args = {renamed[k]: v for k, v in prod_scalars.items()}
+    scalar_args.update(cons_scalars)
+    out_args = {renamed[k]: v for k, v in prod_outs.items()
+                if k not in eliminated}
+    out_args.update(cons_outs)
+    return FusedPlan(
+        runtime, fused_kernel, helpers, cons_domain,
+        stream_args, gather_args, scalar_args, out_args,
+        enable_fast_path=prod_fast and cons_fast,
+    )
+
+
+def build_fused_pipeline(runtime: "BrookRuntime",
+                         plans: Sequence[object]) -> FusedPipeline:
+    """Greedily merge adjacent compatible plans into fused segments."""
+    if not plans:
+        raise KernelLaunchError("cannot fuse an empty pipeline")
+    for plan in plans:
+        if not isinstance(plan, (LaunchPlan, FusedPlan)):
+            raise KernelLaunchError(
+                "rt.fuse expects prepared launch plans "
+                "(use kernel.bind(...) to create them)"
+            )
+        if plan.runtime is not runtime:
+            raise KernelLaunchError(
+                "cannot fuse launch plans from a different runtime")
+    segments: List[Tuple[object, List[int]]] = []
+    current = plans[0]
+    current_indices = [0]
+    for position in range(1, len(plans)):
+        nxt = plans[position]
+        merged = _try_fuse_pair(runtime, current, nxt, plans[position + 1:])
+        if merged is not None:
+            current = merged
+            current_indices.append(position)
+        else:
+            segments.append((current, current_indices))
+            current = nxt
+            current_indices = [position]
+    segments.append((current, current_indices))
+    return FusedPipeline(runtime, segments, len(plans))
+
+
 class QueuedLaunch:
     """A launch submitted to a :class:`CommandQueue`, resolved at flush.
 
@@ -187,10 +461,20 @@ class CommandQueue:
     executing.  :meth:`flush` - called automatically when the ``with``
     block exits without an exception - runs everything in submission
     order and records the launch statistics in one bulk operation.
+
+    A queue created with ``rt.queue(fuse=True)`` additionally merges
+    adjacent compatible producer -> consumer launches into fused kernels
+    at flush time.  Intermediate streams consumed inside a fused pair are
+    **not** materialised (their device contents stay unchanged); batches
+    that read an intermediate after the flush should keep fusion off or
+    use an explicit ``rt.fuse`` pipeline.  Fusion re-runs per flush -
+    long-lived services that launch the same pipeline repeatedly should
+    prepare it once with ``rt.fuse([...])`` instead.
     """
 
-    def __init__(self, runtime: "BrookRuntime"):
+    def __init__(self, runtime: "BrookRuntime", fuse: bool = False):
         self.runtime = runtime
+        self.fuse_enabled = bool(fuse)
         self._pending: List[QueuedLaunch] = []
         self.flushed_launches = 0
 
@@ -219,11 +503,24 @@ class CommandQueue:
         records: List["KernelLaunchRecord"] = []
         results: List[object] = []
         try:
-            for queued in pending:
-                result = queued.plan.execute(records)
-                queued.result = result
-                queued.done = True
-                results.append(result)
+            if self.fuse_enabled and len(pending) > 1:
+                pipeline = build_fused_pipeline(
+                    self.runtime, [queued.plan for queued in pending])
+                for plan, indices in pipeline.segments:
+                    result = plan.execute(records)
+                    for index in indices:
+                        queued = pending[index]
+                        # A fused segment covers several submissions; all
+                        # of them were map kernels, whose result is None.
+                        queued.result = result if len(indices) == 1 else None
+                        queued.done = True
+                        results.append(queued.result)
+            else:
+                for queued in pending:
+                    result = queued.plan.execute(records)
+                    queued.result = result
+                    queued.done = True
+                    results.append(result)
         finally:
             self.flushed_launches += len(results)
             self.runtime.statistics.record_launches(records)

@@ -38,6 +38,13 @@ class KernelLaunchRecord:
     texture_fetches: int
     passes: int = 1
     reduction: bool = False
+    #: Number of source kernels merged into this launch by the fusion
+    #: transform (1 for an ordinary, unfused launch).
+    fused: int = 1
+    #: Bytes of intermediate stream traffic (writes + re-reads) that the
+    #: fused launch avoided compared to running its source kernels
+    #: separately; 0 for unfused launches.
+    saved_intermediate_bytes: int = 0
 
 
 @dataclass
@@ -91,6 +98,20 @@ class RunStatistics:
     def total_elements(self) -> int:
         return sum(l.elements for l in self.launches)
 
+    @property
+    def kernels_fused(self) -> int:
+        """How many producer->consumer merges the recorded launches carry.
+
+        Each merge is one kernel pass that did not have to run separately
+        (the fusion transform's saved dispatch overhead).
+        """
+        return sum(max(0, l.fused - 1) for l in self.launches)
+
+    @property
+    def saved_intermediate_bytes(self) -> int:
+        """Intermediate stream traffic eliminated by fused launches."""
+        return sum(l.saved_intermediate_bytes for l in self.launches)
+
     def per_kernel(self) -> Dict[str, KernelLaunchRecord]:
         """Aggregate launch records by kernel name."""
         aggregated: Dict[str, KernelLaunchRecord] = {}
@@ -106,6 +127,10 @@ class RunStatistics:
                     texture_fetches=existing.texture_fetches + record.texture_fetches,
                     passes=existing.passes + record.passes,
                     reduction=existing.reduction or record.reduction,
+                    fused=max(existing.fused, record.fused),
+                    saved_intermediate_bytes=(
+                        existing.saved_intermediate_bytes
+                        + record.saved_intermediate_bytes),
                 )
         return aggregated
 
@@ -118,6 +143,8 @@ class RunStatistics:
             "flops": self.total_flops,
             "texture_fetches": self.total_texture_fetches,
             "elements": self.total_elements,
+            "kernels_fused": self.kernels_fused,
+            "saved_intermediate_bytes": self.saved_intermediate_bytes,
         }
 
 

@@ -48,7 +48,7 @@ from ..core.compiler import BrookAutoCompiler, CompiledProgram, CompilerOptions
 from ..core.types import FLOAT, BrookType
 from ..errors import RuntimeBrookError
 from .kernel import KernelHandle
-from .launch import CommandQueue
+from .launch import CommandQueue, FusedPipeline, LaunchPlan, build_fused_pipeline
 from .profiling import RunStatistics
 from .shape import StreamShape
 from .stream import Stream
@@ -294,15 +294,54 @@ class BrookRuntime:
     # ------------------------------------------------------------------ #
     # Command queues
     # ------------------------------------------------------------------ #
-    def queue(self) -> CommandQueue:
+    def queue(self, fuse: bool = False) -> CommandQueue:
         """A deferred launch queue for this runtime.
 
         Used as a context manager: kernel calls inside the ``with`` block
         are batched and flushed in one pass when the block exits (or when
         :meth:`~repro.runtime.launch.CommandQueue.flush` is called).
+
+        With ``fuse=True`` the flush first merges adjacent compatible
+        producer -> consumer launches into single fused kernels; the
+        intermediate streams consumed inside a merged pair are not
+        materialised (see :meth:`fuse` for the pipeline form that
+        amortises the fusion work across launches).
         """
         self._require_open()
-        return CommandQueue(self)
+        return CommandQueue(self, fuse=fuse)
+
+    # ------------------------------------------------------------------ #
+    # Kernel fusion
+    # ------------------------------------------------------------------ #
+    def fuse(self, plans: List[LaunchPlan]) -> FusedPipeline:
+        """Fuse a pipeline of prepared launches into fewer kernel passes.
+
+        Adjacent plans are merged whenever the first one's output stream
+        is consumed element-for-element by the next one over the same
+        domain: the intermediate stream becomes a register-resident local
+        of the merged kernel, saving its device write + read (on the
+        OpenGL ES 2 backend: the RGBA8 encode/decode and texture traffic)
+        and one pass of dispatch overhead.  Illegal pairs - reductions,
+        consumers that *gather* from the intermediate, mismatched
+        domains, or an intermediate that a later plan still reads - stay
+        separate passes, so the pipeline always computes the same result
+        as launching the plans one by one (minus the contents of fully
+        eliminated intermediates, which are left untouched).
+
+        .. code-block:: python
+
+            blur = module.blur.bind(src, tmp)
+            sharpen = module.sharpen.bind(tmp, 0.5, dst)
+            pipeline = rt.fuse([blur, sharpen])   # one fused pass
+            for _ in range(frames):
+                pipeline.launch()
+
+        Returns a :class:`~repro.runtime.launch.FusedPipeline`; fusion
+        (legality checks, AST merge, shader regeneration) runs once here,
+        so ``pipeline.launch()`` is as cheap as a prepared launch.
+        """
+        self._require_open()
+        return build_fused_pipeline(self, plans)
 
     @property
     def _active_queue(self) -> Optional[CommandQueue]:

@@ -143,3 +143,39 @@ class GPUModel:
         if workload.passes < 0:
             raise TimingModelError("negative pass count")
         return self.transfer_time(workload) + self.kernel_time(workload)
+
+    def fusion_savings(self, passes_saved: int,
+                       intermediate_bytes: float) -> float:
+        """Modelled seconds saved by kernel fusion.
+
+        Statistics of a fused run already carry fewer passes and fetches,
+        so :meth:`time_seconds` of such a run is lower automatically;
+        this method makes the saving *explicit* from the fusion counters
+        the runtime records (``RunStatistics.kernels_fused`` and
+        ``RunStatistics.saved_intermediate_bytes``):
+
+        * each merged kernel saves one pass of fixed dispatch overhead,
+        * half of the saved intermediate bytes were a texture **write**
+          (one fragment per saved texel charged against the fill rate),
+        * the other half were a texture **fetch** by the consumer pass.
+
+        Both traffic terms are charged per saved 4-byte texel.  For
+        scalar streams - the only element type the OpenGL ES 2 target
+        stores, and the common case everywhere - texels and elements
+        coincide and the figure matches :meth:`kernel_time`'s accounting
+        exactly; for vector intermediates (desktop backends only) the
+        fill term is an upper bound of ``width`` fragments per element.
+
+        Args:
+            passes_saved: Number of kernel passes fusion eliminated.
+            intermediate_bytes: Intermediate stream traffic eliminated
+                (write + re-read bytes, as recorded by the runtime).
+        """
+        if passes_saved < 0 or intermediate_bytes < 0:
+            raise TimingModelError("negative fusion savings quantities")
+        elements = intermediate_bytes / 2.0 / 4.0
+        overhead_s = passes_saved * self.params.pass_overhead_us * 1e-6
+        fetch_s = elements * self.params.texture_fetch_ns * 1e-9
+        fill_s = elements / (self.params.fill_rate_mpixels * 1e6) \
+            if elements else 0.0
+        return overhead_s + fetch_s + fill_s

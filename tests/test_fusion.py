@@ -1,0 +1,483 @@
+"""Tests for kernel fusion: legality, AST merging, runtime pipelines.
+
+Covers the AST transform (repro.core.transforms.fuse), the runtime entry
+points (``rt.fuse``, ``rt.queue(fuse=True)``), equivalence of fused and
+unfused pipelines on the CPU and OpenGL ES 2 backends, fallback
+behaviour for illegal pairs and the statistics/timing accounting of the
+saved passes and stream traffic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, compile_source
+from repro.core.transforms.fuse import (
+    check_fusable,
+    fuse_compiled,
+    fuse_definitions,
+)
+from repro.errors import FusionError, KernelLaunchError
+from repro.runtime import BrookRuntime, FusedPipeline, FusedPlan
+from repro.timing import GPUModel, GPUCostParameters
+
+PIPELINE_SOURCE = """
+kernel void scale(float x<>, float a, out float y<>) {
+    y = a * x;
+}
+
+kernel void offset(float y<>, float b, out float z<>) {
+    z = y + b;
+}
+
+kernel void blend(float p<>, float q<>, out float r<>) {
+    r = 0.5 * (p + q);
+}
+
+kernel void probe(float src<>, float table[], out float r<>) {
+    float2 pos = indexof(r);
+    r = src + table[pos.x];
+}
+
+reduce void total(float v<>, reduce float acc) {
+    acc += v;
+}
+"""
+
+SIZE = 24
+
+
+@pytest.fixture(scope="module")
+def pipeline_program():
+    return compile_source(PIPELINE_SOURCE)
+
+
+@pytest.fixture
+def pipeline_data(rng):
+    return rng.uniform(0.5, 2.0, (SIZE, SIZE)).astype(np.float32)
+
+
+# --------------------------------------------------------------------------- #
+# AST-level transform
+# --------------------------------------------------------------------------- #
+class TestFuseDefinitions:
+    def test_merges_into_single_kernel(self, pipeline_program):
+        result = fuse_definitions(
+            pipeline_program.kernel("scale").definition,
+            pipeline_program.kernel("offset").definition,
+            {"y": "y"},
+        )
+        fused = result.definition
+        assert fused.is_kernel and not fused.is_reduction
+        assert fused.name == "scale__offset"
+        # The intermediate is no longer a parameter...
+        param_names = [p.name for p in fused.params]
+        assert "y" not in param_names
+        assert len(fused.output_params) == 1
+        # ...but a local declaration carrying the producer's value.
+        declared = [node.name for node in fused.body.walk()
+                    if type(node).__name__ == "DeclStatement"]
+        assert result.consumer_renames["y"] in declared
+        assert result.eliminated_widths == (1,)
+
+    def test_fused_kernel_compiles_and_gets_fast_path(self, pipeline_program):
+        fused, _ = fuse_compiled(
+            pipeline_program.kernel("scale"),
+            pipeline_program.kernel("offset"),
+            {"y": "y"}, pipeline_program.helpers(),
+        )
+        assert fused.glsl_es is not None
+        assert fused.c_source is not None
+        assert fused.fast_path is not None
+        assert fused.fused_from == ("scale", "offset")
+        assert fused.fused_saved_components == 1
+
+    def test_rejects_reductions(self, pipeline_program):
+        reason = check_fusable(
+            pipeline_program.kernel("scale").definition,
+            pipeline_program.kernel("total").definition,
+            {"v": "y"},
+        )
+        assert reason is not None and "map kernel" in reason
+
+    def test_rejects_gather_on_the_intermediate(self, pipeline_program):
+        reason = check_fusable(
+            pipeline_program.kernel("scale").definition,
+            pipeline_program.kernel("probe").definition,
+            {"table": "y"},
+        )
+        assert reason is not None and "gather" in reason
+
+    def test_rejects_unknown_connections(self, pipeline_program):
+        scale = pipeline_program.kernel("scale").definition
+        offset = pipeline_program.kernel("offset").definition
+        assert check_fusable(scale, offset, {}) is not None
+        assert check_fusable(scale, offset, {"y": "x"}) is not None
+        assert check_fusable(scale, offset, {"nope": "y"}) is not None
+        with pytest.raises(FusionError):
+            fuse_definitions(scale, offset, {"y": "x"})
+
+
+# --------------------------------------------------------------------------- #
+# Runtime pipelines
+# --------------------------------------------------------------------------- #
+def _run_pipeline(backend, data, fuse):
+    with BrookRuntime(backend=backend) as rt:
+        module = rt.compile(PIPELINE_SOURCE)
+        x = rt.stream_from(data, name="x")
+        y = rt.stream((SIZE, SIZE), name="y")
+        z = rt.stream((SIZE, SIZE), name="z")
+        plans = [module.scale.bind(x, 2.0, y), module.offset.bind(y, 0.25, z)]
+        if fuse:
+            pipeline = rt.fuse(plans)
+            pipeline.launch()
+        else:
+            for plan in plans:
+                plan.launch()
+        return z.read(), rt.statistics
+
+
+class TestRuntimeFusion:
+    @pytest.mark.parametrize("backend", ["cpu", "gles2"])
+    def test_fused_pipeline_is_bitwise_identical(self, backend, pipeline_data):
+        unfused, _ = _run_pipeline(backend, pipeline_data, fuse=False)
+        fused, stats = _run_pipeline(backend, pipeline_data, fuse=True)
+        assert np.array_equal(fused.view(np.uint32), unfused.view(np.uint32))
+        assert stats.total_passes == 1
+        assert stats.kernels_fused == 1
+        assert stats.saved_intermediate_bytes == SIZE * SIZE * 4 * 2
+
+    def test_three_stage_chain_becomes_one_pass(self, pipeline_data):
+        with BrookRuntime() as rt:
+            module = rt.compile(PIPELINE_SOURCE)
+            x = rt.stream_from(pipeline_data)
+            y = rt.stream((SIZE, SIZE))
+            z = rt.stream((SIZE, SIZE))
+            w = rt.stream((SIZE, SIZE))
+            pipeline = rt.fuse([
+                module.scale.bind(x, 2.0, y),
+                module.offset.bind(y, 0.25, z),
+                module.scale.bind(z, 0.5, w),
+            ])
+            assert isinstance(pipeline, FusedPipeline)
+            assert pipeline.pass_count == 1
+            assert pipeline.kernels_fused == 2
+            plan = pipeline.segments[0][0]
+            assert isinstance(plan, FusedPlan)
+            assert plan.fused_kernel_names == ("scale", "offset", "scale")
+            pipeline.launch()
+            expected = (2.0 * pipeline_data + 0.25) * 0.5
+            np.testing.assert_allclose(w.read(), expected, rtol=1e-6)
+
+    def test_intermediate_needed_later_blocks_fusion(self, pipeline_data):
+        with BrookRuntime() as rt:
+            module = rt.compile(PIPELINE_SOURCE)
+            x = rt.stream_from(pipeline_data)
+            y = rt.stream((SIZE, SIZE))
+            z = rt.stream((SIZE, SIZE))
+            r = rt.stream((SIZE, SIZE))
+            # `blend` re-reads y after `offset` consumed it, so scale->offset
+            # must materialise y and stay unfused; offset->blend (over z)
+            # remains legal and still merges.
+            pipeline = rt.fuse([
+                module.scale.bind(x, 2.0, y),
+                module.offset.bind(y, 0.25, z),
+                module.blend.bind(y, z, r),
+            ])
+            assert pipeline.pass_count == 2
+            assert pipeline.kernels_fused == 1
+            assert pipeline.kernel_names[0] == "scale"
+            pipeline.launch()
+            scaled = 2.0 * pipeline_data
+            np.testing.assert_allclose(y.read(), scaled, rtol=1e-6)
+            np.testing.assert_allclose(
+                r.read(), 0.5 * (scaled + (scaled + 0.25)), rtol=1e-6)
+
+    def test_gather_consumer_falls_back_to_two_passes(self, pipeline_data):
+        flat = pipeline_data.reshape(1, -1)
+        with BrookRuntime() as rt:
+            module = rt.compile(PIPELINE_SOURCE)
+            x = rt.stream_from(flat)
+            y = rt.stream(flat.shape)
+            r = rt.stream(flat.shape)
+            src = rt.stream_from(np.zeros(flat.shape, dtype=np.float32))
+            pipeline = rt.fuse([
+                module.scale.bind(x, 2.0, y),
+                module.probe.bind(src, y, r),  # gathers from y
+            ])
+            assert pipeline.pass_count == 2
+            assert pipeline.kernels_fused == 0
+            pipeline.launch()
+            np.testing.assert_allclose(r.read(), 2.0 * flat, rtol=1e-6)
+
+    def test_early_return_producer_blocks_fusion(self):
+        """A producer's early return must not mask the consumer's body.
+
+        Regression test: fused, the producer's return would set the SIMT
+        returned-mask and suppress the consumer statements for those
+        threads; the pair has to stay two passes.
+        """
+        source = """
+        kernel void gate(float x<>, out float tmp<>) {
+            if (x < 0.0) {
+                return;
+            }
+            tmp = x * 2.0;
+        }
+
+        kernel void inc(float tmp<>, out float y<>) {
+            y = tmp + 1.0;
+        }
+        """
+        data = np.array([[-1.0, 1.0, -2.0, 2.0]], dtype=np.float32)
+        with BrookRuntime() as rt:
+            module = rt.compile(source)
+            x = rt.stream_from(data)
+            tmp = rt.stream((1, 4))
+            y = rt.stream((1, 4))
+            pipeline = rt.fuse([
+                module.gate.bind(x, tmp),
+                module.inc.bind(tmp, y),
+            ])
+            assert pipeline.kernels_fused == 0
+            pipeline.launch()
+            np.testing.assert_allclose(y.read(),
+                                       [[1.0, 3.0, 1.0, 5.0]], rtol=1e-6)
+
+    def test_gather_from_unconnected_producer_output_blocks_fusion(self):
+        """A consumer gathering from ANY producer output needs two passes.
+
+        Regression test: `twin` writes both `a` (consumed positionally)
+        and `b` (gathered).  Fusing would snapshot `b` before the fused
+        pass writes it, silently yielding stale values.
+        """
+        source = PIPELINE_SOURCE + """
+        kernel void twin(float x<>, out float a<>, out float b<>) {
+            a = x + 1.0;
+            b = x * 2.0;
+        }
+
+        kernel void consume(float a<>, float b[], out float r<>) {
+            float2 pos = indexof(r);
+            r = a + b[pos.x];
+        }
+        """
+        data = np.arange(16, dtype=np.float32).reshape(1, 16)
+        with BrookRuntime() as rt:
+            module = rt.compile(source)
+            x = rt.stream_from(data)
+            a = rt.stream((1, 16))
+            b = rt.stream((1, 16))
+            r = rt.stream((1, 16))
+            pipeline = rt.fuse([
+                module.twin.bind(x, a, b),
+                module.consume.bind(a, b, r),
+            ])
+            assert pipeline.kernels_fused == 0
+            pipeline.launch()
+            np.testing.assert_allclose(r.read(), (data + 1.0) + (data * 2.0),
+                                       rtol=1e-6)
+
+    def test_aliased_consumer_output_blocks_fusion(self, pipeline_data):
+        """The consumer writing a producer output must stay a second pass."""
+        with BrookRuntime() as rt:
+            module = rt.compile(PIPELINE_SOURCE)
+            x = rt.stream_from(pipeline_data)
+            y = rt.stream((SIZE, SIZE))
+            pipeline = rt.fuse([
+                module.scale.bind(x, 2.0, y),
+                module.offset.bind(y, 0.25, y),  # reads and rewrites y
+            ])
+            assert pipeline.kernels_fused == 0
+            pipeline.launch()
+            np.testing.assert_allclose(y.read(), 2.0 * pipeline_data + 0.25,
+                                       rtol=1e-6)
+
+    def test_mismatched_domains_block_fusion(self, pipeline_data):
+        with BrookRuntime() as rt:
+            module = rt.compile(PIPELINE_SOURCE)
+            x = rt.stream_from(pipeline_data)
+            y = rt.stream((SIZE, SIZE))
+            half = rt.stream((SIZE // 2, SIZE))
+            pipeline = rt.fuse([
+                module.scale.bind(x, 2.0, y),
+                module.offset.bind(half, 0.25, rt.stream((SIZE // 2, SIZE))),
+            ])
+            assert pipeline.kernels_fused == 0
+
+    def test_reduction_tail_runs_as_own_segment(self, pipeline_data):
+        with BrookRuntime() as rt:
+            module = rt.compile(PIPELINE_SOURCE)
+            x = rt.stream_from(pipeline_data)
+            y = rt.stream((SIZE, SIZE))
+            z = rt.stream((SIZE, SIZE))
+            pipeline = rt.fuse([
+                module.scale.bind(x, 2.0, y),
+                module.offset.bind(y, 0.25, z),
+                module.total.bind(z),
+            ])
+            assert pipeline.pass_count == 2  # fused map pass + reduction
+            assert pipeline.kernels_fused == 1
+            result = pipeline.launch()
+            expected = float(np.sum(2.0 * pipeline_data + 0.25,
+                                    dtype=np.float64))
+            assert result == pytest.approx(expected, rel=1e-3)
+
+    def test_fuse_validates_inputs(self, pipeline_data):
+        with BrookRuntime() as rt:
+            module = rt.compile(PIPELINE_SOURCE)
+            with pytest.raises(KernelLaunchError):
+                rt.fuse([])
+            with pytest.raises(KernelLaunchError):
+                rt.fuse([module.scale])  # a handle, not a bound plan
+            with BrookRuntime() as other:
+                other_module = other.compile(PIPELINE_SOURCE)
+                x = other.stream_from(pipeline_data)
+                y = other.stream((SIZE, SIZE))
+                foreign = other_module.scale.bind(x, 2.0, y)
+                with pytest.raises(KernelLaunchError):
+                    rt.fuse([foreign])
+
+    def test_fast_path_disabled_propagates_to_fused_kernel(self, pipeline_data):
+        options = CompilerOptions(enable_fast_path=False)
+        with BrookRuntime(compiler_options=options) as rt:
+            module = rt.compile(PIPELINE_SOURCE)
+            x = rt.stream_from(pipeline_data)
+            y = rt.stream((SIZE, SIZE))
+            z = rt.stream((SIZE, SIZE))
+            pipeline = rt.fuse([
+                module.scale.bind(x, 2.0, y),
+                module.offset.bind(y, 0.25, z),
+            ])
+            plan = pipeline.segments[0][0]
+            assert isinstance(plan, FusedPlan)
+            assert plan.kernel.fast_path is None
+            pipeline.launch()
+            np.testing.assert_allclose(z.read(), 2.0 * pipeline_data + 0.25,
+                                       rtol=1e-6)
+
+
+# --------------------------------------------------------------------------- #
+# Scalable-app pipeline (image_filter, Figure 3)
+# --------------------------------------------------------------------------- #
+POST_SOURCE = """
+kernel void normalize_px(float v<>, float inv_range, out float n<>) {
+    n = clamp(v * inv_range, 0.0, 1.0);
+}
+
+kernel void gamma_px(float n<>, out float g<>) {
+    g = n * n;
+}
+"""
+
+
+class TestScalableAppPipeline:
+    """filter3x3 -> normalize -> gamma, fused vs. unfused."""
+
+    @pytest.mark.parametrize("backend", ["cpu", "gles2"])
+    def test_image_filter_pipeline_equivalence(self, backend):
+        from repro.apps.image_filter import BROOK_SOURCE, FILTER_3X3
+
+        size = 32
+        image = (np.random.default_rng(3).uniform(0.0, 255.0, (size, size))
+                 .astype(np.float32))
+        weights = [float(w) for w in FILTER_3X3.reshape(-1)]
+        results = {}
+        for fuse in (False, True):
+            with BrookRuntime(backend=backend) as rt:
+                module = rt.compile(BROOK_SOURCE)
+                post = rt.compile(POST_SOURCE)
+                src = rt.stream_from(image, name="image")
+                filtered = rt.stream((size, size), name="filtered")
+                norm = rt.stream((size, size), name="norm")
+                out = rt.stream((size, size), name="out")
+                plans = [
+                    module.filter3x3.bind(src, float(size), float(size),
+                                          *weights, filtered),
+                    post.normalize_px.bind(filtered, 1.0 / 255.0, norm),
+                    post.gamma_px.bind(norm, out),
+                ]
+                if fuse:
+                    pipeline = rt.fuse(plans)
+                    # The whole three-stage ADAS-style pipeline collapses
+                    # into one pass (the gather input survives fusion).
+                    assert pipeline.pass_count == 1
+                    assert pipeline.kernels_fused == 2
+                    pipeline.launch()
+                else:
+                    for plan in plans:
+                        plan.launch()
+                results[fuse] = (out.read(), rt.statistics.total_passes)
+        fused_out, fused_passes = results[True]
+        plain_out, plain_passes = results[False]
+        assert plain_passes == 3 and fused_passes == 1
+        assert np.array_equal(fused_out.view(np.uint32),
+                              plain_out.view(np.uint32))
+
+
+# --------------------------------------------------------------------------- #
+# Fusing command queues
+# --------------------------------------------------------------------------- #
+class TestQueueFusion:
+    def test_fusing_queue_matches_plain_queue(self, pipeline_data):
+        results = {}
+        for fuse in (False, True):
+            with BrookRuntime() as rt:
+                module = rt.compile(PIPELINE_SOURCE)
+                x = rt.stream_from(pipeline_data)
+                y = rt.stream((SIZE, SIZE))
+                z = rt.stream((SIZE, SIZE))
+                with rt.queue(fuse=fuse) as queue:
+                    module.scale(x, 2.0, y)
+                    module.offset(y, 0.25, z)
+                results[fuse] = (z.read(), rt.statistics.total_passes,
+                                 queue.flushed_launches)
+        fused_out, fused_passes, fused_flushed = results[True]
+        plain_out, plain_passes, plain_flushed = results[False]
+        assert np.array_equal(fused_out.view(np.uint32),
+                              plain_out.view(np.uint32))
+        assert plain_passes == 2 and fused_passes == 1
+        assert fused_flushed == plain_flushed == 2
+
+    def test_fusing_queue_keeps_reduction_results(self, pipeline_data):
+        with BrookRuntime() as rt:
+            module = rt.compile(PIPELINE_SOURCE)
+            x = rt.stream_from(pipeline_data)
+            y = rt.stream((SIZE, SIZE))
+            z = rt.stream((SIZE, SIZE))
+            with rt.queue(fuse=True) as queue:
+                module.scale(x, 2.0, y)
+                module.offset(y, 0.25, z)
+                queued = module.total(z)
+            assert queued.done
+            expected = float(np.sum(2.0 * pipeline_data + 0.25,
+                                    dtype=np.float64))
+            assert queued.result == pytest.approx(expected, rel=1e-3)
+
+
+# --------------------------------------------------------------------------- #
+# Timing accounting
+# --------------------------------------------------------------------------- #
+class TestFusionTiming:
+    PARAMS = GPUCostParameters(
+        name="test", effective_gflops=1.0, transfer_gib_per_s=1.0,
+        pass_overhead_us=100.0, texture_fetch_ns=10.0, fill_rate_mpixels=100.0,
+    )
+
+    def test_savings_are_positive_and_scale(self):
+        model = GPUModel(self.PARAMS)
+        small = model.fusion_savings(1, 1024)
+        large = model.fusion_savings(2, 1024 * 1024)
+        assert 0.0 < small < large
+        # One saved pass contributes at least its fixed overhead.
+        assert small >= 100.0 * 1e-6
+
+    def test_zero_fusion_saves_nothing(self):
+        model = GPUModel(self.PARAMS)
+        assert model.fusion_savings(0, 0) == 0.0
+
+    def test_statistics_feed_the_model(self, pipeline_data):
+        _, stats = _run_pipeline("gles2", pipeline_data, fuse=True)
+        model = GPUModel(self.PARAMS)
+        saved = model.fusion_savings(stats.kernels_fused,
+                                     stats.saved_intermediate_bytes)
+        assert saved > 0.0

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Markdown link checker for the documentation suite.
+
+Validates that every relative link in the given Markdown files (and in
+``*.md`` under the given directories) points at an existing file.
+External links (http/https/mailto) and pure in-page anchors are
+skipped, so the check runs offline and deterministically in CI.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+import urllib.parse
+
+#: ``[text](target)`` — target captured without closing parenthesis.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def collect_pages(arguments: list[str]) -> list[pathlib.Path]:
+    pages: list[pathlib.Path] = []
+    for argument in arguments:
+        path = pathlib.Path(argument)
+        if path.is_dir():
+            pages.extend(sorted(path.glob("*.md")))
+        else:
+            pages.append(path)
+    return pages
+
+
+def check_page(page: pathlib.Path) -> list[str]:
+    if not page.exists():
+        return [f"{page}: missing documentation page"]
+    errors = []
+    for number, line in enumerate(page.read_text().splitlines(), 1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            relative = urllib.parse.unquote(target.split("#", 1)[0])
+            if not relative:
+                continue  # in-page anchor like (#section)
+            if not (page.parent / relative).exists():
+                errors.append(f"{page}:{number}: broken link -> {target}")
+    return errors
+
+
+def main(arguments: list[str]) -> int:
+    pages = collect_pages(arguments or ["README.md", "docs"])
+    errors = [error for page in pages for error in check_page(page)]
+    for error in errors:
+        print(error)
+    print(f"checked {len(pages)} page(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
