@@ -13,6 +13,12 @@ kernels run their ahead-of-time compiled closure program
 masked SIMT interpreter (:mod:`repro.core.exec.evaluator`).  Backends
 differ in where stream data lives, how much precision survives storage,
 how gather accesses behave at the edges and which hardware limits apply.
+
+Streams whose 2-D layout exceeds ``TargetLimits.max_texture_size`` are
+backed by a :class:`~repro.runtime.tiling.TiledStorage` (one device
+texture/resource per tile); the launch plans drive one backend pass per
+tile through :mod:`repro.runtime.tiling`, passing ``index_map`` so
+``indexof`` still reports global positions.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from ..core.analysis.resources import TargetLimits
 from ..core.compiler import CompiledKernel
 from ..core import ast_nodes as ast
 from ..core.exec.evaluator import KernelEvaluator, KernelExecutionStats
-from ..core.exec.gather import GatherSource
+from ..core.exec.gather import ClampingGatherSource, GatherSource
 from ..errors import KernelLaunchError
 from ..runtime.profiling import KernelLaunchRecord, TransferRecord
 from ..runtime.shape import StreamShape
@@ -108,6 +114,24 @@ class Backend(abc.ABC):
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
+    def prepare_gathers(
+        self,
+        gather_args: Dict[str, "Stream"],
+    ) -> Dict[str, GatherSource]:
+        """Build the gather sources for one logical launch.
+
+        The default wraps each gather array's ``device_view`` in a
+        clamping (texture-unit style) source; the CPU backend overrides
+        this with its bounds-checked direct access.  The tiled execution
+        engine calls this once per logical launch and shares the result
+        across the tile passes, so gather data is snapshot - and, for
+        RGBA8 storage, decoded - a single time.
+        """
+        return {
+            name: ClampingGatherSource(self.device_view(stream.storage))
+            for name, stream in gather_args.items()
+        }
+
     @abc.abstractmethod
     def launch(
         self,
@@ -118,8 +142,20 @@ class Backend(abc.ABC):
         gather_args: Dict[str, "Stream"],
         scalar_args: Dict[str, float],
         out_args: Dict[str, "Stream"],
+        index_map: Optional[np.ndarray] = None,
+        gathers: Optional[Dict[str, GatherSource]] = None,
     ) -> KernelLaunchRecord:
-        """Run one kernel pass over ``domain`` and write the outputs."""
+        """Run one kernel pass over ``domain`` and write the outputs.
+
+        ``index_map`` optionally overrides the ``indexof`` positions of
+        the domain's elements (an ``(element_count, 2)`` float32 array).
+        The tiled execution engine uses it so a kernel running over one
+        tile still observes its *global* position in the logical stream
+        layout; ``None`` means the domain's own element positions.
+        ``gathers`` optionally supplies prebuilt gather sources (from
+        :meth:`prepare_gathers`) so per-tile passes of one logical
+        launch share a single snapshot of the gather arrays.
+        """
 
     @abc.abstractmethod
     def reduce(
@@ -155,9 +191,22 @@ class Backend(abc.ABC):
 
         The output stream's extents must evenly divide the input stream's
         extents; each output element receives the reduction of its block.
+        A *tiled* input reduces over its stitched logical view; a tiled
+        output is rejected (each output element would straddle per-tile
+        textures that a reduction pass cannot write together - reduce
+        into a stream that fits one texture instead).
         """
         from ..runtime.reduction import partial_reduce
+        from ..runtime.tiling import TiledStorage
 
+        if isinstance(output_stream.storage, TiledStorage):
+            raise KernelLaunchError(
+                f"reduction output stream {output_stream.name!r} of shape "
+                f"{tuple(output_stream.shape.dims)} exceeds the device "
+                "texture limit and would itself be tiled; reduce into a "
+                "stream that fits one texture (partial reductions write "
+                "one render target per pass)"
+            )
         in_dims = input_stream.shape.dims
         out_dims = output_stream.shape.dims
         if len(out_dims) != len(in_dims) or any(
@@ -194,6 +243,7 @@ class Backend(abc.ABC):
         stream_values: Dict[str, np.ndarray],
         gathers: Dict[str, GatherSource],
         scalar_args: Dict[str, float],
+        index_map: Optional[np.ndarray] = None,
     ) -> "tuple[Dict[str, np.ndarray], KernelExecutionStats]":
         """Run the kernel body once over ``domain`` with prepared inputs.
 
@@ -201,14 +251,17 @@ class Backend(abc.ABC):
         (``kernel.fast_path``) that skips per-launch AST interpretation;
         everything else goes through the masked interpreter.  Both paths
         produce bit-identical outputs and equivalent work statistics.
+        ``index_map`` overrides the ``indexof`` positions (tiled
+        launches pass the global positions of the tile's elements).
         """
+        index = domain.element_positions() if index_map is None else index_map
         if kernel.fast_path is not None:
             return kernel.fast_path.run(
                 domain.element_count,
                 stream_inputs=stream_values,
                 scalar_args=scalar_args,
                 gathers=gathers,
-                index=domain.element_positions(),
+                index=index,
             )
         evaluator = KernelEvaluator(kernel.definition, helpers)
         outputs = evaluator.run(
@@ -216,7 +269,7 @@ class Backend(abc.ABC):
             stream_inputs=stream_values,
             scalar_args=scalar_args,
             gathers=gathers,
-            index=domain.element_positions(),
+            index=index,
         )
         return outputs, evaluator.stats
 

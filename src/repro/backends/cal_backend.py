@@ -29,6 +29,7 @@ from ..errors import BackendError, KernelLaunchError
 from ..runtime.profiling import KernelLaunchRecord, TransferRecord
 from ..runtime.reduction import multipass_reduce
 from ..runtime.shape import StreamShape
+from ..runtime.tiling import TilePlan, TiledStorage
 from .base import Backend, StreamStorage
 from .registry import register_backend
 
@@ -68,14 +69,29 @@ class CALBackend(Backend):
 
     # ------------------------------------------------------------------ #
     def create_storage(self, shape: StreamShape, element_width: int,
-                       name: str = "") -> CALStreamStorage:
-        rows, cols = shape.layout_2d
-        resource = self.context.alloc_resource(cols, rows, element_width, name=name)
-        storage = CALStreamStorage(shape, element_width, name, resource)
+                       name: str = "") -> StreamStorage:
+        plan = TilePlan.for_shape(shape, self.target_limits())
+        if plan.is_trivial:
+            rows, cols = shape.layout_2d
+            resource = self.context.alloc_resource(cols, rows, element_width,
+                                                   name=name)
+            storage = CALStreamStorage(shape, element_width, name, resource)
+            self._storages.append(storage)
+            return storage
+        # Oversized (or folded) stream: one float32 resource per tile.
+        tiles = []
+        for tile in plan.tiles:
+            tile_shape = plan.tile_shape(tile)
+            tile_name = f"{name}/tile{tile.index}"
+            resource = self.context.alloc_resource(
+                tile.cols, tile.rows, element_width, name=tile_name)
+            tiles.append(CALStreamStorage(tile_shape, element_width,
+                                          tile_name, resource))
+        storage = TiledStorage(shape, element_width, name, plan, tiles)
         self._storages.append(storage)
         return storage
 
-    def upload(self, storage: CALStreamStorage, data: np.ndarray) -> TransferRecord:
+    def upload(self, storage: StreamStorage, data: np.ndarray) -> TransferRecord:
         rows, cols = storage.shape.layout_2d
         data = np.asarray(data, dtype=np.float32)
         expected = (rows, cols) if storage.element_width == 1 \
@@ -85,25 +101,50 @@ class CALBackend(Backend):
                 f"stream {storage.name!r}: cannot write data of shape {data.shape} "
                 f"into a stream of layout {expected}"
             )
+        if isinstance(storage, TiledStorage):
+            folded = storage.plan.fold(data)
+            for tile, tile_storage in zip(storage.plan.tiles, storage.tiles):
+                self.upload(tile_storage, storage.plan.slice(folded, tile))
+            storage.invalidate_view()
+            return TransferRecord(stream=storage.name, direction="upload",
+                                  bytes=int(data.nbytes),
+                                  elements=storage.shape.element_count,
+                                  calls=storage.tile_count)
         self.context.upload(storage.resource, data)
         return TransferRecord(stream=storage.name, direction="upload",
                               bytes=int(data.nbytes),
                               elements=storage.shape.element_count)
 
-    def download(self, storage: CALStreamStorage):
-        data = self.context.download(storage.resource)
+    def download(self, storage: StreamStorage):
+        if isinstance(storage, TiledStorage):
+            blocks = [self.context.download(tile_storage.resource)
+                      for tile_storage in storage.tiles]
+            data = storage.plan.unfold(storage.plan.stitch(blocks))
+            calls = storage.tile_count
+        else:
+            data = self.context.download(storage.resource)
+            calls = 1
         record = TransferRecord(stream=storage.name, direction="download",
                                 bytes=int(np.asarray(data).nbytes),
-                                elements=storage.shape.element_count)
+                                elements=storage.shape.element_count,
+                                calls=calls)
         return np.asarray(data, dtype=np.float32), record
 
-    def device_view(self, storage: CALStreamStorage) -> np.ndarray:
+    def device_view(self, storage: StreamStorage) -> np.ndarray:
+        if isinstance(storage, TiledStorage):
+            return storage.cached_view(lambda: storage.plan.unfold(
+                storage.plan.stitch([self.device_view(tile_storage)
+                                     for tile_storage in storage.tiles])))
         return storage.resource.read()
 
-    def free(self, storage: CALStreamStorage) -> None:
+    def free(self, storage: StreamStorage) -> None:
         if storage in self._storages:
             self._storages.remove(storage)
-            self.context.free_resource(storage.resource)
+            if isinstance(storage, TiledStorage):
+                for tile_storage in storage.tiles:
+                    self.context.free_resource(tile_storage.resource)
+            else:
+                self.context.free_resource(storage.resource)
 
     def device_memory_in_use(self) -> int:
         return self.context.device_memory_in_use()
@@ -118,6 +159,8 @@ class CALBackend(Backend):
         gather_args: Dict[str, "object"],
         scalar_args: Dict[str, float],
         out_args: Dict[str, "object"],
+        index_map=None,
+        gathers=None,
     ) -> KernelLaunchRecord:
         if len(out_args) > self.device.max_outputs:
             raise BackendError(
@@ -130,12 +173,11 @@ class CALBackend(Backend):
             width = stream.element_width
             stream_values[name] = values.reshape(-1) if width == 1 \
                 else values.reshape(-1, width)
-        gathers = {
-            name: ClampingGatherSource(self.device_view(stream.storage))
-            for name, stream in gather_args.items()
-        }
+        if gathers is None:
+            gathers = self.prepare_gathers(gather_args)
         outputs, stats = self._evaluate(kernel, helpers, domain, stream_values,
-                                        gathers, scalar_args)
+                                        gathers, scalar_args,
+                                        index_map=index_map)
         for name, stream in out_args.items():
             if name not in outputs:
                 raise BackendError(f"kernel {kernel.name!r} produced no output {name!r}")

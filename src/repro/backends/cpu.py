@@ -75,6 +75,13 @@ class CPUBackend(Backend):
         )
 
     # ------------------------------------------------------------------ #
+    def prepare_gathers(self, gather_args):
+        """Direct (bounds-checked) host-memory access, no clamping."""
+        return {
+            name: NumpyGatherSource(stream.storage.data)
+            for name, stream in gather_args.items()
+        }
+
     def create_storage(self, shape: StreamShape, element_width: int,
                        name: str = "") -> CPUStreamStorage:
         storage = CPUStreamStorage(shape, element_width, name)
@@ -119,6 +126,8 @@ class CPUBackend(Backend):
         gather_args: Dict[str, "object"],
         scalar_args: Dict[str, float],
         out_args: Dict[str, "object"],
+        index_map=None,
+        gathers=None,
     ) -> KernelLaunchRecord:
         stream_values = {}
         for name, stream in stream_args.items():
@@ -132,12 +141,11 @@ class CPUBackend(Backend):
             width = stream.element_width
             stream_values[name] = values.reshape(-1) if width == 1 \
                 else values.reshape(-1, width)
-        gathers = {
-            name: NumpyGatherSource(stream.storage.data)
-            for name, stream in gather_args.items()
-        }
+        if gathers is None:
+            gathers = self.prepare_gathers(gather_args)
         outputs, stats = self._evaluate(kernel, helpers, domain, stream_values,
-                                        gathers, scalar_args)
+                                        gathers, scalar_args,
+                                        index_map=index_map)
         for name, stream in out_args.items():
             if name not in outputs:
                 raise BackendError(f"kernel {kernel.name!r} produced no output {name!r}")

@@ -35,6 +35,7 @@ from ..runtime.numerics import decode_float_rgba8, encode_float_rgba8, quantize_
 from ..runtime.profiling import KernelLaunchRecord, TransferRecord
 from ..runtime.reduction import multipass_reduce
 from ..runtime.shape import StreamShape
+from ..runtime.tiling import TilePlan, TiledStorage
 from .base import Backend, StreamStorage
 from .registry import register_backend
 
@@ -72,13 +73,18 @@ class BrookKernelShader(FragmentShader):
 
     def __init__(self, kernel: CompiledKernel, helpers: Dict[str, ast.FunctionDef],
                  domain: StreamShape, scalar_args: Dict[str, float],
-                 gathers: Dict[str, ClampingGatherSource], out_name: str):
+                 gathers: Dict[str, ClampingGatherSource], out_name: str,
+                 index_map=None):
         self.kernel = kernel
         self.helpers = helpers
         self.domain = domain
         self.scalar_args = scalar_args
         self.gathers = gathers
         self.out_name = out_name
+        #: Optional global ``indexof`` positions; the tiled execution
+        #: engine sets this so a tile pass reports positions in the
+        #: logical stream layout instead of tile-local ones.
+        self.index_map = index_map
         self.last_flops = 0
         self.last_gather_fetches = 0
 
@@ -99,13 +105,17 @@ class BrookKernelShader(FragmentShader):
                 texels = texture.sample_normalized(u, v)
                 stream_values[param.name] = decode_float_rgba8(texels)
         # indexof: the normalized varying scaled back by the hidden output
-        # size uniform (the element index of the current fragment).
-        output_size = job.uniforms.get("__brook_output_size",
-                                       (float(job.width), float(job.height)))
-        index = np.stack(
-            [np.floor(job.texcoord[:, 0] * output_size[0]),
-             np.floor(job.texcoord[:, 1] * output_size[1])], axis=1
-        ).astype(np.float32)
+        # size uniform (the element index of the current fragment); tiled
+        # passes instead receive the precomputed global positions.
+        if self.index_map is not None:
+            index = np.asarray(self.index_map, dtype=np.float32)
+        else:
+            output_size = job.uniforms.get("__brook_output_size",
+                                           (float(job.width), float(job.height)))
+            index = np.stack(
+                [np.floor(job.texcoord[:, 0] * output_size[0]),
+                 np.floor(job.texcoord[:, 1] * output_size[1])], axis=1
+            ).astype(np.float32)
 
         if self.kernel.fast_path is not None:
             outputs, stats = self.kernel.fast_path.run(
@@ -157,14 +167,29 @@ class GLES2Backend(Backend):
     # Storage
     # ------------------------------------------------------------------ #
     def create_storage(self, shape: StreamShape, element_width: int,
-                       name: str = "") -> GLES2StreamStorage:
-        tex_w, tex_h = shape.texture_extent(self.target_limits())
-        texture = self.context.create_texture(tex_w, tex_h, name=name)
-        storage = GLES2StreamStorage(shape, element_width, name, texture)
+                       name: str = "") -> StreamStorage:
+        limits = self.target_limits()
+        plan = TilePlan.for_shape(shape, limits)
+        if plan.is_trivial:
+            tex_w, tex_h = shape.texture_extent(limits)
+            texture = self.context.create_texture(tex_w, tex_h, name=name)
+            storage = GLES2StreamStorage(shape, element_width, name, texture)
+            self._storages.append(storage)
+            return storage
+        # Oversized (or folded) stream: one RGBA8 texture per tile.
+        tiles = []
+        for tile in plan.tiles:
+            tile_shape = plan.tile_shape(tile)
+            tex_w, tex_h = tile_shape.texture_extent(limits)
+            tile_name = f"{name}/tile{tile.index}"
+            texture = self.context.create_texture(tex_w, tex_h, name=tile_name)
+            tiles.append(GLES2StreamStorage(tile_shape, element_width,
+                                            tile_name, texture))
+        storage = TiledStorage(shape, element_width, name, plan, tiles)
         self._storages.append(storage)
         return storage
 
-    def upload(self, storage: GLES2StreamStorage, data: np.ndarray) -> TransferRecord:
+    def upload(self, storage: StreamStorage, data: np.ndarray) -> TransferRecord:
         rows, cols = storage.shape.layout_2d
         data = np.asarray(data, dtype=np.float32)
         if data.shape != (rows, cols):
@@ -172,6 +197,18 @@ class GLES2Backend(Backend):
                 f"stream {storage.name!r}: cannot write data of shape {data.shape} "
                 f"into a stream of layout {(rows, cols)}"
             )
+        if isinstance(storage, TiledStorage):
+            folded = storage.plan.fold(data)
+            for tile, tile_storage in zip(storage.plan.tiles, storage.tiles):
+                self.upload(tile_storage, storage.plan.slice(folded, tile))
+            storage.invalidate_view()
+            # The per-tile uploads above already counted the device
+            # traffic texture by texture; report one logical transfer
+            # that carries the per-tile driver call count.
+            return TransferRecord(stream=storage.name, direction="upload",
+                                  bytes=rows * cols * 4,
+                                  elements=storage.shape.element_count,
+                                  calls=storage.tile_count)
         texture = storage.texture
         rgba = np.zeros((texture.height, texture.width, 4), dtype=np.uint8)
         rgba[:rows, :cols] = encode_float_rgba8(data)
@@ -180,23 +217,41 @@ class GLES2Backend(Backend):
                               bytes=rows * cols * 4,
                               elements=storage.shape.element_count)
 
-    def download(self, storage: GLES2StreamStorage):
+    def download(self, storage: StreamStorage):
         rows, cols = storage.shape.layout_2d
-        rgba = self.context.download(storage.texture)
-        values = decode_float_rgba8(rgba[:rows, :cols])
+        if isinstance(storage, TiledStorage):
+            blocks = [self.download(tile_storage)[0]
+                      for tile_storage in storage.tiles]
+            values = storage.plan.unfold(storage.plan.stitch(blocks))
+            calls = storage.tile_count
+        else:
+            rgba = self.context.download(storage.texture)
+            values = decode_float_rgba8(rgba[:rows, :cols])
+            calls = 1
         record = TransferRecord(stream=storage.name, direction="download",
                                 bytes=rows * cols * 4,
-                                elements=storage.shape.element_count)
+                                elements=storage.shape.element_count,
+                                calls=calls)
         return values, record
 
-    def device_view(self, storage: GLES2StreamStorage) -> np.ndarray:
+    def device_view(self, storage: StreamStorage) -> np.ndarray:
+        if isinstance(storage, TiledStorage):
+            # Memoised: stitching decodes every tile, and a tiled launch
+            # gathering from this stream would otherwise redo it per tile.
+            return storage.cached_view(lambda: storage.plan.unfold(
+                storage.plan.stitch([self.device_view(tile_storage)
+                                     for tile_storage in storage.tiles])))
         rows, cols = storage.shape.layout_2d
         return decode_float_rgba8(storage.texture.data[:rows, :cols])
 
-    def free(self, storage: GLES2StreamStorage) -> None:
+    def free(self, storage: StreamStorage) -> None:
         if storage in self._storages:
             self._storages.remove(storage)
-            self.context.delete_texture(storage.texture)
+            if isinstance(storage, TiledStorage):
+                for tile_storage in storage.tiles:
+                    self.context.delete_texture(tile_storage.texture)
+            else:
+                self.context.delete_texture(storage.texture)
 
     def device_memory_in_use(self) -> int:
         return self.context.device_memory_in_use()
@@ -213,6 +268,8 @@ class GLES2Backend(Backend):
         gather_args: Dict[str, "object"],
         scalar_args: Dict[str, float],
         out_args: Dict[str, "object"],
+        index_map=None,
+        gathers=None,
     ) -> KernelLaunchRecord:
         if len(out_args) != 1:
             raise BackendError(
@@ -228,20 +285,24 @@ class GLES2Backend(Backend):
         out_name, out_stream = next(iter(out_args.items()))
         rows, cols = domain.layout_2d
 
-        gathers = {
-            name: ClampingGatherSource(
-                self.device_view(stream.storage),
-                transform=None,
-            )
-            for name, stream in gather_args.items()
-        }
+        if gathers is None:
+            gathers = self.prepare_gathers(gather_args)
         shader = BrookKernelShader(kernel, helpers, domain, scalar_args, gathers,
-                                   out_name)
+                                   out_name, index_map=index_map)
         program = ShaderProgram(shader, source=kernel.glsl_es, name=kernel.name)
         program.set_uniform("__brook_output_size", (float(cols), float(rows)))
         for name, stream in stream_args.items():
             program.bind_texture(f"__stream_{name}", stream.storage.texture)
         for name, stream in gather_args.items():
+            if isinstance(stream.storage, TiledStorage):
+                # A tiled gather array spans several textures; the gather
+                # source above already samples the stitched logical data,
+                # so only the dimension uniform is set (from the logical
+                # layout the kernel indexes into).
+                g_rows, g_cols = stream.storage.shape.layout_2d
+                program.set_uniform(f"__dim_{name}",
+                                    (float(g_cols), float(g_rows)))
+                continue
             program.bind_texture(f"__gather_{name}", stream.storage.texture)
             program.set_uniform(
                 f"__dim_{name}",

@@ -95,6 +95,8 @@ class MemoryUsageReport:
 
 def _texture_bytes(shape: Sequence[int], element_type: BrookType,
                    limits: TargetLimits) -> Tuple[int, List[str]]:
+    from .tiling import folded_layout, tile_grid
+
     problems: List[str] = []
     # Multidimensional streams are flattened onto a 2-D texture (section
     # 5.3); the translation keeps the last dimension as the texture row.
@@ -107,15 +109,24 @@ def _texture_bytes(shape: Sequence[int], element_type: BrookType,
         for extent in shape[:-1]:
             logical_h *= extent
         logical_w = shape[-1]
-    if logical_w > limits.max_texture_size or logical_h > limits.max_texture_size:
+    texels_per_element = max(1, element_type.width)
+    # bytes per texel: 4 (RGBA8 storage on GL ES 2; float32 on CAL - same
+    # size).  Oversized layouts are folded and tiled by the runtime
+    # (repro.core.analysis.tiling); the allocation is the sum of the
+    # padded per-tile textures, which the report prices exactly.
+    folded = folded_layout((logical_h, logical_w), limits)
+    tiles = tile_grid(folded, limits)
+    if len(tiles) > 1:
         problems.append(
             f"stream of shape {tuple(shape)} exceeds the maximum texture size "
-            f"{limits.max_texture_size} of the target"
+            f"{limits.max_texture_size} of the target; the runtime tiles it "
+            f"across {len(tiles)} textures (one kernel pass per tile)"
         )
-    tex_w, tex_h = padded_texture_extent(logical_w, logical_h, limits)
-    texels_per_element = max(1, element_type.width)
-    bytes_per_texel = 4  # RGBA8 storage on GL ES 2; float32 on CAL - same size.
-    return tex_w * tex_h * texels_per_element * bytes_per_texel, problems
+    size = 0
+    for tile in tiles:
+        tex_w, tex_h = padded_texture_extent(tile.cols, tile.rows, limits)
+        size += tex_w * tex_h * texels_per_element * 4
+    return size, problems
 
 
 def estimate_memory_usage(

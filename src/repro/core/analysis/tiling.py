@@ -1,0 +1,130 @@
+"""Tile geometry for streams larger than the device texture limit.
+
+An OpenGL ES 2.0 stream lives in one 2-D texture, and the texture cannot
+exceed ``GL_MAX_TEXTURE_SIZE`` in either dimension.  Real workloads (an
+ADAS frame at production resolution, a long 1-D signal) routinely do, so
+the runtime decomposes oversized layouts in two steps:
+
+1. **Folding** (1-D streams only): a ``(4096,)`` stream maps to a single
+   ``1 x 4096`` row by default, which overflows a 2048-limit device even
+   though a ``2 x 2048`` arrangement of the same elements fits in one
+   texture.  :func:`folded_layout` re-shapes such rows into the widest
+   exactly-dividing multi-row layout before any tiling is considered.
+
+2. **Tiling**: a (possibly folded) layout still exceeding the limit is
+   partitioned by :func:`tile_grid` into a grid of device-sized
+   rectangular tiles, each small enough to live in its own texture.
+   Edge tiles are smaller; power-of-two / square padding is applied per
+   tile by the normal allocation path.
+
+This module is pure geometry - it knows nothing about streams, textures
+or backends - so both the static memory-usage analysis and the runtime's
+tiled execution engine (:mod:`repro.runtime.tiling`) share one
+decomposition and always agree on the allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .memory_usage import padded_texture_extent
+from .resources import TargetLimits
+
+__all__ = ["TileRect", "folded_layout", "tile_grid", "tiled_texture_bytes"]
+
+
+@dataclass(frozen=True)
+class TileRect:
+    """One rectangular tile of a folded 2-D layout.
+
+    ``row0``/``col0`` locate the tile inside the folded layout;
+    ``rows``/``cols`` are its live extent (edge tiles are smaller than
+    the interior ones).
+    """
+
+    index: int
+    row0: int
+    col0: int
+    rows: int
+    cols: int
+
+    @property
+    def element_count(self) -> int:
+        return self.rows * self.cols
+
+
+def _largest_divisor_up_to(value: int, bound: int) -> int:
+    """Largest divisor of ``value`` that is ``<= bound`` (at least 1)."""
+    best = 1
+    divisor = 1
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            low, high = divisor, value // divisor
+            if low <= bound:
+                best = max(best, low)
+            if high <= bound:
+                best = max(best, high)
+        divisor += 1
+    return best
+
+
+def folded_layout(layout: Tuple[int, int], limits: TargetLimits) -> Tuple[int, int]:
+    """Fold an overlong single-row layout into multiple rows.
+
+    Only 1-D streams (``rows == 1``) are folded, and only when the fold
+    is exact: the chosen width is the largest divisor of the element
+    count not exceeding ``limits.max_texture_size``, so no padding
+    elements are ever introduced (padding would corrupt reductions).
+    Layouts that fit the device, multi-row layouts, and counts with no
+    useful divisor (primes) are returned unchanged - the tiler handles
+    whatever still overflows.
+    """
+    rows, cols = layout
+    if rows != 1 or cols <= limits.max_texture_size:
+        return layout
+    width = _largest_divisor_up_to(cols, limits.max_texture_size)
+    if width <= 1:
+        return layout
+    return (cols // width, width)
+
+
+def tile_grid(layout: Tuple[int, int], limits: TargetLimits) -> List[TileRect]:
+    """Partition a (folded) layout into device-sized tiles, row-major.
+
+    Returns a single full-extent tile when the layout already fits the
+    device.  Tiles never exceed ``max_texture_size`` in either dimension;
+    the per-tile power-of-two / square-texture padding is left to the
+    allocation path, exactly as for ordinary streams.
+    """
+    rows, cols = layout
+    step = int(limits.max_texture_size)
+    tiles: List[TileRect] = []
+    index = 0
+    for row0 in range(0, rows, step):
+        for col0 in range(0, cols, step):
+            tiles.append(TileRect(
+                index=index,
+                row0=row0,
+                col0=col0,
+                rows=min(step, rows - row0),
+                cols=min(step, cols - col0),
+            ))
+            index += 1
+    return tiles
+
+
+def tiled_texture_bytes(layout: Tuple[int, int], limits: TargetLimits,
+                        texels_per_element: int = 1) -> int:
+    """Bytes actually allocated for ``layout`` under ``limits``.
+
+    Sums the padded per-tile texture extents of the folded-and-tiled
+    decomposition; for layouts that fit the device this equals the
+    single padded texture of the ordinary allocation path.
+    """
+    folded = folded_layout(layout, limits)
+    total = 0
+    for tile in tile_grid(folded, limits):
+        tex_w, tex_h = padded_texture_extent(tile.cols, tile.rows, limits)
+        total += tex_w * tex_h * texels_per_element * 4
+    return total

@@ -28,6 +28,7 @@ from .reduction import ReductionResult, multipass_reduce
 from .runtime import BrookModule, BrookRuntime
 from .shape import StreamShape
 from .stream import Stream
+from .tiling import TilePlan, TiledStorage
 
 __all__ = [
     "BrookRuntime",
@@ -40,6 +41,8 @@ __all__ = [
     "FusedPipeline",
     "QueuedLaunch",
     "CommandQueue",
+    "TilePlan",
+    "TiledStorage",
     "KernelLaunchRecord",
     "TransferRecord",
     "RunStatistics",

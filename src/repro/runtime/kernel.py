@@ -130,7 +130,8 @@ class KernelHandle:
                     )
         return bindings
 
-    def _coerce_scalar(self, param_name: str, value: object) -> float:
+    def _coerce_scalar(self, param: ast.KernelParam, value: object) -> float:
+        param_name = param.name
         array = np.asarray(value)
         if array.size != 1:
             raise KernelLaunchError(
@@ -141,12 +142,22 @@ class KernelHandle:
         # array.item() extracts the single value regardless of ndim
         # (float() of a size-1 1-d array is an error on NumPy >= 2.0).
         try:
-            return float(array.item())
+            coerced = float(array.item())
         except (TypeError, ValueError) as exc:
             raise KernelLaunchError(
                 f"argument {param_name!r} of {self.original_name!r} is not "
                 f"convertible to a float scalar: {exc}"
             ) from exc
+        # An int parameter silently truncating 2.7 to 2 would make the
+        # kernel run over the wrong domain/trip count without any
+        # diagnostic; refuse non-integral values outright.
+        if param.type.is_integer and not float(coerced).is_integer():
+            raise KernelLaunchError(
+                f"argument {param_name!r} of {self.original_name!r} is an "
+                f"int scalar constant; {coerced!r} has a fractional part "
+                "(pass a whole number instead of relying on truncation)"
+            )
+        return coerced
 
     def _classify(self, kernel_def: ast.FunctionDef, bindings: Dict[str, object]):
         stream_args: Dict[str, Stream] = {}
@@ -162,7 +173,7 @@ class KernelHandle:
             elif param.kind is ParamKind.GATHER:
                 gather_args[param.name] = value
             elif param.kind is ParamKind.SCALAR:
-                scalar_args[param.name] = self._coerce_scalar(param.name, value)
+                scalar_args[param.name] = self._coerce_scalar(param, value)
             elif param.kind is ParamKind.OUT_STREAM:
                 out_args[param.name] = value
         return stream_args, gather_args, scalar_args, out_args

@@ -40,6 +40,7 @@ from ..core.compiler import CompiledKernel
 from ..core.transforms.fuse import fuse_compiled
 from ..errors import FusionError, KernelLaunchError
 from .stream import Stream
+from .tiling import TiledStorage, launch_tile_plan, launch_tiled, tiled_reduce
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core import ast_nodes as ast
@@ -78,6 +79,12 @@ class LaunchPlan:
                 for piece in (handle.program.kernel(name)
                               for name in handle.piece_names)
             ]
+            # Tiled dispatch keys on the bound storages (the CPU backend
+            # never tiles, whatever the domain size); resolved once here
+            # so repeated launches skip the lookup.  Every piece of a
+            # split kernel shares the domain, hence the plan.
+            stream_args, _, _, out_args = self._pieces[0][1]
+            self._tile_plan = launch_tile_plan(stream_args, out_args)
 
     # ------------------------------------------------------------------ #
     @property
@@ -124,10 +131,16 @@ class LaunchPlan:
         backend = self.runtime.backend
         helpers = self.handle._helpers
         for piece, (stream_args, gather_args, scalar_args, out_args) in self._pieces:
-            records.append(backend.launch(
-                piece, helpers, self._domain,
-                stream_args, gather_args, scalar_args, out_args,
-            ))
+            if self._tile_plan is None:
+                records.append(backend.launch(
+                    piece, helpers, self._domain,
+                    stream_args, gather_args, scalar_args, out_args,
+                ))
+            else:
+                records.append(launch_tiled(
+                    backend, piece, helpers, self._domain, self._tile_plan,
+                    stream_args, gather_args, scalar_args, out_args,
+                ))
         return None
 
     # ------------------------------------------------------------------ #
@@ -163,9 +176,17 @@ class LaunchPlan:
                 self._reduce_piece, helpers, self._reduce_input, accumulator
             ))
             return accumulator.read()
-        value, record = backend.reduce(
-            self._reduce_piece, helpers, self._reduce_input
-        )
+        if isinstance(self._reduce_input.storage, TiledStorage):
+            # One reduction pass cannot sample across tile textures:
+            # reduce each tile, then combine the partials with the same
+            # kernel (see repro.runtime.tiling.tiled_reduce).
+            value, record = tiled_reduce(
+                backend, self._reduce_piece, helpers, self._reduce_input
+            )
+        else:
+            value, record = backend.reduce(
+                self._reduce_piece, helpers, self._reduce_input
+            )
         records.append(record)
         # If the caller passed a 1-element stream for the accumulator, fill it.
         if accumulator is not None:
@@ -214,6 +235,7 @@ class FusedPlan:
             {id(s): s for s in (*stream_args.values(), *gather_args.values(),
                                 *out_args.values())}.values()
         )
+        self._tile_plan = launch_tile_plan(stream_args, out_args)
 
     # ------------------------------------------------------------------ #
     @property
@@ -236,11 +258,21 @@ class FusedPlan:
         self.runtime._require_open()
         for stream in self._bound_streams:
             stream._require_live()
-        records.append(self.runtime.backend.launch(
-            self.kernel, self.helpers, self.domain,
-            self.stream_args, self.gather_args, self.scalar_args,
-            self.out_args,
-        ))
+        backend = self.runtime.backend
+        if self._tile_plan is None:
+            records.append(backend.launch(
+                self.kernel, self.helpers, self.domain,
+                self.stream_args, self.gather_args, self.scalar_args,
+                self.out_args,
+            ))
+        else:
+            # Fused pipelines tile like ordinary launches: the merged
+            # kernel runs once per tile of the shared domain.
+            records.append(launch_tiled(
+                backend, self.kernel, self.helpers, self.domain,
+                self._tile_plan, self.stream_args, self.gather_args,
+                self.scalar_args, self.out_args,
+            ))
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

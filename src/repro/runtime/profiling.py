@@ -20,12 +20,19 @@ __all__ = ["TransferRecord", "KernelLaunchRecord", "RunStatistics", "WallClockTi
 
 @dataclass(frozen=True)
 class TransferRecord:
-    """One host <-> device stream transfer."""
+    """One host <-> device stream transfer.
+
+    ``calls`` is the number of driver copy operations the transfer
+    needed - 1 for an ordinary stream, one per tile for a tiled stream
+    (each tile texture is uploaded/read back separately, and each call
+    pays the driver's fixed overhead in the cost model).
+    """
 
     stream: str
     direction: str  # "upload" or "download"
     bytes: int
     elements: int
+    calls: int = 1
 
 
 @dataclass(frozen=True)
@@ -45,6 +52,12 @@ class KernelLaunchRecord:
     #: fused launch avoided compared to running its source kernels
     #: separately; 0 for unfused launches.
     saved_intermediate_bytes: int = 0
+    #: Number of device-sized tiles the launch domain was partitioned
+    #: into by the tiled execution engine (1 for a domain that fits one
+    #: texture).  Each tile beyond the first costs a render-target /
+    #: texture-binding switch, priced by ``GPUModel``'s tiling-overhead
+    #: term.
+    tiles: int = 1
 
 
 @dataclass
@@ -74,6 +87,11 @@ class RunStatistics:
         self.launches.clear()
 
     # ------------------------------------------------------------------ #
+    @property
+    def transfer_calls(self) -> int:
+        """Driver copy operations across all recorded transfers."""
+        return sum(t.calls for t in self.transfers)
+
     @property
     def bytes_uploaded(self) -> int:
         return sum(t.bytes for t in self.transfers if t.direction == "upload")
@@ -112,6 +130,16 @@ class RunStatistics:
         """Intermediate stream traffic eliminated by fused launches."""
         return sum(l.saved_intermediate_bytes for l in self.launches)
 
+    @property
+    def extra_tiles(self) -> int:
+        """Tile switches performed beyond the first tile of each launch.
+
+        A launch over a domain that fits one texture contributes 0; a
+        launch tiled N ways contributes N - 1 render-target switches.
+        The GPU cost model charges each one its tiling-overhead term.
+        """
+        return sum(max(0, l.tiles - 1) for l in self.launches)
+
     def per_kernel(self) -> Dict[str, KernelLaunchRecord]:
         """Aggregate launch records by kernel name."""
         aggregated: Dict[str, KernelLaunchRecord] = {}
@@ -131,6 +159,7 @@ class RunStatistics:
                     saved_intermediate_bytes=(
                         existing.saved_intermediate_bytes
                         + record.saved_intermediate_bytes),
+                    tiles=max(existing.tiles, record.tiles),
                 )
         return aggregated
 
@@ -145,6 +174,7 @@ class RunStatistics:
             "elements": self.total_elements,
             "kernels_fused": self.kernels_fused,
             "saved_intermediate_bytes": self.saved_intermediate_bytes,
+            "extra_tiles": self.extra_tiles,
         }
 
 

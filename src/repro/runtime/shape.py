@@ -11,6 +11,15 @@ runtime therefore keeps, for every stream:
 
 All three are static: Brook Auto streams are statically sized, so the
 maximum GPU memory usage is known at compile/initialisation time.
+
+The flattened layout here is purely *logical* - it is what ``indexof``
+and host-side reshaping observe.  When the layout exceeds the device's
+``max_texture_size``, the backends store the stream differently: a long
+1-D stream is folded into multiple texture rows and anything still
+oversized is split across per-tile textures (see
+:mod:`repro.core.analysis.tiling` for the geometry and
+:mod:`repro.runtime.tiling` for the execution engine); the kernels and
+the host API never see that physical arrangement.
 """
 
 from __future__ import annotations
@@ -74,7 +83,13 @@ class StreamShape:
     # ------------------------------------------------------------------ #
     @property
     def rows(self) -> int:
-        """Rows of the flattened 2-D layout (all leading dims collapsed)."""
+        """Rows of the flattened 2-D layout (all leading dims collapsed).
+
+        A 1-D stream always maps to a single logical row; devices whose
+        texture width cannot hold that row store it *folded* into
+        multiple rows (``repro.core.analysis.tiling.folded_layout``)
+        without changing this logical layout.
+        """
         if self.rank == 1:
             return 1
         rows = 1

@@ -39,6 +39,13 @@ class GPUWorkload:
     #: each one pays the driver's fixed per-call cost in addition to the
     #: bandwidth term.
     transfer_calls: int = 2
+    #: Render-target / texture-binding switches performed by the tiled
+    #: execution engine: each launch over a domain split into N tiles
+    #: contributes N - 1 (``RunStatistics.extra_tiles``).  The per-tile
+    #: draw calls themselves are already counted in ``passes``; this
+    #: term prices only the extra FBO re-attachment and sampler rebinds
+    #: between tiles of one logical kernel.
+    tile_switches: int = 0
     #: Fraction of the device's effective ALU rate this kernel sustains.
     #: The calibration kernel (the Flops benchmark, straight-line MAD code)
     #: defines 1.0; kernels with heavy register pressure, transcendental
@@ -57,7 +64,8 @@ class GPUWorkload:
             texture_fetches=statistics.total_texture_fetches,
             bytes_to_device=statistics.bytes_uploaded,
             bytes_from_device=statistics.bytes_downloaded,
-            transfer_calls=len(statistics.transfers),
+            transfer_calls=statistics.transfer_calls,
+            tile_switches=statistics.extra_tiles,
         )
 
 
@@ -76,6 +84,11 @@ class GPUCostParameters:
     codec_ns_per_byte: float = 0.0
     #: Fixed driver cost of one texture upload / readback call.
     transfer_call_overhead_us: float = 200.0
+    #: Cost of switching to the next tile of a tiled launch (re-attach
+    #: the framebuffer colour target, rebind the input samplers); paid
+    #: once per tile beyond the first, on top of the ordinary per-pass
+    #: overhead the extra draw call already carries.
+    tile_switch_overhead_us: float = 120.0
 
     @classmethod
     def from_gles2_profile(cls, profile, codec_ns_per_byte: float = 2.0
@@ -90,6 +103,7 @@ class GPUCostParameters:
             fill_rate_mpixels=profile.fill_rate_mpixels,
             codec_ns_per_byte=codec_ns_per_byte,
             transfer_call_overhead_us=400.0,
+            tile_switch_overhead_us=160.0,
         )
 
     @classmethod
@@ -104,6 +118,7 @@ class GPUCostParameters:
             fill_rate_mpixels=profile.fill_rate_mpixels,
             codec_ns_per_byte=0.0,
             transfer_call_overhead_us=100.0,
+            tile_switch_overhead_us=40.0,
         )
 
 
@@ -134,6 +149,7 @@ class GPUModel:
         fill_s = workload.elements / (self.params.fill_rate_mpixels * 1e6) \
             if workload.elements else 0.0
         overhead_s = workload.passes * self.params.pass_overhead_us * 1e-6
+        overhead_s += self.tiling_overhead(workload.tile_switches)
         # The shader pipeline overlaps ALU work and texture fetches with
         # rasterization; the slower of the two dominates each pass.
         return overhead_s + max(compute_s + fetch_s, fill_s)
@@ -143,6 +159,21 @@ class GPUModel:
         if workload.passes < 0:
             raise TimingModelError("negative pass count")
         return self.transfer_time(workload) + self.kernel_time(workload)
+
+    def tiling_overhead(self, tile_switches: int) -> float:
+        """Modelled seconds spent switching between tiles of tiled launches.
+
+        The tiled execution engine runs one draw call per tile, so the
+        per-pass dispatch overhead of the extra tiles is already carried
+        by the workload's ``passes``.  This term adds the cost of moving
+        from one tile to the next *within* a logical kernel launch:
+        re-attaching the framebuffer colour target and rebinding the
+        input samplers, charged per tile beyond the first
+        (``RunStatistics.extra_tiles``).
+        """
+        if tile_switches < 0:
+            raise TimingModelError("negative tile switch count")
+        return tile_switches * self.params.tile_switch_overhead_us * 1e-6
 
     def fusion_savings(self, passes_saved: int,
                        intermediate_bytes: float) -> float:

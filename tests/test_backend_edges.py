@@ -62,10 +62,17 @@ class TestGLES2BackendEdges:
             backend.launch(kernel, {}, StreamShape.of((4, 4)),
                            {"a": a}, {}, {}, {"o": o1, "extra": o2})
 
-    def test_stream_too_large_for_device(self, gles2_runtime):
-        from repro.errors import GLES2Error
-        with pytest.raises(GLES2Error):
-            gles2_runtime.stream((4096, 4096))
+    def test_stream_larger_than_texture_limit_is_tiled(self, gles2_runtime):
+        """A stream exceeding GL_MAX_TEXTURE_SIZE used to raise at
+        allocation; the tiled execution engine now backs it with one
+        texture per device-sized tile."""
+        from repro.runtime.tiling import TiledStorage
+        stream = gles2_runtime.stream((4096, 4096))
+        assert isinstance(stream.storage, TiledStorage)
+        assert stream.storage.tile_count == 4
+        for tile_storage in stream.storage.tiles:
+            assert tile_storage.texture.width <= 2048
+            assert tile_storage.texture.height <= 2048
 
     def test_mali_device_allows_larger_streams(self):
         runtime = BrookRuntime(backend="gles2", device="mali-400")
