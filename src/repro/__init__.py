@@ -97,11 +97,13 @@ from .errors import (
     StreamError,
 )
 from .runtime import (
+    AsyncExecutor,
     BrookModule,
     BrookRuntime,
     CommandQueue,
     FusedPipeline,
     FusedPlan,
+    LaunchFuture,
     LaunchPlan,
     Stream,
     StreamShape,
@@ -116,6 +118,7 @@ from .backends import (
     register_backend,
     unregister_backend,
 )
+from .service import BrookService, KernelCall, ServiceRequest, ServiceResponse
 
 __version__ = "1.1.0"
 
@@ -128,6 +131,12 @@ __all__ = [
     "FusedPlan",
     "FusedPipeline",
     "CommandQueue",
+    "AsyncExecutor",
+    "LaunchFuture",
+    "BrookService",
+    "KernelCall",
+    "ServiceRequest",
+    "ServiceResponse",
     "Backend",
     "register_backend",
     "unregister_backend",

@@ -24,7 +24,8 @@ tile through :mod:`repro.runtime.tiling`, passing ``index_map`` so
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, TYPE_CHECKING
+import threading
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -55,10 +56,50 @@ class StreamStorage:
 
 
 class Backend(abc.ABC):
-    """Abstract execution backend."""
+    """Abstract execution backend.
+
+    Storage bookkeeping is thread-safe: streams may be created, released
+    (explicitly or by the garbage collector's weakref finalizer) and
+    inspected from any thread.  Subclasses call :meth:`_track_storage`
+    after allocating and :meth:`_untrack_storage` when freeing; the
+    latter is an atomic check-and-remove, so a ``Stream.close`` racing a
+    GC finalizer frees the device storage exactly once and the memory
+    accounting never goes negative.
+    """
 
     #: Short identifier ("cpu", "gles2", "cal").
     name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._storages: List[StreamStorage] = []
+        self._storage_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Thread-safe storage bookkeeping
+    # ------------------------------------------------------------------ #
+    def _track_storage(self, storage: "StreamStorage") -> None:
+        """Register freshly allocated storage with the accounting."""
+        with self._storage_lock:
+            self._storages.append(storage)
+
+    def _untrack_storage(self, storage: "StreamStorage") -> bool:
+        """Atomically remove ``storage`` from the accounting.
+
+        Returns ``True`` for exactly one of any number of concurrent
+        callers (the one that should release the underlying device
+        object) and ``False`` for the rest - this is what makes
+        ``free`` idempotent under a release/finalizer race.
+        """
+        with self._storage_lock:
+            if storage in self._storages:
+                self._storages.remove(storage)
+                return True
+            return False
+
+    def _tracked_storages(self) -> List["StreamStorage"]:
+        """Snapshot of the live storages (for accounting sums)."""
+        with self._storage_lock:
+            return list(self._storages)
 
     # ------------------------------------------------------------------ #
     # Capabilities

@@ -56,12 +56,12 @@ class CALBackend(Backend):
     name = "cal"
 
     def __init__(self, device: str = "radeon-hd3400"):
+        super().__init__()
         if isinstance(device, CALDeviceProfile):
             self.device = device
         else:
             self.device = get_cal_device(device)
         self.context = CALContext(self.device)
-        self._storages: list = []
 
     # ------------------------------------------------------------------ #
     def target_limits(self) -> TargetLimits:
@@ -76,7 +76,7 @@ class CALBackend(Backend):
             resource = self.context.alloc_resource(cols, rows, element_width,
                                                    name=name)
             storage = CALStreamStorage(shape, element_width, name, resource)
-            self._storages.append(storage)
+            self._track_storage(storage)
             return storage
         # Oversized (or folded) stream: one float32 resource per tile.
         tiles = []
@@ -88,7 +88,7 @@ class CALBackend(Backend):
             tiles.append(CALStreamStorage(tile_shape, element_width,
                                           tile_name, resource))
         storage = TiledStorage(shape, element_width, name, plan, tiles)
-        self._storages.append(storage)
+        self._track_storage(storage)
         return storage
 
     def upload(self, storage: StreamStorage, data: np.ndarray) -> TransferRecord:
@@ -138,8 +138,9 @@ class CALBackend(Backend):
         return storage.resource.read()
 
     def free(self, storage: StreamStorage) -> None:
-        if storage in self._storages:
-            self._storages.remove(storage)
+        # Atomic check-and-remove: a release racing the GC finalizer
+        # frees each CAL resource exactly once.
+        if self._untrack_storage(storage):
             if isinstance(storage, TiledStorage):
                 for tile_storage in storage.tiles:
                     self.context.free_resource(tile_storage.resource)

@@ -56,7 +56,7 @@ class CPUBackend(Backend):
     name = "cpu"
 
     def __init__(self) -> None:
-        self._storages: list = []
+        super().__init__()
 
     # ------------------------------------------------------------------ #
     def target_limits(self) -> TargetLimits:
@@ -85,7 +85,7 @@ class CPUBackend(Backend):
     def create_storage(self, shape: StreamShape, element_width: int,
                        name: str = "") -> CPUStreamStorage:
         storage = CPUStreamStorage(shape, element_width, name)
-        self._storages.append(storage)
+        self._track_storage(storage)
         return storage
 
     def upload(self, storage: CPUStreamStorage, data: np.ndarray) -> TransferRecord:
@@ -110,11 +110,10 @@ class CPUBackend(Backend):
         return storage.data
 
     def free(self, storage: CPUStreamStorage) -> None:
-        if storage in self._storages:
-            self._storages.remove(storage)
+        self._untrack_storage(storage)
 
     def device_memory_in_use(self) -> int:
-        return sum(s.size_bytes for s in self._storages)
+        return sum(s.size_bytes for s in self._tracked_storages())
 
     # ------------------------------------------------------------------ #
     def launch(

@@ -16,6 +16,7 @@ without any hard-coded wiring.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict
 
 import numpy as np
@@ -147,13 +148,18 @@ class GLES2Backend(Backend):
     name = "gles2"
 
     def __init__(self, device: str = "videocore-iv"):
+        super().__init__()
         if isinstance(device, GPUDeviceProfile):
             self.device = device
         else:
             self.device = get_device_profile(device)
         self.context = GLES2Context(self.device.limits)
         self._framebuffer: Framebuffer = self.context.create_framebuffer("brook-fbo")
-        self._storages: list = []
+        # A GL context is single-threaded: program/framebuffer binding is
+        # shared mutable state, so kernel passes serialize on this lock
+        # (one in-flight draw per device, like real hardware).  Transfers
+        # and host-side reductions do not take it.
+        self._exec_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def target_limits(self) -> TargetLimits:
@@ -174,7 +180,7 @@ class GLES2Backend(Backend):
             tex_w, tex_h = shape.texture_extent(limits)
             texture = self.context.create_texture(tex_w, tex_h, name=name)
             storage = GLES2StreamStorage(shape, element_width, name, texture)
-            self._storages.append(storage)
+            self._track_storage(storage)
             return storage
         # Oversized (or folded) stream: one RGBA8 texture per tile.
         tiles = []
@@ -186,7 +192,7 @@ class GLES2Backend(Backend):
             tiles.append(GLES2StreamStorage(tile_shape, element_width,
                                             tile_name, texture))
         storage = TiledStorage(shape, element_width, name, plan, tiles)
-        self._storages.append(storage)
+        self._track_storage(storage)
         return storage
 
     def upload(self, storage: StreamStorage, data: np.ndarray) -> TransferRecord:
@@ -245,8 +251,10 @@ class GLES2Backend(Backend):
         return decode_float_rgba8(storage.texture.data[:rows, :cols])
 
     def free(self, storage: StreamStorage) -> None:
-        if storage in self._storages:
-            self._storages.remove(storage)
+        # _untrack_storage is an atomic check-and-remove: when an
+        # explicit release races the GC finalizer only one caller gets
+        # True, so each texture is deleted exactly once.
+        if self._untrack_storage(storage):
             if isinstance(storage, TiledStorage):
                 for tile_storage in storage.tiles:
                     self.context.delete_texture(tile_storage.texture)
@@ -310,12 +318,13 @@ class GLES2Backend(Backend):
                  float(stream.storage.texture.height)),
             )
 
-        self.context.use_program(program)
-        self._framebuffer.attach_color(out_stream.storage.texture)
-        self.context.bind_framebuffer(self._framebuffer)
-        draw = self.context.draw_fullscreen_quad(viewport=(cols, rows))
-        self.context.bind_framebuffer(None)
-        self.context.use_program(None)
+        with self._exec_lock:
+            self.context.use_program(program)
+            self._framebuffer.attach_color(out_stream.storage.texture)
+            self.context.bind_framebuffer(self._framebuffer)
+            draw = self.context.draw_fullscreen_quad(viewport=(cols, rows))
+            self.context.bind_framebuffer(None)
+            self.context.use_program(None)
 
         return KernelLaunchRecord(
             kernel=kernel.name,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -38,6 +39,10 @@ class CALContext:
         self.resources: List[CALResource] = []
         self.dispatches: List[CALKernelStats] = []
         self.transfers = CALTransferStats()
+        # Resources are allocated/freed and traffic counted from
+        # arbitrary threads (stream finalizers included); list mutation
+        # and ``+=`` on the counters need the lock to stay exact.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def alloc_resource(self, width: int, height: int, components: int = 1,
@@ -46,20 +51,24 @@ class CALContext:
             width, height, components,
             max_size=self.device.max_resource_size, name=name,
         )
-        self.resources.append(resource)
+        with self._lock:
+            self.resources.append(resource)
         return resource
 
     def free_resource(self, resource: CALResource) -> None:
-        if resource in self.resources:
-            self.resources.remove(resource)
+        with self._lock:
+            if resource in self.resources:
+                self.resources.remove(resource)
 
     # ------------------------------------------------------------------ #
     def upload(self, resource: CALResource, values: np.ndarray) -> None:
         resource.write(values)
-        self.transfers.bytes_uploaded += resource.size_bytes
+        with self._lock:
+            self.transfers.bytes_uploaded += resource.size_bytes
 
     def download(self, resource: CALResource) -> np.ndarray:
-        self.transfers.bytes_downloaded += resource.size_bytes
+        with self._lock:
+            self.transfers.bytes_downloaded += resource.size_bytes
         return resource.read()
 
     # ------------------------------------------------------------------ #
@@ -72,7 +81,8 @@ class CALContext:
             kernel=kernel, domain_elements=domain_elements,
             flops=flops, fetches=fetches,
         )
-        self.dispatches.append(stats)
+        with self._lock:
+            self.dispatches.append(stats)
         return stats
 
     # ------------------------------------------------------------------ #
@@ -81,8 +91,10 @@ class CALContext:
         return len(self.dispatches)
 
     def device_memory_in_use(self) -> int:
-        return sum(r.size_bytes for r in self.resources)
+        with self._lock:
+            return sum(r.size_bytes for r in self.resources)
 
     def reset_statistics(self) -> None:
-        self.dispatches = []
-        self.transfers = CALTransferStats()
+        with self._lock:
+            self.dispatches = []
+            self.transfers = CALTransferStats()

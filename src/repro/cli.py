@@ -14,11 +14,15 @@ compiler is used in a build system:
   a chosen backend and validate it against its CPU reference.
 * ``brookauto backends`` - list the registered execution backends, their
   aliases and known device profiles (from the backend registry).
+* ``brookauto serve-bench`` - benchmark the concurrent serving layer
+  (:class:`repro.service.BrookService` pools vs. the serial baseline)
+  on the ADAS image pipeline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Optional
@@ -112,6 +116,26 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return evaluation_main([args.experiment])
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .service.bench import render_service_report, run_service_bench
+
+    pool_sizes = tuple(int(p) for p in args.pool_sizes.split(","))
+    payload = run_service_bench(
+        backend=args.backend,
+        device=args.device if args.backend != "cpu" else None,
+        size=args.size,
+        requests=args.requests,
+        pool_sizes=pool_sizes,
+        fuse=args.fuse,
+    )
+    print(render_service_report(payload))
+    if args.json:
+        pathlib.Path(args.json).write_text(json.dumps(payload, indent=2,
+                                                      default=str) + "\n")
+        print(f"results written to {args.json}")
+    return 0 if payload["bitwise_identical"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="brookauto",
@@ -150,6 +174,23 @@ def build_parser() -> argparse.ArgumentParser:
     backends_parser = sub.add_parser(
         "backends", help="list registered execution backends")
     backends_parser.set_defaults(func=_cmd_backends)
+
+    serve_parser = sub.add_parser(
+        "serve-bench",
+        help="benchmark the concurrent serving layer (BrookService pools)")
+    serve_parser.add_argument("--backend", default="cpu",
+                              choices=available_backends())
+    serve_parser.add_argument("--device", default=None)
+    serve_parser.add_argument("--size", type=int, default=32,
+                              help="frame edge length of the ADAS pipeline")
+    serve_parser.add_argument("--requests", type=int, default=64)
+    serve_parser.add_argument("--pool-sizes", default="1,2,4",
+                              help="comma-separated worker pool sizes")
+    serve_parser.add_argument("--fuse", default="pipeline",
+                              choices=("pipeline", "queue", "off"))
+    serve_parser.add_argument("--json", default=None,
+                              help="also write the raw results to this file")
+    serve_parser.set_defaults(func=_cmd_serve_bench)
 
     eval_parser = sub.add_parser("evaluate", help="regenerate the paper's figures")
     eval_parser.add_argument("experiment", nargs="?", default="all",

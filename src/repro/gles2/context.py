@@ -9,6 +9,7 @@ model consumes - the simulation itself is functional, not timed.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -54,23 +55,33 @@ class GLES2Context:
         self._bound_program: Optional[ShaderProgram] = None
         self.draw_calls: List[DrawStats] = []
         self.transfers = TransferStats()
+        # Guards the texture/framebuffer lists and the traffic counters:
+        # streams are created, transferred and freed from arbitrary
+        # threads (including GC finalizer threads), and check-then-remove
+        # or ``+=`` on shared counters is not atomic.  Draw-call state
+        # (bound program/framebuffer) is serialized one level up by the
+        # backend's execution lock, as on real single-threaded contexts.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Object creation
     # ------------------------------------------------------------------ #
     def create_texture(self, width: int, height: int, name: str = "") -> Texture2D:
         texture = Texture2D(width, height, self.limits, name=name)
-        self.textures.append(texture)
+        with self._lock:
+            self.textures.append(texture)
         return texture
 
     def create_framebuffer(self, name: str = "") -> Framebuffer:
         framebuffer = Framebuffer(name=name)
-        self.framebuffers.append(framebuffer)
+        with self._lock:
+            self.framebuffers.append(framebuffer)
         return framebuffer
 
     def delete_texture(self, texture: Texture2D) -> None:
-        if texture in self.textures:
-            self.textures.remove(texture)
+        with self._lock:
+            if texture in self.textures:
+                self.textures.remove(texture)
 
     # ------------------------------------------------------------------ #
     # Data transfer (counted: this is the expensive host<->GPU path)
@@ -78,14 +89,16 @@ class GLES2Context:
     def upload(self, texture: Texture2D, rgba: np.ndarray) -> None:
         """Upload RGBA8 data into ``texture`` and count the traffic."""
         texture.tex_image_2d(rgba)
-        self.transfers.bytes_uploaded += texture.size_bytes
-        self.transfers.upload_calls += 1
+        with self._lock:
+            self.transfers.bytes_uploaded += texture.size_bytes
+            self.transfers.upload_calls += 1
 
     def download(self, texture: Texture2D) -> np.ndarray:
         """Read back the texture contents and count the traffic."""
         data = texture.read_pixels()
-        self.transfers.bytes_downloaded += texture.size_bytes
-        self.transfers.download_calls += 1
+        with self._lock:
+            self.transfers.bytes_downloaded += texture.size_bytes
+            self.transfers.download_calls += 1
         return data
 
     # ------------------------------------------------------------------ #
@@ -164,7 +177,8 @@ class GLES2Context:
             texture_fetches=fetches_after - fetches_before,
             flops=int(flops),
         )
-        self.draw_calls.append(stats)
+        with self._lock:
+            self.draw_calls.append(stats)
         return stats
 
     # ------------------------------------------------------------------ #
@@ -180,9 +194,11 @@ class GLES2Context:
 
     def reset_statistics(self) -> None:
         """Clear draw/transfer counters (texture contents are preserved)."""
-        self.draw_calls = []
-        self.transfers = TransferStats()
+        with self._lock:
+            self.draw_calls = []
+            self.transfers = TransferStats()
 
     def device_memory_in_use(self) -> int:
         """Bytes of texture memory currently allocated."""
-        return sum(t.size_bytes for t in self.textures)
+        with self._lock:
+            return sum(t.size_bytes for t in self.textures)

@@ -7,8 +7,18 @@ compiled programs, :meth:`KernelHandle.bind` prepares reusable
 :class:`CommandQueue` batching launches, and ``BrookRuntime.fuse()``
 merges producer -> consumer plans into :class:`FusedPipeline` objects
 that skip materialising the intermediate streams.
+
+Concurrency: a runtime is safe to share between threads (the compile
+cache, statistics and storage accounting are lock-protected; command
+queues are per-thread), and ``BrookRuntime.executor()`` returns an
+:class:`AsyncExecutor` that overlaps independent launches on a worker
+pool while stream-level hazard tracking keeps conflicting launches in
+submission order - bit-identical to serial execution.  The
+:mod:`repro.service` package builds the multi-runtime serving layer on
+top.
 """
 
+from .executor import AsyncExecutor, LaunchFuture
 from .kernel import KernelHandle
 from .launch import (
     CommandQueue,
@@ -41,6 +51,8 @@ __all__ = [
     "FusedPipeline",
     "QueuedLaunch",
     "CommandQueue",
+    "AsyncExecutor",
+    "LaunchFuture",
     "TilePlan",
     "TiledStorage",
     "KernelLaunchRecord",

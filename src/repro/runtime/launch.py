@@ -502,6 +502,15 @@ class CommandQueue:
     use an explicit ``rt.fuse`` pipeline.  Fusion re-runs per flush -
     long-lived services that launch the same pipeline repeatedly should
     prepare it once with ``rt.fuse([...])`` instead.
+
+    Command queues are **per-thread** objects: the runtime's
+    active-queue stack is thread-local, so a queue only captures kernel
+    calls made by the thread that activated it - launches issued
+    concurrently by other threads sharing the runtime execute
+    immediately instead of being silently deferred.  A queue instance
+    itself must not be shared between threads; for cross-thread
+    asynchronous execution use
+    :class:`~repro.runtime.executor.AsyncExecutor`.
     """
 
     def __init__(self, runtime: "BrookRuntime", fuse: bool = False):

@@ -11,6 +11,7 @@ into modelled execution times for a chosen platform.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -60,19 +61,57 @@ class KernelLaunchRecord:
     tiles: int = 1
 
 
+def _aggregate_records(transfers: List[TransferRecord],
+                       launches: List[KernelLaunchRecord]) -> Dict[str, float]:
+    """Every aggregate metric, computed from one snapshot of the records.
+
+    Single source of truth for the formulas: the :class:`RunStatistics`
+    properties and :meth:`RunStatistics.summary` both read from here, so
+    they can never drift apart.
+    """
+    return {
+        "transfer_calls": sum(t.calls for t in transfers),
+        "bytes_uploaded": sum(t.bytes for t in transfers
+                              if t.direction == "upload"),
+        "bytes_downloaded": sum(t.bytes for t in transfers
+                                if t.direction == "download"),
+        "passes": sum(l.passes for l in launches),
+        "flops": sum(l.flops for l in launches),
+        "texture_fetches": sum(l.texture_fetches for l in launches),
+        "elements": sum(l.elements for l in launches),
+        "kernels_fused": sum(max(0, l.fused - 1) for l in launches),
+        "saved_intermediate_bytes": sum(l.saved_intermediate_bytes
+                                        for l in launches),
+        "extra_tiles": sum(max(0, l.tiles - 1) for l in launches),
+    }
+
+
 @dataclass
 class RunStatistics:
-    """Accumulated statistics of a runtime instance."""
+    """Accumulated statistics of a runtime instance.
+
+    Recording and reading are thread-safe: concurrent launches (for
+    example through :class:`~repro.runtime.executor.AsyncExecutor` or a
+    runtime shared between request threads) never drop records, and
+    :meth:`summary` always reflects one consistent snapshot even while
+    another thread calls :meth:`clear`.  The record lists themselves are
+    only ever appended to or swapped wholesale, so snapshot reads are a
+    single ``list()`` copy under the lock.
+    """
 
     transfers: List[TransferRecord] = field(default_factory=list)
     launches: List[KernelLaunchRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     def record_transfer(self, record: TransferRecord) -> None:
-        self.transfers.append(record)
+        with self._lock:
+            self.transfers.append(record)
 
     def record_launch(self, record: KernelLaunchRecord) -> None:
-        self.launches.append(record)
+        with self._lock:
+            self.launches.append(record)
 
     def record_launches(self, records) -> None:
         """Record a batch of launch records in one operation.
@@ -80,41 +119,53 @@ class RunStatistics:
         Used by launch plans and the command queue, which collect the
         records of a whole flush before registering them.
         """
-        self.launches.extend(records)
+        with self._lock:
+            self.launches.extend(records)
 
     def clear(self) -> None:
-        self.transfers.clear()
-        self.launches.clear()
+        # Replace instead of mutating in place so a concurrent snapshot
+        # observes either the old record lists or the (empty) new ones,
+        # never a half-cleared state.
+        with self._lock:
+            self.transfers = []
+            self.launches = []
+
+    def _snapshot(self) -> "tuple[List[TransferRecord], List[KernelLaunchRecord]]":
+        with self._lock:
+            return list(self.transfers), list(self.launches)
+
+    def _metric(self, key: str) -> int:
+        return _aggregate_records(*self._snapshot())[key]
 
     # ------------------------------------------------------------------ #
     @property
     def transfer_calls(self) -> int:
         """Driver copy operations across all recorded transfers."""
-        return sum(t.calls for t in self.transfers)
+        return self._metric("transfer_calls")
 
     @property
     def bytes_uploaded(self) -> int:
-        return sum(t.bytes for t in self.transfers if t.direction == "upload")
+        return self._metric("bytes_uploaded")
 
     @property
     def bytes_downloaded(self) -> int:
-        return sum(t.bytes for t in self.transfers if t.direction == "download")
+        return self._metric("bytes_downloaded")
 
     @property
     def total_passes(self) -> int:
-        return sum(l.passes for l in self.launches)
+        return self._metric("passes")
 
     @property
     def total_flops(self) -> int:
-        return sum(l.flops for l in self.launches)
+        return self._metric("flops")
 
     @property
     def total_texture_fetches(self) -> int:
-        return sum(l.texture_fetches for l in self.launches)
+        return self._metric("texture_fetches")
 
     @property
     def total_elements(self) -> int:
-        return sum(l.elements for l in self.launches)
+        return self._metric("elements")
 
     @property
     def kernels_fused(self) -> int:
@@ -123,12 +174,12 @@ class RunStatistics:
         Each merge is one kernel pass that did not have to run separately
         (the fusion transform's saved dispatch overhead).
         """
-        return sum(max(0, l.fused - 1) for l in self.launches)
+        return self._metric("kernels_fused")
 
     @property
     def saved_intermediate_bytes(self) -> int:
         """Intermediate stream traffic eliminated by fused launches."""
-        return sum(l.saved_intermediate_bytes for l in self.launches)
+        return self._metric("saved_intermediate_bytes")
 
     @property
     def extra_tiles(self) -> int:
@@ -138,12 +189,13 @@ class RunStatistics:
         launch tiled N ways contributes N - 1 render-target switches.
         The GPU cost model charges each one its tiling-overhead term.
         """
-        return sum(max(0, l.tiles - 1) for l in self.launches)
+        return self._metric("extra_tiles")
 
     def per_kernel(self) -> Dict[str, KernelLaunchRecord]:
         """Aggregate launch records by kernel name."""
+        _, launches = self._snapshot()
         aggregated: Dict[str, KernelLaunchRecord] = {}
-        for record in self.launches:
+        for record in launches:
             existing = aggregated.get(record.kernel)
             if existing is None:
                 aggregated[record.kernel] = record
@@ -164,18 +216,16 @@ class RunStatistics:
         return aggregated
 
     def summary(self) -> Dict[str, float]:
-        """Flat summary dictionary (useful for logging and tests)."""
-        return {
-            "bytes_uploaded": self.bytes_uploaded,
-            "bytes_downloaded": self.bytes_downloaded,
-            "passes": self.total_passes,
-            "flops": self.total_flops,
-            "texture_fetches": self.total_texture_fetches,
-            "elements": self.total_elements,
-            "kernels_fused": self.kernels_fused,
-            "saved_intermediate_bytes": self.saved_intermediate_bytes,
-            "extra_tiles": self.extra_tiles,
-        }
+        """Flat summary dictionary (useful for logging and tests).
+
+        Computed from one snapshot of the record lists, so every entry of
+        the returned dictionary describes the same moment in time even
+        when launches are being recorded - or the statistics reset -
+        concurrently.
+        """
+        aggregated = _aggregate_records(*self._snapshot())
+        del aggregated["transfer_calls"]   # not part of the summary keys
+        return aggregated
 
 
 class WallClockTimer:

@@ -36,6 +36,7 @@ Service-grade pieces for long-lived processes:
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple, Union
@@ -133,10 +134,17 @@ class BrookRuntime:
         self._streams: "weakref.WeakSet[Stream]" = weakref.WeakSet()
         self._compile_cache: "OrderedDict[Tuple[str, str, str], CompiledProgram]" = \
             OrderedDict()
+        # The LRU OrderedDict is shared by every thread using this
+        # runtime; insert/evict/move_to_end are not atomic, so all cache
+        # operations (and the hit/miss counters) run under this lock.
+        self._compile_cache_lock = threading.Lock()
         self._compile_cache_size = max(0, int(compile_cache_size))
         self._compile_cache_hits = 0
         self._compile_cache_misses = 0
-        self._queues: List[CommandQueue] = []
+        # Command queues are *per-thread* state: a ``with rt.queue():``
+        # block must only capture kernel launches issued by the thread
+        # that opened it, never launches other threads issue concurrently.
+        self._queue_tls = threading.local()
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -159,11 +167,12 @@ class BrookRuntime:
         if self._closed:
             return
         self._closed = True
-        self._queues.clear()
+        self._queue_stack().clear()
         for stream in list(self._streams):
             stream.release()
         self._streams.clear()
-        self._compile_cache.clear()
+        with self._compile_cache_lock:
+            self._compile_cache.clear()
 
     def __enter__(self) -> "BrookRuntime":
         self._require_open()
@@ -212,31 +221,41 @@ class BrookRuntime:
         options.scalarize = scalarize
 
         key = (source, filename, options.fingerprint())
-        program = self._compile_cache.get(key)
-        if program is not None:
-            self._compile_cache_hits += 1
-            self._compile_cache.move_to_end(key)
-        else:
-            self._compile_cache_misses += 1
+        with self._compile_cache_lock:
+            program = self._compile_cache.get(key)
+            if program is not None:
+                self._compile_cache_hits += 1
+                self._compile_cache.move_to_end(key)
+        if program is None:
+            # Compile outside the lock: concurrent compiles of *different*
+            # sources overlap instead of serializing on the cache.  Two
+            # threads compiling the same source may both miss and compile;
+            # the second insert simply wins, which is harmless (the
+            # programs are equivalent).
             program = BrookAutoCompiler(options).compile(source, filename)
-            if self._compile_cache_size > 0:
-                self._compile_cache[key] = program
-                while len(self._compile_cache) > self._compile_cache_size:
-                    self._compile_cache.popitem(last=False)
+            with self._compile_cache_lock:
+                self._compile_cache_misses += 1
+                if self._compile_cache_size > 0:
+                    self._compile_cache[key] = program
+                    self._compile_cache.move_to_end(key)
+                    while len(self._compile_cache) > self._compile_cache_size:
+                        self._compile_cache.popitem(last=False)
         return BrookModule(self, program)
 
     def compile_cache_info(self) -> Dict[str, int]:
         """Hit/miss counters and current occupancy of the compile cache."""
-        return {
-            "hits": self._compile_cache_hits,
-            "misses": self._compile_cache_misses,
-            "entries": len(self._compile_cache),
-            "capacity": self._compile_cache_size,
-        }
+        with self._compile_cache_lock:
+            return {
+                "hits": self._compile_cache_hits,
+                "misses": self._compile_cache_misses,
+                "entries": len(self._compile_cache),
+                "capacity": self._compile_cache_size,
+            }
 
     def clear_compile_cache(self) -> None:
         """Drop every cached compilation (counters keep accumulating)."""
-        self._compile_cache.clear()
+        with self._compile_cache_lock:
+            self._compile_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Streams
@@ -343,17 +362,55 @@ class BrookRuntime:
         self._require_open()
         return build_fused_pipeline(self, plans)
 
+    def _queue_stack(self) -> List[CommandQueue]:
+        """The *calling thread's* stack of active command queues.
+
+        Thread-local on purpose: a queue opened in one thread must not
+        silently capture (and defer) kernel launches issued by other
+        threads sharing the runtime.
+        """
+        stack = getattr(self._queue_tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._queue_tls.stack = stack
+        return stack
+
     @property
     def _active_queue(self) -> Optional[CommandQueue]:
-        return self._queues[-1] if self._queues else None
+        stack = self._queue_stack()
+        return stack[-1] if stack else None
 
     def _push_queue(self, queue: CommandQueue) -> None:
         self._require_open()
-        self._queues.append(queue)
+        self._queue_stack().append(queue)
 
     def _pop_queue(self, queue: CommandQueue) -> None:
-        if queue in self._queues:
-            self._queues.remove(queue)
+        stack = self._queue_stack()
+        if queue in stack:
+            stack.remove(queue)
+
+    # ------------------------------------------------------------------ #
+    # Asynchronous execution
+    # ------------------------------------------------------------------ #
+    def executor(self, workers: int = 2) -> "AsyncExecutor":
+        """An :class:`~repro.runtime.executor.AsyncExecutor` for this runtime.
+
+        Submitted launch plans run on a pool of worker threads;
+        stream-level hazard tracking overlaps independent launches while
+        serializing conflicting ones in submission order, so results are
+        bit-identical to launching the plans serially.
+
+        .. code-block:: python
+
+            with rt.executor(workers=4) as ex:
+                futures = [ex.submit(plan) for plan in plans]
+                for future in futures:
+                    future.wait()
+        """
+        self._require_open()
+        from .executor import AsyncExecutor
+
+        return AsyncExecutor(self, workers=workers)
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -112,8 +112,14 @@ class Stream:
     def release(self) -> None:
         """Free the device storage (the handle becomes unusable).
 
-        Safe to call more than once; releasing also happens automatically
-        when the handle is garbage collected or its runtime is closed.
+        Safe to call more than once and from any thread; releasing also
+        happens automatically when the handle is garbage collected or
+        its runtime is closed.  The release is serialized against the GC
+        finalizer twice over: ``weakref.finalize`` invokes its callback
+        at most once, and the backend's ``free`` is an atomic
+        check-and-remove, so the device storage is freed exactly once
+        and the backend's memory accounting never goes negative even
+        when an explicit ``release`` races the collector.
         """
         self._finalizer()
 

@@ -35,6 +35,7 @@ fused pipelines all tile without application changes.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -166,6 +167,7 @@ class TiledStorage:
         self.plan = plan
         self.tiles = tiles
         self._stitched_view: Optional[np.ndarray] = None
+        self._view_lock = threading.Lock()
 
     @property
     def tile_count(self) -> int:
@@ -178,13 +180,18 @@ class TiledStorage:
         Stitching decodes every tile; gathers during a tiled launch would
         otherwise redo that work once per tile pass.  Every write path
         (upload, tiled launch outputs) calls :meth:`invalidate_view`.
+        The memo is built under a lock so concurrent readers (launches
+        gathering from the same tiled stream on different executor
+        workers) share one stitch instead of racing the cache slot.
         """
-        if self._stitched_view is None:
-            self._stitched_view = build()
-        return self._stitched_view
+        with self._view_lock:
+            if self._stitched_view is None:
+                self._stitched_view = build()
+            return self._stitched_view
 
     def invalidate_view(self) -> None:
-        self._stitched_view = None
+        with self._view_lock:
+            self._stitched_view = None
 
     @property
     def size_bytes(self) -> int:

@@ -1,0 +1,474 @@
+"""The multi-runtime serving layer.
+
+:class:`BrookService` owns a pool of worker runtimes (one
+:class:`~repro.runtime.runtime.BrookRuntime` per worker thread) and
+dispatches self-contained :class:`~repro.service.request.ServiceRequest`
+objects to the least-loaded worker.  Each worker keeps a bounded LRU
+cache of *prepared* requests keyed by request signature: the compiled
+module, the input/output streams and the bound launch plans - fused into
+a single-pass :class:`~repro.runtime.launch.FusedPipeline` when fusion
+is enabled - are built once and reused for every later request with the
+same signature, so steady-state serving only pays for writing the input
+data, launching the prepared pass(es) and reading the outputs.
+
+Execution modes (the ``fuse`` argument):
+
+* ``"pipeline"`` (default, also ``True``) - prepared requests are fused
+  once with ``rt.fuse``; repeat requests launch the cached pipeline.
+* ``"queue"`` - each drained batch of requests flushes through one
+  ``rt.queue(fuse=True)``: fusion re-runs per flush, statistics are
+  recorded in bulk.  Mirrors what a client batching launches by hand
+  would get.
+* ``"off"`` (also ``False``/``None``) - prepared plans launch serially,
+  one pass per kernel call.
+
+Every mode produces bit-identical outputs to executing the request's
+calls serially on a single runtime; the modes only differ in how many
+passes (and how much per-request overhead) they pay.
+
+Requests are independent by construction (each signature owns distinct
+streams), and the per-runtime state the workers share - compile cache,
+statistics, stream table, backend storage accounting - is thread-safe,
+so a service is safe to drive from many client threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from queue import Empty, Queue
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.compiler import CompilerOptions
+from ..errors import RuntimeBrookError
+from ..runtime.runtime import BrookRuntime
+from .request import ServiceFuture, ServiceRequest, ServiceResponse
+
+__all__ = ["BrookService"]
+
+_STOP = object()
+
+#: Completed-request latencies kept for the percentile report.  Bounded
+#: so a service handling heavy traffic for days does not grow without
+#: limit; the counters stay exact, only the percentile window slides.
+LATENCY_WINDOW = 65536
+
+
+class _PendingItem:
+    """One submitted request travelling through a worker queue."""
+
+    __slots__ = ("request", "future", "submitted_at")
+
+    def __init__(self, request: ServiceRequest, future: ServiceFuture):
+        self.request = request
+        self.future = future
+        self.submitted_at = time.perf_counter()
+
+
+class _PreparedRequest:
+    """Cache entry: streams + prepared plans for one request signature."""
+
+    __slots__ = ("streams", "plans", "pipeline")
+
+    def __init__(self, streams, plans, pipeline):
+        self.streams = streams
+        self.plans = plans
+        self.pipeline = pipeline
+
+    def release(self) -> None:
+        for stream in self.streams.values():
+            stream.release()
+
+
+class _ServiceWorker:
+    """One pool worker: a runtime, its thread and its prepared-plan cache."""
+
+    def __init__(self, service: "BrookService", index: int):
+        self.service = service
+        self.index = index
+        self.runtime = BrookRuntime(
+            backend=service.backend_name,
+            device=service.device,
+            compiler_options=service._compiler_options,
+        )
+        self.queue: "Queue[object]" = Queue()
+        #: Requests dispatched to this worker and not completed yet
+        #: (maintained by the service under its dispatch lock).
+        self.outstanding = 0
+        self.requests_served = 0
+        self._cache: "OrderedDict[Tuple, _PreparedRequest]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self.thread = threading.Thread(
+            target=self._run, name=f"brook-service-{index}", daemon=True)
+        self.thread.start()
+
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is _STOP:
+                break
+            batch: List[_PendingItem] = [item]
+            while len(batch) < self.service.max_batch:
+                try:
+                    extra = self.queue.get_nowait()
+                except Empty:
+                    break
+                if extra is _STOP:
+                    # Re-queue the sentinel so the drain still terminates
+                    # after this batch is processed.
+                    self.queue.put(_STOP)
+                    break
+                batch.append(extra)
+            self._process_batch(batch)
+        self.runtime.close()
+
+    # ------------------------------------------------------------------ #
+    def _entry_for(self, request: ServiceRequest,
+                   evicted: List[_PreparedRequest]
+                   ) -> "Tuple[_PreparedRequest, bool]":
+        key = request.signature()
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache_hits += 1
+            self._cache.move_to_end(key)
+            return entry, True
+        self._cache_misses += 1
+        rt = self.runtime
+        module = rt.compile(request.source)
+        streams = {}
+        for name, array in request.inputs.items():
+            streams[name] = rt.stream(array.shape, name=name)
+        for name, dims in request.outputs.items():
+            streams[name] = rt.stream(dims, name=name)
+        for name, dims in request.scratch.items():
+            streams[name] = rt.stream(dims, name=name)
+        plans = []
+        for one_call in request.calls:
+            handle = module.kernel(one_call.kernel)
+            args = [streams[arg] if isinstance(arg, str) else arg
+                    for arg in one_call.args]
+            plans.append(handle.bind(*args))
+        pipeline = rt.fuse(plans) if self.service.mode == "pipeline" else None
+        entry = _PreparedRequest(streams, plans, pipeline)
+        self._cache[key] = entry
+        while len(self._cache) > self.service.plan_cache_size:
+            # Defer the stream release to the caller: an evicted entry
+            # may still be referenced by an earlier request of the batch
+            # currently being processed.
+            evicted.append(self._cache.popitem(last=False)[1])
+        return entry, False
+
+    def _process_batch(self, batch: List[_PendingItem]) -> None:
+        resolved: List[Tuple[_PendingItem, _PreparedRequest, bool]] = []
+        evicted: List[_PreparedRequest] = []
+        for item in batch:
+            try:
+                entry, cached = self._entry_for(item.request, evicted)
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                self.service._complete(self, item, None, exc)
+            else:
+                resolved.append((item, entry, cached))
+        # Requests sharing a cache entry share streams, so they cannot be
+        # in flight inside the same flush - split the batch into rounds
+        # of pairwise-distinct entries, preserving submission order.
+        round_items: List[Tuple[_PendingItem, _PreparedRequest, bool]] = []
+        seen = set()
+        for record in resolved:
+            if id(record[1]) in seen:
+                self._run_round(round_items)
+                round_items, seen = [], set()
+            round_items.append(record)
+            seen.add(id(record[1]))
+        if round_items:
+            self._run_round(round_items)
+        for entry in evicted:
+            entry.release()
+
+    def _run_round(self, round_items) -> None:
+        if not round_items:
+            return
+        started = time.perf_counter()
+        completed = 0
+        try:
+            for item, entry, _ in round_items:
+                for name, array in item.request.inputs.items():
+                    entry.streams[name].write(array)
+            values: List[Optional[float]] = []
+            if self.service.mode == "queue" and len(round_items) >= 1:
+                # One fusing flush for the whole round: adjacent
+                # producer->consumer launches inside each request merge,
+                # statistics are recorded in one bulk operation.
+                with self.runtime.queue(fuse=True) as q:
+                    for _, entry, _ in round_items:
+                        for plan in entry.plans:
+                            q.submit(plan)
+                    results = q.flush()
+                offset = 0
+                for _, entry, _ in round_items:
+                    offset += len(entry.plans)
+                    values.append(results[offset - 1])
+            else:
+                for _, entry, _ in round_items:
+                    if entry.pipeline is not None:
+                        values.append(entry.pipeline.launch())
+                    else:
+                        value = None
+                        for plan in entry.plans:
+                            value = plan.launch()
+                        values.append(value)
+            elapsed = time.perf_counter() - started
+            per_request = elapsed / len(round_items)
+            for (item, entry, cached), value in zip(round_items, values):
+                outputs = {name: entry.streams[name].read()
+                           for name in item.request.outputs}
+                response = ServiceResponse(
+                    name=item.request.name,
+                    outputs=outputs,
+                    value=value,
+                    worker=self.index,
+                    latency_s=time.perf_counter() - item.submitted_at,
+                    execute_s=per_request,
+                    cached=cached,
+                )
+                self.service._complete(self, item, response, None)
+                completed += 1
+        except BaseException as exc:  # noqa: BLE001 - forwarded
+            for item, _, _ in round_items[completed:]:
+                self.service._complete(self, item, None, exc)
+
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._cache),
+            "capacity": self.service.plan_cache_size,
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+        }
+
+
+class BrookService:
+    """A pool of worker runtimes serving pipeline requests concurrently.
+
+    .. code-block:: python
+
+        from repro.service import BrookService, ServiceRequest, call
+
+        with BrookService(backend="cpu", pool_size=4) as service:
+            future = service.submit(request)       # ServiceFuture
+            response = future.result()             # ServiceResponse
+            print(service.service_report())
+
+    Args:
+        backend: Registered backend name for every worker runtime.
+        device: Device profile handed to GPU backends.
+        pool_size: Number of worker runtimes (and threads).
+        fuse: Execution mode - ``"pipeline"``/``True`` (prepared fused
+            pipelines, the fastest steady state), ``"queue"`` (batched
+            ``CommandQueue(fuse=True)`` flushes) or ``"off"``/``False``
+            (one pass per kernel call).
+        max_batch: Upper bound on requests a worker drains into one
+            processing round.
+        plan_cache_size: Prepared request signatures kept per worker
+            (least recently used entries are evicted and their streams
+            released).
+        compiler_options: Base compiler options for the worker runtimes.
+    """
+
+    def __init__(
+        self,
+        backend: str = "cpu",
+        device: Optional[str] = None,
+        pool_size: int = 2,
+        fuse: Union[bool, str, None] = True,
+        max_batch: int = 8,
+        plan_cache_size: int = 32,
+        compiler_options: Optional[CompilerOptions] = None,
+    ):
+        if pool_size < 1:
+            raise RuntimeBrookError("BrookService needs at least one worker")
+        if fuse in (True, "pipeline"):
+            self.mode = "pipeline"
+        elif fuse == "queue":
+            self.mode = "queue"
+        elif fuse in (False, None, "off"):
+            self.mode = "off"
+        else:
+            raise RuntimeBrookError(
+                f"unknown fuse mode {fuse!r}; expected 'pipeline', 'queue' "
+                "or 'off'"
+            )
+        self.backend_name = backend
+        self.device = device
+        self.pool_size = int(pool_size)
+        self.max_batch = max(1, int(max_batch))
+        self.plan_cache_size = max(1, int(plan_cache_size))
+        self._compiler_options = compiler_options
+        self._dispatch_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._completed = 0
+        self._failed = 0
+        self._latencies: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+        self._first_submit: Optional[float] = None
+        self._last_done: Optional[float] = None
+        self._closed = False
+        self.workers = [_ServiceWorker(self, index)
+                        for index in range(self.pool_size)]
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, request: ServiceRequest) -> ServiceFuture:
+        """Dispatch ``request`` to the least-loaded worker runtime."""
+        if not isinstance(request, ServiceRequest):
+            raise RuntimeBrookError(
+                "BrookService.submit expects a ServiceRequest")
+        future = ServiceFuture(request)
+        item = _PendingItem(request, future)
+        # Enqueue under the dispatch lock: a concurrent close() also
+        # takes it before appending the stop sentinels, so a request
+        # that passed the closed check can never land behind a sentinel
+        # (where no worker would ever process it).
+        with self._dispatch_lock:
+            if self._closed:
+                raise RuntimeBrookError("service has been closed")
+            worker = min(self.workers, key=lambda w: w.outstanding)
+            worker.outstanding += 1
+            worker.queue.put(item)
+        with self._stats_lock:
+            if self._first_submit is None:
+                self._first_submit = item.submitted_at
+        return future
+
+    def process(self, request: ServiceRequest) -> ServiceResponse:
+        """Submit one request and block for its response."""
+        return self.submit(request).result()
+
+    def map(self, requests) -> List[ServiceResponse]:
+        """Submit every request, then collect the responses in order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Completion bookkeeping (called from worker threads)
+    # ------------------------------------------------------------------ #
+    def _complete(self, worker: _ServiceWorker, item: _PendingItem,
+                  response: Optional[ServiceResponse],
+                  error: Optional[BaseException]) -> None:
+        now = time.perf_counter()
+        with self._dispatch_lock:
+            worker.outstanding -= 1
+        with self._stats_lock:
+            self._last_done = now
+            if error is None:
+                worker.requests_served += 1
+                self._completed += 1
+                self._latencies.append(now - item.submitted_at)
+            else:
+                self._failed += 1
+        if error is None:
+            item.future._set_result(response)
+        else:
+            item.future._set_exception(error)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def service_report(self) -> Dict[str, object]:
+        """Aggregated serving statistics across the worker pool.
+
+        Latency percentiles cover the most recent ``LATENCY_WINDOW``
+        completed requests since construction (or the last
+        :meth:`reset_service_stats`); the request counters stay exact.
+        ``requests_per_s`` divides completions by the span from first
+        submission to last completion.  ``device_totals`` sums each
+        worker runtime's
+        :meth:`~repro.runtime.profiling.RunStatistics.summary`.
+        """
+        with self._stats_lock:
+            latencies = list(self._latencies)
+            completed = self._completed
+            failed = self._failed
+            first = self._first_submit
+            last = self._last_done
+        elapsed = max(0.0, (last or 0.0) - (first or 0.0))
+        latency_ms: Dict[str, float] = {}
+        if latencies:
+            array = np.asarray(latencies) * 1e3
+            latency_ms = {
+                "mean": float(array.mean()),
+                "p50": float(np.percentile(array, 50)),
+                "p95": float(np.percentile(array, 95)),
+                "max": float(array.max()),
+            }
+        device_totals: Dict[str, float] = {}
+        worker_rows = []
+        for worker in self.workers:
+            summary = worker.runtime.statistics.summary()
+            for key, value in summary.items():
+                device_totals[key] = device_totals.get(key, 0) + value
+            worker_rows.append({
+                "index": worker.index,
+                "requests": worker.requests_served,
+                "outstanding": worker.outstanding,
+                "plan_cache": worker.cache_info(),
+                "compile_cache": worker.runtime.compile_cache_info(),
+            })
+        return {
+            "backend": self.backend_name,
+            "device": self.device,
+            "pool_size": self.pool_size,
+            "mode": self.mode,
+            "requests_completed": completed,
+            "requests_failed": failed,
+            "elapsed_s": elapsed,
+            "requests_per_s": (completed / elapsed) if elapsed > 0 else 0.0,
+            "latency_ms": latency_ms,
+            "workers": worker_rows,
+            "device_totals": device_totals,
+        }
+
+    def reset_service_stats(self) -> None:
+        """Forget latency/throughput history (worker caches are kept)."""
+        with self._stats_lock:
+            self._latencies = deque(maxlen=LATENCY_WINDOW)
+            self._completed = 0
+            self._failed = 0
+            self._first_submit = None
+            self._last_done = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Drain every dispatched request, then stop the worker pool.
+
+        Safe to call more than once.  Requests submitted before the
+        close complete normally; submitting afterwards raises.
+        """
+        with self._dispatch_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for worker in self.workers:
+                worker.queue.put(_STOP)
+        for worker in self.workers:
+            worker.thread.join()
+
+    def __enter__(self) -> "BrookService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<BrookService backend={self.backend_name!r} "
+                f"pool={self.pool_size} mode={self.mode!r}>")
