@@ -70,9 +70,25 @@ class Backend(abc.ABC):
     #: Short identifier ("cpu", "gles2", "cal").
     name: str = "abstract"
 
+    #: Whether gather fetches clamp to the array edge (texture-unit
+    #: semantics).  The CPU backend sets this to ``False``: its direct
+    #: host-memory gathers treat out-of-bounds indices as hard errors.
+    #: The sharded halo gather sources replicate whichever behaviour
+    #: the owning backend declares here.
+    gather_clamps: bool = True
+
     def __init__(self) -> None:
         self._storages: List[StreamStorage] = []
         self._storage_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Release backend-owned execution resources (worker pools).
+
+        The default backend owns nothing beyond its storages (which the
+        runtime releases stream by stream); composite backends - the
+        sharded device group - override this to stop their workers.
+        Called by :meth:`BrookRuntime.close`.
+        """
 
     # ------------------------------------------------------------------ #
     # Thread-safe storage bookkeeping
@@ -155,21 +171,30 @@ class Backend(abc.ABC):
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
+    def make_gather_source(self, data: np.ndarray) -> GatherSource:
+        """Wrap an array in this backend's flavour of gather access.
+
+        The default is the clamping (texture-unit style) source; the CPU
+        backend overrides it with its bounds-checked direct access.  The
+        sharded execution engine uses this hook to build whole-array and
+        halo-band sources with the owning backend's edge semantics.
+        """
+        return ClampingGatherSource(data)
+
     def prepare_gathers(
         self,
         gather_args: Dict[str, "Stream"],
     ) -> Dict[str, GatherSource]:
         """Build the gather sources for one logical launch.
 
-        The default wraps each gather array's ``device_view`` in a
-        clamping (texture-unit style) source; the CPU backend overrides
-        this with its bounds-checked direct access.  The tiled execution
-        engine calls this once per logical launch and shares the result
-        across the tile passes, so gather data is snapshot - and, for
-        RGBA8 storage, decoded - a single time.
+        Wraps each gather array's ``device_view`` via
+        :meth:`make_gather_source`.  The tiled execution engine calls
+        this once per logical launch and shares the result across the
+        tile passes, so gather data is snapshot - and, for RGBA8
+        storage, decoded - a single time.
         """
         return {
-            name: ClampingGatherSource(self.device_view(stream.storage))
+            name: self.make_gather_source(self.device_view(stream.storage))
             for name, stream in gather_args.items()
         }
 

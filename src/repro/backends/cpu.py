@@ -55,6 +55,9 @@ class CPUBackend(Backend):
 
     name = "cpu"
 
+    #: Direct host-memory gathers: out-of-bounds indices are hard errors.
+    gather_clamps = False
+
     def __init__(self) -> None:
         super().__init__()
 
@@ -75,12 +78,9 @@ class CPUBackend(Backend):
         )
 
     # ------------------------------------------------------------------ #
-    def prepare_gathers(self, gather_args):
+    def make_gather_source(self, data):
         """Direct (bounds-checked) host-memory access, no clamping."""
-        return {
-            name: NumpyGatherSource(stream.storage.data)
-            for name, stream in gather_args.items()
-        }
+        return NumpyGatherSource(data)
 
     def create_storage(self, shape: StreamShape, element_width: int,
                        name: str = "") -> CPUStreamStorage:

@@ -302,11 +302,12 @@ class GLES2Backend(Backend):
         for name, stream in stream_args.items():
             program.bind_texture(f"__stream_{name}", stream.storage.texture)
         for name, stream in gather_args.items():
-            if isinstance(stream.storage, TiledStorage):
-                # A tiled gather array spans several textures; the gather
-                # source above already samples the stitched logical data,
-                # so only the dimension uniform is set (from the logical
-                # layout the kernel indexes into).
+            if getattr(stream.storage, "texture", None) is None:
+                # A tiled or sharded gather array spans several textures
+                # (possibly on other devices); the gather source above
+                # already samples the stitched logical data, so only the
+                # dimension uniform is set (from the logical layout the
+                # kernel indexes into).
                 g_rows, g_cols = stream.storage.shape.layout_2d
                 program.set_uniform(f"__dim_{name}",
                                     (float(g_cols), float(g_rows)))

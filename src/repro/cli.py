@@ -120,14 +120,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from .service.bench import render_service_report, run_service_bench
 
     pool_sizes = tuple(int(p) for p in args.pool_sizes.split(","))
-    payload = run_service_bench(
-        backend=args.backend,
-        device=args.device if args.backend != "cpu" else None,
-        size=args.size,
-        requests=args.requests,
-        pool_sizes=pool_sizes,
-        fuse=args.fuse,
-    )
+    try:
+        payload = run_service_bench(
+            backend=args.backend,
+            device=args.device if args.backend != "cpu" else None,
+            size=args.size,
+            requests=args.requests,
+            pool_sizes=pool_sizes,
+            fuse=args.fuse,
+            devices=args.devices,
+        )
+    except BrookError as error:
+        # Degenerate configurations (pool sizes / device counts < 1)
+        # report a one-line diagnostic instead of a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(render_service_report(payload))
     if args.json:
         pathlib.Path(args.json).write_text(json.dumps(payload, indent=2,
@@ -186,6 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--requests", type=int, default=64)
     serve_parser.add_argument("--pool-sizes", default="1,2,4",
                               help="comma-separated worker pool sizes")
+    serve_parser.add_argument("--devices", type=int, default=1,
+                              help="devices per worker runtime: each request "
+                                   "is sharded across a device group")
     serve_parser.add_argument("--fuse", default="pipeline",
                               choices=("pipeline", "queue", "off"))
     serve_parser.add_argument("--json", default=None,

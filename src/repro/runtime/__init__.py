@@ -37,6 +37,7 @@ from .profiling import KernelLaunchRecord, RunStatistics, TransferRecord, WallCl
 from .reduction import ReductionResult, multipass_reduce
 from .runtime import BrookModule, BrookRuntime
 from .shape import StreamShape
+from .sharding import HaloGatherSource, ShardedStorage
 from .stream import Stream
 from .tiling import TilePlan, TiledStorage
 
@@ -55,6 +56,8 @@ __all__ = [
     "LaunchFuture",
     "TilePlan",
     "TiledStorage",
+    "ShardedStorage",
+    "HaloGatherSource",
     "KernelLaunchRecord",
     "TransferRecord",
     "RunStatistics",

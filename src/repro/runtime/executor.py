@@ -47,7 +47,6 @@ from typing import Dict, List, Optional, Set
 
 from ..errors import KernelLaunchError, RuntimeBrookError
 from .launch import FusedPipeline, FusedPlan, LaunchPlan
-from .stream import Stream
 
 __all__ = ["AsyncExecutor", "LaunchFuture"]
 
@@ -119,40 +118,56 @@ class _Task:
         self.write_ids: List[int] = []
 
 
-def _collect_hazards(plan: object, reads: Dict[int, Stream],
-                     writes: Dict[int, Stream]) -> None:
-    """Fill ``reads``/``writes`` with the streams ``plan`` touches."""
+def _hazard_ids(stream: object) -> "tuple[int, ...]":
+    """Hazard-table keys of one stream: its shards, or the stream itself.
+
+    On a sharded runtime a stream is backed by one storage per device;
+    tracking each shard storage as its own hazard unit keeps the tables
+    at shard granularity, so future partial-stream work (per-band
+    reductions, shard-local pipelines) serializes only against the
+    shards it actually touches.  Whole-stream launches conflict on every
+    shard, which degenerates to exactly the stream-level behaviour.
+    """
+    storage = getattr(stream, "storage", None)
+    shards = getattr(storage, "shards", None)
+    if shards:
+        return tuple(id(shard) for shard in shards)
+    return (id(stream),)
+
+
+def _collect_hazards(plan: object, reads: Set[int], writes: Set[int]) -> None:
+    """Fill ``reads``/``writes`` with the hazard units ``plan`` touches."""
     if isinstance(plan, FusedPipeline):
         for segment, _ in plan.segments:
             _collect_hazards(segment, reads, writes)
         return
     if isinstance(plan, FusedPlan):
         for stream in (*plan.stream_args.values(), *plan.gather_args.values()):
-            reads[id(stream)] = stream
+            reads.update(_hazard_ids(stream))
         for stream in plan.out_args.values():
-            writes[id(stream)] = stream
+            writes.update(_hazard_ids(stream))
         return
     if isinstance(plan, LaunchPlan):
         if plan.is_reduction:
-            reads[id(plan._reduce_input)] = plan._reduce_input
+            reads.update(_hazard_ids(plan._reduce_input))
             accumulator = plan._accumulator
             if accumulator is not None:
                 # The runtime reads partial-reduction accumulators back
                 # after writing them, so they count as both.
-                reads[id(accumulator)] = accumulator
-                writes[id(accumulator)] = accumulator
+                reads.update(_hazard_ids(accumulator))
+                writes.update(_hazard_ids(accumulator))
             return
         for _, (stream_args, gather_args, _, out_args) in plan._pieces:
             for stream in (*stream_args.values(), *gather_args.values()):
-                reads[id(stream)] = stream
+                reads.update(_hazard_ids(stream))
             for stream in out_args.values():
-                writes[id(stream)] = stream
+                writes.update(_hazard_ids(stream))
         return
     # Unknown plan-like object: be conservative and treat every bound
     # stream as read *and* written (full serialization against overlaps).
     for stream in getattr(plan, "_bound_streams", ()):
-        reads[id(stream)] = stream
-        writes[id(stream)] = stream
+        reads.update(_hazard_ids(stream))
+        writes.update(_hazard_ids(stream))
 
 
 class AsyncExecutor:
@@ -177,6 +192,7 @@ class AsyncExecutor:
         self._submitted = 0
         self._shutdown = False
         self._discard = False
+        self._stopped = threading.Event()
         self._threads = [
             threading.Thread(target=self._worker, name=f"brook-exec-{i}",
                              daemon=True)
@@ -208,8 +224,8 @@ class AsyncExecutor:
             raise KernelLaunchError(
                 "cannot submit a launch plan from a different runtime")
 
-        reads: Dict[int, Stream] = {}
-        writes: Dict[int, Stream] = {}
+        reads: Set[int] = set()
+        writes: Set[int] = set()
         _collect_hazards(plan, reads, writes)
 
         future = LaunchFuture(plan)
@@ -338,28 +354,49 @@ class AsyncExecutor:
                                        timeout)
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the workers.  Safe to call more than once.
+        """Stop the workers.  Safe to call more than once, from any thread.
 
         With ``wait=True`` (default) every submission drains first; with
         ``wait=False`` launches that have not started fail their futures
-        with :class:`RuntimeBrookError` instead of executing.
+        with :class:`RuntimeBrookError` instead of executing.  Exactly
+        one caller performs the teardown: a concurrent second call never
+        injects the stop sentinels ahead of still-queued launches (which
+        would strand them and hang the draining caller); it simply waits
+        for the winner to finish.
         """
         with self._lock:
-            if self._shutdown:
-                already = True
-            else:
-                already = False
-                self._shutdown = True
-                if not wait:
-                    self._discard = True
-        if not already and wait:
-            self.wait_all()
-        for _ in self._threads:
-            self._ready.put(None)
-        for thread in self._threads:
-            if thread is not threading.current_thread():
-                thread.join()
-        self._threads = []
+            first = not self._shutdown
+            self._shutdown = True
+            if first and not wait:
+                self._discard = True
+        if not first:
+            if wait:
+                self._stopped.wait()
+            return
+        try:
+            if wait:
+                self.wait_all()
+            for _ in self._threads:
+                self._ready.put(None)
+            for thread in self._threads:
+                if thread is not threading.current_thread():
+                    thread.join()
+            self._threads = []
+        finally:
+            # Always release concurrent callers blocked on _stopped -
+            # even when the winning teardown is interrupted mid-drain
+            # (KeyboardInterrupt), a later close() must not hang.
+            self._stopped.set()
+
+    def close(self) -> None:
+        """Drain every in-flight submission, then stop the workers.
+
+        Alias of :meth:`shutdown` with ``wait=True``: futures submitted
+        before the close complete normally (or carry their launch's
+        exception); submitting afterwards raises.  Never hangs on
+        concurrent closes and never leaks worker threads.
+        """
+        self.shutdown(wait=True)
 
     def __enter__(self) -> "AsyncExecutor":
         return self

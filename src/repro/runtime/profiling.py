@@ -59,6 +59,15 @@ class KernelLaunchRecord:
     #: texture-binding switch, priced by ``GPUModel``'s tiling-overhead
     #: term.
     tiles: int = 1
+    #: Number of devices the launch was sharded across by the
+    #: multi-device execution engine (1 for a single-device launch).
+    #: Each shard beyond the first costs a cross-device dispatch,
+    #: priced by ``GPUModel``'s sharding-overhead term.
+    shards: int = 1
+    #: Bytes of halo-exchange / replication traffic the sharded launch
+    #: moved between devices (stencil halos and whole-array gather
+    #: copies); 0 for single-device launches.
+    halo_bytes: int = 0
 
 
 def _aggregate_records(transfers: List[TransferRecord],
@@ -83,6 +92,8 @@ def _aggregate_records(transfers: List[TransferRecord],
         "saved_intermediate_bytes": sum(l.saved_intermediate_bytes
                                         for l in launches),
         "extra_tiles": sum(max(0, l.tiles - 1) for l in launches),
+        "extra_shards": sum(max(0, l.shards - 1) for l in launches),
+        "halo_bytes": sum(l.halo_bytes for l in launches),
     }
 
 
@@ -191,6 +202,21 @@ class RunStatistics:
         """
         return self._metric("extra_tiles")
 
+    @property
+    def extra_shards(self) -> int:
+        """Cross-device shard dispatches beyond each launch's first shard.
+
+        A single-device launch contributes 0; a launch sharded across N
+        devices contributes N - 1.  The GPU cost model charges each one
+        its shard-dispatch overhead term.
+        """
+        return self._metric("extra_shards")
+
+    @property
+    def halo_bytes(self) -> int:
+        """Halo-exchange / replication bytes moved between devices."""
+        return self._metric("halo_bytes")
+
     def per_kernel(self) -> Dict[str, KernelLaunchRecord]:
         """Aggregate launch records by kernel name."""
         _, launches = self._snapshot()
@@ -212,6 +238,8 @@ class RunStatistics:
                         existing.saved_intermediate_bytes
                         + record.saved_intermediate_bytes),
                     tiles=max(existing.tiles, record.tiles),
+                    shards=max(existing.shards, record.shards),
+                    halo_bytes=existing.halo_bytes + record.halo_bytes,
                 )
         return aggregated
 

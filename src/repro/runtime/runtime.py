@@ -107,6 +107,7 @@ class BrookRuntime:
         device: Optional[str] = None,
         compiler_options: Optional[CompilerOptions] = None,
         compile_cache_size: int = 64,
+        devices: int = 1,
     ):
         """
         Args:
@@ -121,11 +122,40 @@ class BrookRuntime:
             compile_cache_size: Maximum number of compiled programs kept in
                 the compile cache (least recently used entries are evicted;
                 ``0`` disables caching).
+            devices: Number of devices to open.  With ``devices=N > 1``
+                the runtime constructs ``N`` backends of the requested
+                kind and shards every stream and launch across them (see
+                :mod:`repro.runtime.sharding`); kernel launches stay
+                bit-identical to ``devices=1``, and reductions combine
+                per-device partials with the same kernel (bit-identical
+                for exactly associative operators, reassociated floating
+                point otherwise - the tiled-reduction caveat).  Pass an
+                already constructed
+                :class:`~repro.backends.sharded.ShardedBackend` as
+                ``backend`` to use custom device instances.
         """
+        devices = int(devices)
+        if devices < 1:
+            raise RuntimeBrookError(
+                f"BrookRuntime needs at least one device, got devices={devices}"
+            )
         if isinstance(backend, Backend):
+            if devices != 1:
+                raise RuntimeBrookError(
+                    "devices=N requires a backend name so the runtime can "
+                    "construct one backend per device; wrap pre-built "
+                    "instances in repro.backends.sharded.ShardedBackend "
+                    "instead"
+                )
             self.backend = backend
-        else:
+        elif devices == 1:
             self.backend = create_backend(backend, device)
+        else:
+            from ..backends.sharded import ShardedBackend
+
+            self.backend = ShardedBackend([
+                create_backend(backend, device) for _ in range(devices)
+            ])
         self._base_options = compiler_options
         self.statistics = RunStatistics()
         # Weak references only: a stream freed by the garbage collector
@@ -173,6 +203,7 @@ class BrookRuntime:
         self._streams.clear()
         with self._compile_cache_lock:
             self._compile_cache.clear()
+        self.backend.close()
 
     def __enter__(self) -> "BrookRuntime":
         self._require_open()
@@ -415,6 +446,11 @@ class BrookRuntime:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    @property
+    def device_count(self) -> int:
+        """Number of devices this runtime executes on (1 unless sharded)."""
+        return getattr(self.backend, "device_count", 1)
+
     def reset_statistics(self) -> None:
         self.statistics.clear()
 

@@ -286,6 +286,8 @@ def launch_tiled(
     gather_args: Dict[str, object],
     scalar_args: Dict[str, float],
     out_args: Dict[str, object],
+    gathers=None,
+    origin: "tuple[int, int]" = (0, 0),
 ) -> KernelLaunchRecord:
     """Run one kernel over an oversized domain as one pass per tile.
 
@@ -294,11 +296,24 @@ def launch_tiled(
     (the backend builds its usual full-array gather source from the
     stitched ``device_view``).  Scalars broadcast unchanged.  Returns
     the aggregated launch record (``tiles=N``).
+
+    ``gathers`` optionally supplies prebuilt gather sources so an outer
+    engine (the sharded launch path) can share one snapshot across both
+    its shards and their tiles.  ``origin`` is an ``(x, y)`` offset
+    added to every tile's ``indexof`` positions: a sharded-and-tiled
+    launch passes the shard's origin so kernels observe coordinates in
+    the full logical stream, not the shard band.
     """
     records: List[KernelLaunchRecord] = []
     # One gather snapshot for the whole logical launch: every tile pass
     # reads the same sources instead of re-decoding the arrays per tile.
-    prepared_gathers = backend.prepare_gathers(gather_args)
+    # (Audited: for in-place launches - the gather source also being the
+    # output stream - this matches the untiled backends, which likewise
+    # snapshot the gather data before any output is written, so a tile
+    # pass never observes an earlier tile's writes.  Regression-locked
+    # by tests/test_tiled_execution.py::TestGatherSnapshotSemantics.)
+    prepared_gathers = gathers if gathers is not None \
+        else backend.prepare_gathers(gather_args)
     try:
         for tile in plan.tiles:
             tile_shape = plan.tile_shape(tile)
@@ -306,10 +321,13 @@ def launch_tiled(
                             for name, stream in stream_args.items()}
             tile_outs = {name: _tile_view(stream, plan, tile, tile_shape)
                          for name, stream in out_args.items()}
+            index_map = plan.tile_index_positions(tile)
+            if origin != (0, 0):
+                index_map = index_map + np.asarray(origin, dtype=np.float32)
             records.append(backend.launch(
                 kernel, helpers, tile_shape,
                 tile_streams, gather_args, scalar_args, tile_outs,
-                index_map=plan.tile_index_positions(tile),
+                index_map=index_map,
                 gathers=prepared_gathers,
             ))
     finally:

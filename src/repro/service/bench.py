@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..apps.image_filter import BROOK_SOURCE as FILTER_SOURCE, FILTER_3X3
+from ..errors import RuntimeBrookError
 from ..runtime import BrookRuntime
 from .request import KernelCall, ServiceRequest
 from .service import BrookService
@@ -181,6 +182,7 @@ def run_service_bench(
     frames: int = 8,
     fuse: object = True,
     seed: int = 0,
+    devices: int = 1,
 ) -> Dict[str, object]:
     """Benchmark ``BrookService`` pools against the serial baseline.
 
@@ -189,7 +191,18 @@ def run_service_bench(
     (with one warm-up pass over the distinct frames so the steady state
     is measured, like a long-lived service).  Checks every service
     response bit-identical to the baseline output for the same frame.
+    With ``devices=N`` every pool worker opens a sharded runtime, so
+    each request additionally fans out across a device group - the
+    bit-exactness check then also covers the sharded execution path.
     """
+    if int(devices) < 1:
+        raise RuntimeBrookError(
+            f"serve-bench needs at least one device per worker, got "
+            f"devices={devices}")
+    for pool_size in pool_sizes:
+        if int(pool_size) < 1:
+            raise RuntimeBrookError(
+                f"serve-bench needs pool sizes >= 1, got {pool_size}")
     frame_data = make_frames(size, frames, seed)
     request_list = [
         build_adas_request(size, frame_data[i % frames], name=f"req{i}")
@@ -202,7 +215,8 @@ def run_service_bench(
     bitwise_all = True
     for pool_size in pool_sizes:
         with BrookService(backend=backend, device=device,
-                          pool_size=pool_size, fuse=fuse) as service:
+                          pool_size=pool_size, fuse=fuse,
+                          devices=devices) as service:
             # Warm-up: let every worker prepare the pipeline signature.
             warmup = [build_adas_request(size, frame_data[0], name="warmup")
                       for _ in range(pool_size)]
@@ -226,6 +240,7 @@ def run_service_bench(
         "benchmark": "service",
         "backend": backend,
         "device": device,
+        "devices": devices,
         "pipeline": {
             "app": "image_filter",
             "stages": list(STAGES),

@@ -92,6 +92,7 @@ class _ServiceWorker:
         self.runtime = BrookRuntime(
             backend=service.backend_name,
             device=service.device,
+            devices=service.devices,
             compiler_options=service._compiler_options,
         )
         self.queue: "Queue[object]" = Queue()
@@ -277,6 +278,11 @@ class BrookService:
             (least recently used entries are evicted and their streams
             released).
         compiler_options: Base compiler options for the worker runtimes.
+        devices: Devices per worker runtime.  With ``devices=N > 1``
+            each worker opens a sharded runtime
+            (``BrookRuntime(devices=N)``), so one big request fans out
+            across a device group while the pool still serves requests
+            concurrently; responses stay bit-identical to ``devices=1``.
     """
 
     def __init__(
@@ -288,9 +294,27 @@ class BrookService:
         max_batch: int = 8,
         plan_cache_size: int = 32,
         compiler_options: Optional[CompilerOptions] = None,
+        devices: int = 1,
     ):
-        if pool_size < 1:
-            raise RuntimeBrookError("BrookService needs at least one worker")
+        # Degenerate configurations fail loudly and uniformly with a
+        # RuntimeBrookError instead of being silently clamped (or
+        # surfacing later as a ZeroDivisionError in batching math).
+        if int(pool_size) < 1:
+            raise RuntimeBrookError(
+                f"BrookService needs at least one worker, got "
+                f"pool_size={pool_size}")
+        if int(max_batch) < 1:
+            raise RuntimeBrookError(
+                f"BrookService needs max_batch >= 1, got "
+                f"max_batch={max_batch}")
+        if int(plan_cache_size) < 1:
+            raise RuntimeBrookError(
+                f"BrookService needs plan_cache_size >= 1, got "
+                f"plan_cache_size={plan_cache_size}")
+        if int(devices) < 1:
+            raise RuntimeBrookError(
+                f"BrookService needs at least one device per worker, got "
+                f"devices={devices}")
         if fuse in (True, "pipeline"):
             self.mode = "pipeline"
         elif fuse == "queue":
@@ -305,8 +329,9 @@ class BrookService:
         self.backend_name = backend
         self.device = device
         self.pool_size = int(pool_size)
-        self.max_batch = max(1, int(max_batch))
-        self.plan_cache_size = max(1, int(plan_cache_size))
+        self.devices = int(devices)
+        self.max_batch = int(max_batch)
+        self.plan_cache_size = int(plan_cache_size)
         self._compiler_options = compiler_options
         self._dispatch_lock = threading.Lock()
         self._stats_lock = threading.Lock()
@@ -422,6 +447,7 @@ class BrookService:
             "backend": self.backend_name,
             "device": self.device,
             "pool_size": self.pool_size,
+            "devices": self.devices,
             "mode": self.mode,
             "requests_completed": completed,
             "requests_failed": failed,

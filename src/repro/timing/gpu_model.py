@@ -46,6 +46,15 @@ class GPUWorkload:
     #: term prices only the extra FBO re-attachment and sampler rebinds
     #: between tiles of one logical kernel.
     tile_switches: int = 0
+    #: Cross-device shard dispatches performed by the sharded execution
+    #: engine: each launch split across N devices contributes N - 1
+    #: (``RunStatistics.extra_shards``).  The per-shard passes are
+    #: already in ``passes``; this term prices only the extra dispatch
+    #: hand-off to each additional device.
+    shard_dispatches: int = 0
+    #: Bytes of halo-exchange / replication traffic moved between the
+    #: devices of a sharded launch (``RunStatistics.halo_bytes``).
+    halo_bytes: float = 0.0
     #: Fraction of the device's effective ALU rate this kernel sustains.
     #: The calibration kernel (the Flops benchmark, straight-line MAD code)
     #: defines 1.0; kernels with heavy register pressure, transcendental
@@ -66,6 +75,8 @@ class GPUWorkload:
             bytes_from_device=statistics.bytes_downloaded,
             transfer_calls=statistics.transfer_calls,
             tile_switches=statistics.extra_tiles,
+            shard_dispatches=statistics.extra_shards,
+            halo_bytes=statistics.halo_bytes,
         )
 
 
@@ -89,6 +100,16 @@ class GPUCostParameters:
     #: once per tile beyond the first, on top of the ordinary per-pass
     #: overhead the extra draw call already carries.
     tile_switch_overhead_us: float = 120.0
+    #: Cost of dispatching one shard of a sharded launch to an
+    #: additional device (driver hand-off, per-device uniform/sampler
+    #: setup); paid once per shard beyond the first.
+    shard_dispatch_overhead_us: float = 150.0
+    #: Bandwidth of the link halo-exchange traffic crosses between the
+    #: devices of a group.  The embedded boards the paper targets have
+    #: no peer-to-peer path, so exchanges stage through host memory at
+    #: the host-transfer rate by default; ``from_*_profile`` overrides
+    #: keep that coupling.
+    halo_gib_per_s: float = 1.0
 
     @classmethod
     def from_gles2_profile(cls, profile, codec_ns_per_byte: float = 2.0
@@ -104,6 +125,8 @@ class GPUCostParameters:
             codec_ns_per_byte=codec_ns_per_byte,
             transfer_call_overhead_us=400.0,
             tile_switch_overhead_us=160.0,
+            shard_dispatch_overhead_us=250.0,
+            halo_gib_per_s=profile.transfer_gib_per_s,
         )
 
     @classmethod
@@ -119,6 +142,8 @@ class GPUCostParameters:
             codec_ns_per_byte=0.0,
             transfer_call_overhead_us=100.0,
             tile_switch_overhead_us=40.0,
+            shard_dispatch_overhead_us=80.0,
+            halo_gib_per_s=profile.transfer_gib_per_s,
         )
 
 
@@ -150,6 +175,8 @@ class GPUModel:
             if workload.elements else 0.0
         overhead_s = workload.passes * self.params.pass_overhead_us * 1e-6
         overhead_s += self.tiling_overhead(workload.tile_switches)
+        overhead_s += self.sharding_overhead(workload.shard_dispatches,
+                                             workload.halo_bytes)
         # The shader pipeline overlaps ALU work and texture fetches with
         # rasterization; the slower of the two dominates each pass.
         return overhead_s + max(compute_s + fetch_s, fill_s)
@@ -174,6 +201,59 @@ class GPUModel:
         if tile_switches < 0:
             raise TimingModelError("negative tile switch count")
         return tile_switches * self.params.tile_switch_overhead_us * 1e-6
+
+    def sharding_overhead(self, shard_dispatches: int,
+                          halo_bytes: float) -> float:
+        """Modelled seconds a sharded launch spends on multi-device glue.
+
+        Two terms, both zero for single-device launches:
+
+        * each shard beyond the first pays one cross-device dispatch
+          hand-off (``shard_dispatch_overhead_us``), and
+        * the halo-exchange / replication traffic the runtime recorded
+          (``RunStatistics.halo_bytes``) crosses the inter-device link
+          at ``halo_gib_per_s`` - host-staged on the embedded targets,
+          so it defaults to the host transfer rate.
+        """
+        if shard_dispatches < 0 or halo_bytes < 0:
+            raise TimingModelError("negative sharding overhead quantities")
+        dispatch_s = shard_dispatches * \
+            self.params.shard_dispatch_overhead_us * 1e-6
+        exchange_s = halo_bytes / (self.params.halo_gib_per_s * (1 << 30)) \
+            if halo_bytes else 0.0
+        return dispatch_s + exchange_s
+
+    def sharded_time_seconds(self, workload: GPUWorkload,
+                             devices: int) -> float:
+        """Modelled wall-clock of a workload executed by a device group.
+
+        ``workload`` carries the *summed* counters a ``devices=N`` run
+        records (every device's passes, elements, flops, fetches and the
+        sharding overheads).  The shard bands are balanced to within one
+        row, so each device executes ~1/N of the kernel work while the
+        others run concurrently; per-device transfers likewise move only
+        that device's bands.  The group's wall-clock is therefore the
+        per-device share of the work plus the full (serial) sharding
+        glue: dispatch hand-offs and host-staged halo exchanges do not
+        overlap with each other.
+        """
+        if devices < 1:
+            raise TimingModelError("a device group needs at least one device")
+        share = replace(
+            workload,
+            passes=-(-workload.passes // devices),
+            elements=workload.elements / devices,
+            flops=workload.flops / devices,
+            texture_fetches=workload.texture_fetches / devices,
+            bytes_to_device=workload.bytes_to_device / devices,
+            bytes_from_device=workload.bytes_from_device / devices,
+            transfer_calls=-(-workload.transfer_calls // devices),
+            tile_switches=-(-workload.tile_switches // devices),
+            shard_dispatches=0,
+            halo_bytes=0.0,
+        )
+        return self.time_seconds(share) + self.sharding_overhead(
+            workload.shard_dispatches, workload.halo_bytes)
 
     def fusion_savings(self, passes_saved: int,
                        intermediate_bytes: float) -> float:

@@ -521,3 +521,52 @@ class TestSharedRuntimeStress:
             np.asarray(concurrent_out, dtype=np.float32).view(np.uint32),
             np.asarray(serial_out, dtype=np.float32).view(np.uint32))
         assert concurrent_total == serial_total
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: executor shutdown with futures in flight
+# --------------------------------------------------------------------------- #
+class TestExecutorShutdownWhileBusy:
+    """close()/shutdown() must drain or fail in-flight futures - never hang."""
+
+    def _busy_plans(self, rt, count=24, size=20000):
+        module = rt.compile(SRC)
+        x = rt.stream_from(np.arange(float(size)))
+        outs = [rt.stream((size,)) for _ in range(count)]
+        return [module.scale.bind(x, float(i), out)
+                for i, out in enumerate(outs)], outs
+
+    def test_close_drains_in_flight_futures(self, cpu_runtime):
+        plans, _ = self._busy_plans(cpu_runtime)
+        executor = cpu_runtime.executor(workers=3)
+        futures = executor.submit_all(plans)
+        executor.close()          # called while launches are executing
+        assert all(future.done() for future in futures)
+        assert all(future.exception() is None for future in futures)
+        with pytest.raises(RuntimeBrookError):
+            executor.submit(plans[0])
+
+    def test_shutdown_nowait_fails_unstarted_futures_fast(self, cpu_runtime):
+        plans, _ = self._busy_plans(cpu_runtime, count=32)
+        executor = cpu_runtime.executor(workers=2)
+        futures = executor.submit_all(plans)
+        executor.shutdown(wait=False)
+        # Every future resolves: either it ran, or it carries a clear
+        # RuntimeBrookError - nothing is left hanging forever.
+        for future in futures:
+            assert future.wait(timeout=30.0)
+            exc = future.exception()
+            assert exc is None or isinstance(exc, RuntimeBrookError)
+
+    def test_concurrent_shutdown_calls_do_not_hang_or_strand(
+            self, cpu_runtime):
+        # Regression: a second shutdown() used to enqueue the worker
+        # stop sentinels while the first one was still draining, which
+        # could strand queued launches behind a sentinel and hang the
+        # draining caller forever.
+        plans, _ = self._busy_plans(cpu_runtime, count=24)
+        executor = cpu_runtime.executor(workers=2)
+        futures = executor.submit_all(plans)
+        run_threads(4, lambda index: executor.shutdown(wait=True))
+        assert all(future.done() for future in futures)
+        assert all(future.exception() is None for future in futures)

@@ -348,3 +348,52 @@ class TestServeBenchHarness:
                                     frames=3)
         assert payload["bitwise_identical"]
         assert payload["pools"]["2"]["requests_per_s"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: lifecycle with requests in flight + degenerate configuration
+# --------------------------------------------------------------------------- #
+class TestServiceLifecycleAndValidation:
+    def test_close_while_busy_drains_every_future(self):
+        data = np.arange(20000.0, dtype=np.float32)
+        with BrookService(backend="cpu", pool_size=2) as service:
+            futures = [service.submit(make_request(data, k=float(i),
+                                                   name=f"r{i}"))
+                       for i in range(24)]
+            service.close()   # workers still chewing through the queue
+            for future in futures:
+                response = future.result(timeout=30.0)
+                assert isinstance(response, ServiceResponse)
+        # Worker runtimes were closed with the pool - no leaks.
+        for worker in service.workers:
+            assert worker.runtime.closed
+
+    def test_degenerate_configuration_raises_uniformly(self):
+        for kwargs in (dict(pool_size=0), dict(pool_size=-3),
+                       dict(max_batch=0), dict(max_batch=-1),
+                       dict(plan_cache_size=0), dict(devices=0),
+                       dict(devices=-2)):
+            with pytest.raises(RuntimeBrookError):
+                BrookService(backend="cpu", **kwargs)
+
+    def test_serve_bench_rejects_degenerate_arguments(self):
+        with pytest.raises(RuntimeBrookError):
+            run_service_bench(backend="cpu", size=8, requests=1,
+                              pool_sizes=(0,))
+        with pytest.raises(RuntimeBrookError):
+            run_service_bench(backend="cpu", size=8, requests=1,
+                              pool_sizes=(1,), devices=0)
+
+    def test_sharded_workers_serve_bit_identical_responses(self):
+        rng = np.random.default_rng(11)
+        data = rng.uniform(0, 9, (12, 12)).astype(np.float32)
+        with BrookService(backend="cpu", pool_size=1) as service:
+            reference = service.process(make_request(data)).outputs["out"]
+        with BrookService(backend="cpu", pool_size=2, devices=3) as service:
+            assert service.devices == 3
+            response = service.process(make_request(data))
+            report = service.service_report()
+        assert np.array_equal(reference.view(np.uint32),
+                              response.outputs["out"].view(np.uint32))
+        assert report["devices"] == 3
+        assert report["device_totals"]["extra_shards"] > 0

@@ -518,3 +518,81 @@ class TestAcceptanceScale:
         assert gles2_runtime.statistics.launches[-1].tiles == 4
         value = module.total(stream)
         assert value == pytest.approx(float(x.sum()), rel=1e-3)
+
+
+# --------------------------------------------------------------------------- #
+# Gather snapshot semantics (regression lock)
+# --------------------------------------------------------------------------- #
+SHIFT_LEFT = (
+    "kernel void shiftl(float src[][], float w, float h, out float dst<>) {"
+    " float2 p = indexof(dst);"
+    " dst = src[p.y][max(p.x - 1.0, 0.0)] + 1.0; }")
+SHIFT_UP = (
+    "kernel void shiftu(float src[][], float w, float h, out float dst<>) {"
+    " float2 p = indexof(dst);"
+    " dst = src[max(p.y - 1.0, 0.0)][p.x] * 2.0; }")
+DOUBLE = "kernel void double_px(float x<>, out float y<>) { y = x * 2.0; }"
+
+
+class TestGatherSnapshotSemantics:
+    """``launch_tiled`` takes ONE gather snapshot per logical launch.
+
+    For an in-place launch (the gather source is also the output
+    stream) every tile pass must observe the pre-launch data, exactly
+    as the untiled backends do - a later tile must never read an
+    earlier tile's freshly written texels.  And a gather source written
+    by an *earlier* launch of the same command-queue flush must be
+    re-snapshot, not served from a stale memoised view.  These tests
+    lock the audited behaviour against regressions (the shift
+    directions are chosen so tile N+1 reads cells tile N already
+    wrote - a stale or rebuilt snapshot changes the answer).
+    """
+
+    @pytest.mark.parametrize("source,kernel", [(SHIFT_LEFT, "shiftl"),
+                                               (SHIFT_UP, "shiftu")])
+    def test_in_place_tiled_gather_reads_pre_launch_snapshot(
+            self, source, kernel):
+        data = (np.arange(20 * 20, dtype=np.float32).reshape(20, 20) % 97)
+        results = {}
+        for label, limit in (("untiled", 64), ("tiled", 16)):
+            with tiny_gles2_runtime(limit) as rt:
+                module = rt.compile(source)
+                stream = rt.stream_from(data, name="s")
+                module.kernel(kernel)(stream, 20.0, 20.0, stream)
+                results[label] = stream.read()
+        np.testing.assert_array_equal(
+            results["untiled"].view(np.uint32),
+            results["tiled"].view(np.uint32))
+
+    def test_gather_written_earlier_in_same_flush_is_fresh(self):
+        data = (np.arange(20 * 20, dtype=np.float32).reshape(20, 20) % 53)
+        results = {}
+        for label, limit in (("untiled", 64), ("tiled", 16)):
+            with tiny_gles2_runtime(limit) as rt:
+                module = rt.compile(SHIFT_UP + DOUBLE)
+                stream = rt.stream_from(data, name="s")
+                out = rt.stream((20, 20), name="o")
+                with rt.queue():
+                    module.double_px(stream, stream)   # writes s in place
+                    module.shiftu(stream, 20.0, 20.0, out)  # gathers from s
+                results[label] = out.read()
+        np.testing.assert_array_equal(
+            results["untiled"].view(np.uint32),
+            results["tiled"].view(np.uint32))
+
+    def test_in_place_tiled_gather_matches_cpu_reference(self):
+        data = (np.arange(24 * 24, dtype=np.float32).reshape(24, 24) % 31)
+        with BrookRuntime(backend="cpu") as cpu:
+            module = cpu.compile(SHIFT_UP)
+            stream = cpu.stream_from(data)
+            module.shiftu(stream, 24.0, 24.0, stream)
+            expected = stream.read()
+        with tiny_gles2_runtime(16) as rt:
+            module = rt.compile(SHIFT_UP)
+            stream = rt.stream_from(data)
+            module.shiftu(stream, 24.0, 24.0, stream)
+            tiled = stream.read()
+        # Integer-valued inputs small enough to survive the RGBA8 round
+        # trip exactly, so the comparison is bitwise.
+        np.testing.assert_array_equal(expected.view(np.uint32),
+                                      tiled.view(np.uint32))
