@@ -16,7 +16,12 @@ compiler is used in a build system:
   aliases and known device profiles (from the backend registry).
 * ``brookauto serve-bench`` - benchmark the concurrent serving layer
   (:class:`repro.service.BrookService` pools vs. the serial baseline)
-  on the ADAS image pipeline.
+  on the ADAS image pipeline; with ``--overload`` / ``--deadline-ms``
+  it benchmarks deadline-aware serving (EDF + WCET admission control
+  vs. the FIFO baseline) instead.
+* ``brookauto certify`` - certification verdict table for a source file
+  (exit code 1 on non-compliance), optionally with the per-kernel WCET
+  work bounds the deadline-aware serving layer relies on.
 """
 
 from __future__ import annotations
@@ -82,6 +87,43 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.is_compliant else 2
 
 
+def _cmd_certify(args: argparse.Namespace) -> int:
+    source_path = pathlib.Path(args.source)
+    source = source_path.read_text()
+    options = CompilerOptions(target=_target_limits(args.device), strict=False)
+    try:
+        program = compile_source(source, filename=str(source_path),
+                                 options=options)
+    except BrookError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    report = program.certification
+    if args.format == "json":
+        print(report_to_json(report))
+    elif args.format == "markdown":
+        print(report_to_markdown(report))
+    else:
+        print(report_to_text(report))
+    if args.wcet:
+        from .core.analysis.wcet import kernel_wcet
+        from .errors import WCETError
+        print()
+        print("Worst-case work bounds (per output element):")
+        print(f"{'kernel':>24} {'flops':>8} {'fetches':>8} {'loop iters':>11}")
+        for name in program.kernels:
+            try:
+                bound = kernel_wcet(program, name)
+            except WCETError as error:
+                print(f"{name:>24}  NO BOUND: {error}")
+            else:
+                print(f"{name:>24} {bound.flops_per_element:>8} "
+                      f"{bound.fetches_per_element:>8} "
+                      f"{bound.max_loop_iterations:>11}")
+    verdict = "COMPLIANT" if report.is_compliant else "NON-COMPLIANT"
+    print(f"\n{source_path}: certification {verdict}")
+    return 0 if report.is_compliant else 1
+
+
 def _cmd_run_app(args: argparse.Namespace) -> int:
     app = get_application(args.app)
     result = app.run(backend=args.backend, size=args.size, seed=args.seed,
@@ -117,30 +159,54 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    from .service.bench import render_service_report, run_service_bench
+    from .service.bench import (render_deadline_report,
+                                render_service_report, run_deadline_bench,
+                                run_service_bench)
 
     pool_sizes = tuple(int(p) for p in args.pool_sizes.split(","))
+    deadline_mode = args.overload is not None or args.deadline_ms is not None
     try:
-        payload = run_service_bench(
-            backend=args.backend,
-            device=args.device if args.backend != "cpu" else None,
-            size=args.size,
-            requests=args.requests,
-            pool_sizes=pool_sizes,
-            fuse=args.fuse,
-            devices=args.devices,
-        )
+        if deadline_mode:
+            payload = run_deadline_bench(
+                backend=args.backend,
+                device=args.device if args.backend != "cpu" else None,
+                size=args.size,
+                requests=args.requests,
+                pool_size=pool_sizes[0],
+                overload=(args.overload if args.overload is not None
+                          else 2.0),
+                deadline_ms=args.deadline_ms,
+                fuse=args.fuse,
+                devices=args.devices,
+                platform=args.platform,
+            )
+        else:
+            payload = run_service_bench(
+                backend=args.backend,
+                device=args.device if args.backend != "cpu" else None,
+                size=args.size,
+                requests=args.requests,
+                pool_sizes=pool_sizes,
+                fuse=args.fuse,
+                devices=args.devices,
+            )
     except BrookError as error:
-        # Degenerate configurations (pool sizes / device counts < 1)
-        # report a one-line diagnostic instead of a traceback.
+        # Degenerate configurations (pool sizes / device counts < 1,
+        # non-positive overload) report a one-line diagnostic instead of
+        # a traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print(render_service_report(payload))
+    if deadline_mode:
+        print(render_deadline_report(payload))
+        ok = payload["bitwise_identical"] and payload["wcet_sound"]
+    else:
+        print(render_service_report(payload))
+        ok = payload["bitwise_identical"]
     if args.json:
         pathlib.Path(args.json).write_text(json.dumps(payload, indent=2,
                                                       default=str) + "\n")
         print(f"results written to {args.json}")
-    return 0 if payload["bitwise_identical"] else 1
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -168,6 +234,20 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument("--format", default="text",
                               choices=("text", "markdown", "json"))
     check_parser.set_defaults(func=_cmd_check)
+
+    certify_parser = sub.add_parser(
+        "certify",
+        help="certification verdict table (exit 1 on non-compliance), "
+             "optionally with per-kernel WCET work bounds")
+    certify_parser.add_argument("source", help="Brook source file")
+    certify_parser.add_argument("--device", default="videocore-iv",
+                                choices=sorted(DEVICE_PROFILES))
+    certify_parser.add_argument("--format", default="text",
+                                choices=("text", "markdown", "json"))
+    certify_parser.add_argument("--wcet", action="store_true",
+                                help="also print each kernel's worst-case "
+                                     "work bound (or why none exists)")
+    certify_parser.set_defaults(func=_cmd_certify)
 
     run_parser = sub.add_parser("run-app", help="run a reference application")
     run_parser.add_argument("app", choices=list_applications())
@@ -198,6 +278,18 @@ def build_parser() -> argparse.ArgumentParser:
                                    "is sharded across a device group")
     serve_parser.add_argument("--fuse", default="pipeline",
                               choices=("pipeline", "queue", "off"))
+    serve_parser.add_argument("--overload", type=float, default=None,
+                              help="deadline mode: offered load as a multiple "
+                                   "of pool capacity (EDF + WCET admission "
+                                   "vs. FIFO; uses the first --pool-sizes "
+                                   "entry)")
+    serve_parser.add_argument("--deadline-ms", type=float, default=None,
+                              help="deadline mode: relative deadline per "
+                                   "request in modelled milliseconds "
+                                   "(default: derived from the WCET bound)")
+    serve_parser.add_argument("--platform", default="target",
+                              help="timing platform pricing WCET bounds and "
+                                   "modelled times in deadline mode")
     serve_parser.add_argument("--json", default=None,
                               help="also write the raw results to this file")
     serve_parser.set_defaults(func=_cmd_serve_bench)

@@ -11,6 +11,8 @@ ISO 26262 / MISRA-style guidelines require an answer to at compile time:
   emulation?
 * :mod:`memory_usage` - what is the maximum GPU memory a program can use,
   given that every Brook Auto stream is statically sized?
+* :mod:`wcet` - what is the worst-case work (and, priced through the
+  platform cost model, time) a kernel launch can cost?
 """
 
 from .call_graph import CallGraph, build_call_graph
@@ -18,6 +20,15 @@ from .loop_bounds import LoopBound, LoopBoundAnalysis, analyze_loop_bounds
 from .memory_usage import MemoryUsageReport, estimate_memory_usage
 from .resources import KernelResources, estimate_resources
 from .stack_depth import StackDepthReport, estimate_stack_depth
+from .wcet import (
+    KernelWCET,
+    WCETBound,
+    analyze_kernel_wcet,
+    kernel_wcet,
+    plan_wcet,
+    program_wcet,
+    request_wcet,
+)
 
 __all__ = [
     "CallGraph",
@@ -31,4 +42,11 @@ __all__ = [
     "estimate_stack_depth",
     "MemoryUsageReport",
     "estimate_memory_usage",
+    "KernelWCET",
+    "WCETBound",
+    "analyze_kernel_wcet",
+    "kernel_wcet",
+    "plan_wcet",
+    "program_wcet",
+    "request_wcet",
 ]

@@ -66,6 +66,25 @@ class CertificationError(BrookError):
         self.violations = list(violations or [])
 
 
+class WCETError(BrookError):
+    """A worst-case execution time bound cannot be derived for a kernel.
+
+    Raised by :mod:`repro.core.analysis.wcet` when a kernel falls outside
+    the certified subset the bound derivation relies on: an unbounded
+    loop (``while``/``do-while`` or a ``for`` whose trip count cannot be
+    deduced), a certification rule violation, or a construct the static
+    cost walker cannot price.  Kernels that fail this check are *never*
+    given a bound - deadline admission control must reject them instead
+    of guessing.
+    """
+
+    def __init__(self, message: str, reasons=None):
+        super().__init__(message)
+        #: Human-readable reasons (loop analysis diagnostics, violated
+        #: certification rules) for the rejection.
+        self.reasons = list(reasons or [])
+
+
 class CodegenError(BrookError):
     """Raised when a kernel cannot be lowered to the requested backend."""
 

@@ -16,7 +16,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["TransferRecord", "KernelLaunchRecord", "RunStatistics", "WallClockTimer"]
+__all__ = ["TransferRecord", "KernelLaunchRecord", "WCETMarginRecord",
+           "RunStatistics", "WallClockTimer"]
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,31 @@ class KernelLaunchRecord:
     halo_bytes: int = 0
 
 
+@dataclass(frozen=True)
+class WCETMarginRecord:
+    """Worst-case bound vs modelled-actual time of one unit of work.
+
+    Recorded by deadline-aware serving for every completed request so
+    the conservatism of the static WCET bounds stays inspectable: a
+    negative margin would mean the bound was *unsound* (the modelled
+    execution exceeded it) and must fail loudly in tests.
+    """
+
+    #: What the bound covered (request name or kernel chain).
+    label: str
+    #: The static worst-case bound, in modelled seconds.
+    wcet_s: float
+    #: Modelled time of the work actually recorded, in modelled seconds.
+    modelled_s: float
+
+    @property
+    def margin(self) -> float:
+        """Unused fraction of the bound (1.0 = nothing used, < 0 = unsound)."""
+        if self.wcet_s <= 0:
+            return 0.0
+        return (self.wcet_s - self.modelled_s) / self.wcet_s
+
+
 def _aggregate_records(transfers: List[TransferRecord],
                        launches: List[KernelLaunchRecord]) -> Dict[str, float]:
     """Every aggregate metric, computed from one snapshot of the records.
@@ -112,6 +138,7 @@ class RunStatistics:
 
     transfers: List[TransferRecord] = field(default_factory=list)
     launches: List[KernelLaunchRecord] = field(default_factory=list)
+    wcet_margins: List[WCETMarginRecord] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
 
@@ -133,6 +160,11 @@ class RunStatistics:
         with self._lock:
             self.launches.extend(records)
 
+    def record_wcet_margin(self, record: WCETMarginRecord) -> None:
+        """Register one bound-vs-actual observation (deadline serving)."""
+        with self._lock:
+            self.wcet_margins.append(record)
+
     def clear(self) -> None:
         # Replace instead of mutating in place so a concurrent snapshot
         # observes either the old record lists or the (empty) new ones,
@@ -140,6 +172,40 @@ class RunStatistics:
         with self._lock:
             self.transfers = []
             self.launches = []
+            self.wcet_margins = []
+
+    # ------------------------------------------------------------------ #
+    # Interval accounting: snapshot a position, aggregate what happened
+    # after it.  Used by deadline-aware serving to attribute recorded
+    # work (and its modelled time) to an individual request.
+    # ------------------------------------------------------------------ #
+    def marker(self) -> "tuple[int, int]":
+        """Opaque position in the record streams.
+
+        Pass it to :meth:`records_since` / :meth:`workload_since` to read
+        only the records registered after this call.  A marker is
+        invalidated by :meth:`clear` (it then reads from the start).
+        """
+        with self._lock:
+            return (len(self.transfers), len(self.launches))
+
+    def records_since(self, marker: "tuple[int, int]"
+                      ) -> "tuple[List[TransferRecord], List[KernelLaunchRecord]]":
+        """The transfer/launch records registered after ``marker``."""
+        transfer_pos, launch_pos = marker
+        with self._lock:
+            return (list(self.transfers[transfer_pos:]),
+                    list(self.launches[launch_pos:]))
+
+    def workload_since(self, marker: "tuple[int, int]") -> Dict[str, float]:
+        """Aggregated metrics of the records registered after ``marker``.
+
+        Same keys as :func:`_aggregate_records` (including
+        ``transfer_calls``, ``bytes_uploaded`` / ``bytes_downloaded``,
+        ``extra_tiles``, ``extra_shards`` and ``halo_bytes``) so the
+        result can be priced directly by the timing models.
+        """
+        return _aggregate_records(*self.records_since(marker))
 
     def _snapshot(self) -> "tuple[List[TransferRecord], List[KernelLaunchRecord]]":
         with self._lock:
@@ -254,6 +320,23 @@ class RunStatistics:
         aggregated = _aggregate_records(*self._snapshot())
         del aggregated["transfer_calls"]   # not part of the summary keys
         return aggregated
+
+    def wcet_margin_summary(self) -> Dict[str, float]:
+        """Aggregate of the recorded WCET margins.
+
+        ``min`` is the headline number: it must stay >= 0 for the bounds
+        to be sound (no recorded unit of work exceeded its bound).
+        """
+        with self._lock:
+            margins = [record.margin for record in self.wcet_margins]
+        if not margins:
+            return {"count": 0, "min": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "count": len(margins),
+            "min": min(margins),
+            "mean": sum(margins) / len(margins),
+            "max": max(margins),
+        }
 
 
 class WallClockTimer:

@@ -13,6 +13,11 @@ accelerator.  This package provides that serving surface:
   and aggregated latency/throughput reporting via ``service_report()``.
 * :mod:`~repro.service.bench` - the ADAS-pipeline serving benchmark
   behind ``brookauto serve-bench`` and ``BENCH_service.json``.
+* :mod:`~repro.service.deadline` - deadline-aware serving: static WCET
+  bounds drive admission control (typed
+  :class:`~repro.service.deadline.DeadlineRejected` responses) and an
+  earliest-deadline-first scheduler
+  (``BrookService(scheduler="edf", admission=True)``).
 
 .. code-block:: python
 
@@ -29,11 +34,15 @@ accelerator.  This package provides that serving surface:
         response = service.process(request)     # ServiceResponse
 """
 
+from .deadline import DeadlineRejected, DeadlineStats, EDFQueue
 from .request import KernelCall, ServiceFuture, ServiceRequest, ServiceResponse, call
 from .service import BrookService
 
 __all__ = [
     "BrookService",
+    "DeadlineRejected",
+    "DeadlineStats",
+    "EDFQueue",
     "KernelCall",
     "ServiceFuture",
     "ServiceRequest",

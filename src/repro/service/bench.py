@@ -29,11 +29,14 @@ import numpy as np
 from ..apps.image_filter import BROOK_SOURCE as FILTER_SOURCE, FILTER_3X3
 from ..errors import RuntimeBrookError
 from ..runtime import BrookRuntime
-from .request import KernelCall, ServiceRequest
+from .deadline import DeadlineRejected
+from .request import KernelCall, ServiceRequest, ServiceResponse
 from .service import BrookService
 
 __all__ = ["ADAS_SERVICE_SOURCE", "build_adas_request", "run_serial_baseline",
-           "run_service_bench", "render_service_report"]
+           "run_service_bench", "render_service_report",
+           "probe_request_times", "run_deadline_bench",
+           "render_deadline_report"]
 
 #: Straight-line post-processing stages chained after the 3x3 filter
 #: (the fusion benchmark's ADAS pipeline, packaged for serving).
@@ -253,6 +256,208 @@ def run_service_bench(
         "pools": pools,
         "bitwise_identical": bitwise_all,
     }
+
+
+def probe_request_times(backend: str = "cpu",
+                        device: Optional[str] = None,
+                        size: int = 32,
+                        devices: int = 1,
+                        platform: str = "target",
+                        fuse: object = True,
+                        seed: int = 0) -> Tuple[float, float]:
+    """Steady-state (modelled_s, wcet_s) of one ADAS request.
+
+    Runs two identical requests through a single-worker tracking service
+    and reads the second (fully cached, steady-state) response.  The
+    pair calibrates the deadline benchmark's arrival pattern: offered
+    load is expressed in multiples of ``modelled_s`` and the default
+    deadline must sit above ``wcet_s`` for admission to accept anything.
+    """
+    frame = make_frames(size, 1, seed)[0]
+    with BrookService(backend=backend, device=device, pool_size=1,
+                      fuse=fuse, devices=devices,
+                      platform=platform) as service:
+        service.process(build_adas_request(size, frame, name="probe0"))
+        response = service.process(
+            build_adas_request(size, frame, name="probe1"))
+    return float(response.modelled_s), float(response.wcet_s)
+
+
+def run_deadline_bench(
+    backend: str = "cpu",
+    device: Optional[str] = None,
+    size: int = 32,
+    requests: int = 48,
+    pool_size: int = 2,
+    frames: int = 8,
+    overload: float = 2.0,
+    deadline_ms: Optional[float] = None,
+    fuse: object = True,
+    seed: int = 0,
+    devices: int = 1,
+    platform: str = "target",
+) -> Dict[str, object]:
+    """Drive the ADAS pipeline past saturation under three schedulers.
+
+    Requests arrive on the modelled timeline at ``overload`` times the
+    pool's processing capacity (interarrival = steady-state request time
+    / (overload * pool_size)), each with deadline ``release +
+    relative_deadline`` where ``relative_deadline`` is ``deadline_ms``
+    or, by default, comfortably above one request's WCET bound - so a
+    request admitted onto an idle worker always fits, and misses are
+    purely a queueing phenomenon.
+
+    Three configurations process the identical request stream:
+
+    * ``fifo`` - submission-order dispatch, no admission: the PR-4/5
+      service with deadline accounting bolted on.  Under overload its
+      backlog grows without bound and the tail of every burst misses.
+    * ``edf`` - earliest-deadline-first worker queues, no admission.
+    * ``edf+admission`` - EDF plus WCET-based admission control: work
+      that provably cannot meet its deadline is rejected at submit time
+      with a typed :class:`DeadlineRejected` response, and every
+      *admitted* request provably completes in time (its actual modelled
+      cost never exceeds the WCET the projection used).
+
+    Every completed response is checked bit-identical to the serial
+    baseline and WCET-sound (modelled actual <= bound).
+    """
+    if int(pool_size) < 1:
+        raise RuntimeBrookError(
+            f"deadline-bench needs pool_size >= 1, got {pool_size}")
+    if int(devices) < 1:
+        raise RuntimeBrookError(
+            f"deadline-bench needs at least one device per worker, got "
+            f"devices={devices}")
+    if not float(overload) > 0:
+        raise RuntimeBrookError(
+            f"deadline-bench needs overload > 0, got {overload}")
+
+    actual_s, wcet_s = probe_request_times(
+        backend=backend, device=device, size=size, devices=devices,
+        platform=platform, fuse=fuse, seed=seed)
+    interarrival_s = actual_s / (float(overload) * pool_size)
+    if deadline_ms is not None:
+        relative_deadline_s = float(deadline_ms) / 1e3
+    else:
+        relative_deadline_s = max(1.5 * actual_s, 1.2 * wcet_s)
+
+    frame_data = make_frames(size, frames, seed)
+    request_list = []
+    for index in range(requests):
+        release = index * interarrival_s
+        request = build_adas_request(size, frame_data[index % frames],
+                                     name=f"req{index}")
+        request.release = release
+        request.deadline = release + relative_deadline_s
+        request_list.append(request)
+
+    baseline = run_serial_baseline(backend, request_list, device=device)
+    reference = baseline.pop("outputs")
+
+    configs = {
+        "fifo": dict(scheduler="fifo", admission=False),
+        "edf": dict(scheduler="edf", admission=False),
+        "edf+admission": dict(scheduler="edf", admission=True),
+    }
+    results: Dict[str, Dict[str, object]] = {}
+    bitwise_all = True
+    sound_all = True
+    for label, knobs in configs.items():
+        with BrookService(backend=backend, device=device,
+                          pool_size=pool_size, fuse=fuse, devices=devices,
+                          platform=platform, **knobs) as service:
+            warmup = [build_adas_request(size, frame_data[0], name="warmup")
+                      for _ in range(pool_size)]
+            service.map(warmup)
+            service.reset_service_stats()
+            futures = [service.submit(request) for request in request_list]
+            responses = [future.result() for future in futures]
+            report = service.service_report()
+        completed = [r for r in responses if isinstance(r, ServiceResponse)]
+        rejected = [r for r in responses if isinstance(r, DeadlineRejected)]
+        for index, response in enumerate(responses):
+            if isinstance(response, ServiceResponse):
+                bitwise_all &= _bitwise_equal(reference[index]["out"],
+                                              response.outputs["out"])
+        config_sound = all(r.modelled_s <= r.wcet_s for r in completed)
+        sound_all &= config_sound
+        hits = sum(1 for r in completed if r.deadline_met)
+        misses = len(completed) - hits
+        results[label] = {
+            "scheduler": knobs["scheduler"],
+            "admission": knobs["admission"],
+            "offered": len(responses),
+            "completed": len(completed),
+            "rejected": len(rejected),
+            "deadline_hits": hits,
+            "deadline_misses": misses,
+            # Hit-rate over *admitted* (completed) requests - the number
+            # admission control guarantees - plus goodput over offered.
+            "hit_rate": (hits / len(completed)) if completed else 0.0,
+            "goodput": hits / len(responses) if responses else 0.0,
+            "wcet_sound": config_sound,
+            "deadline_report": report.get("deadline", {}),
+        }
+
+    return {
+        "benchmark": "deadline",
+        "backend": backend,
+        "device": device,
+        "devices": devices,
+        "platform": platform,
+        "pipeline": {
+            "app": "image_filter",
+            "stages": list(STAGES),
+            "size": size,
+            "frames": frames,
+        },
+        "requests": requests,
+        "pool_size": pool_size,
+        "overload": float(overload),
+        "fuse": str(fuse),
+        "timing": {
+            "request_modelled_s": actual_s,
+            "request_wcet_s": wcet_s,
+            "wcet_over_actual": (wcet_s / actual_s) if actual_s else 0.0,
+            "interarrival_s": interarrival_s,
+            "relative_deadline_s": relative_deadline_s,
+        },
+        "configs": results,
+        "bitwise_identical": bitwise_all,
+        "wcet_sound": sound_all,
+    }
+
+
+def render_deadline_report(payload: Dict[str, object]) -> str:
+    """Human-readable table of a :func:`run_deadline_bench` payload."""
+    timing = payload["timing"]
+    lines = [
+        f"Deadline serving: {payload['requests']} ADAS pipeline requests "
+        f"({payload['pipeline']['size']}x{payload['pipeline']['size']}, "
+        f"backend {payload['backend']}, platform {payload['platform']}, "
+        f"{payload['overload']:.1f}x overload, pool={payload['pool_size']})",
+        (f"request modelled {timing['request_modelled_s'] * 1e3:.3f}ms, "
+         f"WCET bound {timing['request_wcet_s'] * 1e3:.3f}ms "
+         f"({timing['wcet_over_actual']:.2f}x), deadline "
+         f"{timing['relative_deadline_s'] * 1e3:.3f}ms after release"),
+        "",
+        (f"{'config':>15} {'offered':>8} {'rejected':>9} {'done':>6} "
+         f"{'hits':>6} {'misses':>7} {'hit-rate':>9} {'goodput':>8}"),
+    ]
+    for label, row in payload["configs"].items():
+        lines.append(
+            f"{label:>15} {row['offered']:>8} {row['rejected']:>9} "
+            f"{row['completed']:>6} {row['deadline_hits']:>6} "
+            f"{row['deadline_misses']:>7} {row['hit_rate']:>9.1%} "
+            f"{row['goodput']:>8.1%}"
+        )
+    lines.append("")
+    lines.append("WCET bounds sound on every completed request: "
+                 + ("yes" if payload["wcet_sound"] else "NO"))
+    lines.append("completed responses bit-identical to serial baseline: "
+                 + ("yes" if payload["bitwise_identical"] else "NO"))
+    return "\n".join(lines)
 
 
 def render_service_report(payload: Dict[str, object]) -> str:

@@ -1,0 +1,198 @@
+"""Deadline machinery for :class:`~repro.service.service.BrookService`.
+
+Three pieces turn the FIFO thread-pool service into a deadline-aware
+one, all consuming the static WCET bounds of
+:mod:`repro.core.analysis.wcet`:
+
+* :class:`EDFQueue` - a drop-in replacement for each worker's
+  ``queue.Queue`` that releases pending items earliest-deadline-first
+  (deadline, then priority, then submission order).  Best-effort
+  requests (no deadline) sort after every deadline request.
+* :class:`DeadlineRejected` - the typed *response* admission control
+  resolves a future with when a request provably cannot meet its
+  deadline.  Rejection is a normal, fast outcome decided at submit time
+  on the caller's thread - never an exception thrown inside a worker.
+* :class:`DeadlineStats` - hit/miss/rejection counters plus the
+  WCET-vs-modelled-actual margins that let ``service_report()`` show
+  how conservative the bounds are in practice.
+
+Timeline semantics
+------------------
+
+Deadlines live on a *modelled* timeline, not the host's wall clock: the
+service advances a per-worker virtual clock by the modelled execution
+time (the same :class:`~repro.timing.gpu_model.GPUModel` pricing the
+WCET bounds use) of each request it completes.  That keeps admission
+decisions and hit/miss accounting deterministic and platform-faithful
+regardless of how loaded the machine running the simulation is.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from queue import Empty
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["DeadlineRejected", "EDFQueue", "DeadlineStats", "percentile"]
+
+
+@dataclass
+class DeadlineRejected:
+    """Typed rejection delivered when admission control refuses a request.
+
+    Returned as the *result* of the submit future (callers branch on the
+    response type), mirroring how a :class:`ServiceResponse` is
+    delivered - rejection under overload is an expected outcome, not an
+    error.
+    """
+
+    #: The request's optional label.
+    name: str
+    #: Human-readable reason for the rejection.
+    reason: str
+    #: The request's WCET bound in modelled seconds.
+    wcet_s: float
+    #: The deadline the request could not meet.
+    deadline_s: float
+    #: Modelled completion time admission control projected.
+    projected_s: float
+    #: Worker the request would have been dispatched to.
+    worker: int = -1
+
+
+class EDFQueue:
+    """Earliest-deadline-first queue with the ``queue.Queue`` surface.
+
+    Items are ``(request, payload)`` pairs ordered by
+    ``(deadline, priority, submission sequence)``; requests without a
+    deadline sort last (after every deadline request), FIFO among
+    themselves at equal priority.  The sentinel objects the service uses
+    to stop workers are held aside and only released once the heap is
+    empty, which preserves the worker-loop drain protocol: a stop token
+    can never overtake queued work.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._heap: List[Tuple[float, int, int, object]] = []
+        self._sentinels: List[object] = []
+        self._seq = itertools.count()
+
+    @staticmethod
+    def _key(item) -> Tuple[float, int]:
+        request = getattr(item, "request", None)
+        deadline = getattr(request, "deadline", None)
+        priority = getattr(request, "priority", 0)
+        if deadline is None:
+            return (float("inf"), priority)
+        return (float(deadline), priority)
+
+    def put(self, item) -> None:
+        with self._ready:
+            if getattr(item, "request", None) is None:
+                # Service control token (_STOP): release only after the
+                # real work drains.
+                self._sentinels.append(item)
+            else:
+                deadline, priority = self._key(item)
+                heapq.heappush(
+                    self._heap, (deadline, priority, next(self._seq), item)
+                )
+            self._ready.notify()
+
+    def get(self, block: bool = True, timeout: Optional[float] = None):
+        with self._ready:
+            if block:
+                self._ready.wait_for(
+                    lambda: self._heap or self._sentinels, timeout=timeout
+                )
+            return self._pop_locked()
+
+    def get_nowait(self):
+        with self._ready:
+            return self._pop_locked()
+
+    def _pop_locked(self):
+        if self._heap:
+            return heapq.heappop(self._heap)[-1]
+        if self._sentinels:
+            return self._sentinels.pop(0)
+        raise Empty
+
+    def qsize(self) -> int:
+        with self._lock:
+            return len(self._heap) + len(self._sentinels)
+
+    def empty(self) -> bool:
+        return self.qsize() == 0
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty list (0 for an empty one)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class DeadlineStats:
+    """Aggregated deadline accounting for ``service_report()``."""
+
+    admitted: int = 0
+    rejected: int = 0
+    hits: int = 0
+    misses: int = 0
+    best_effort: int = 0
+    #: ``(wcet_s - modelled_s) / wcet_s`` per completed request - how
+    #: much of the bound the actual modelled work left unused.
+    margins: List[float] = field(default_factory=list)
+
+    def record_completion(self, deadline_met: Optional[bool],
+                          wcet_s: Optional[float],
+                          modelled_s: Optional[float]) -> None:
+        if deadline_met is None:
+            self.best_effort += 1
+        elif deadline_met:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if wcet_s and modelled_s is not None and wcet_s > 0:
+            self.margins.append((wcet_s - modelled_s) / wcet_s)
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        total = self.hits + self.misses
+        if total == 0:
+            return None
+        return self.hits / total
+
+    def summary(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "deadline_hits": self.hits,
+            "deadline_misses": self.misses,
+            "best_effort": self.best_effort,
+            "hit_rate": self.hit_rate,
+            "wcet_margin": {
+                "count": len(self.margins),
+                "min": min(self.margins) if self.margins else 0.0,
+                "p50": percentile(self.margins, 0.50),
+                "p95": percentile(self.margins, 0.95),
+                "max": max(self.margins) if self.margins else 0.0,
+            },
+        }
+
+    def reset(self) -> None:
+        self.admitted = 0
+        self.rejected = 0
+        self.hits = 0
+        self.misses = 0
+        self.best_effort = 0
+        self.margins.clear()

@@ -73,6 +73,15 @@ class ServiceRequest:
             chain into a single pass with the intermediates held in
             registers instead of materialised.
         name: Optional label carried through to the response.
+        deadline: Optional absolute deadline on the service's modelled
+            timeline, in seconds.  Requests with a deadline participate
+            in EDF ordering and admission control; ``None`` means
+            best-effort (scheduled after every deadline request).
+        priority: Tie-breaker between equal deadlines (lower runs
+            first); also orders best-effort requests among themselves.
+        release: Earliest start time on the modelled timeline, in
+            seconds.  Lets benchmark drivers lay out an arrival pattern
+            deterministically; defaults to 0 (ready immediately).
     """
 
     source: str
@@ -81,12 +90,36 @@ class ServiceRequest:
     outputs: Dict[str, Tuple[int, ...]]
     scratch: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
     name: str = ""
+    deadline: Optional[float] = None
+    priority: int = 0
+    release: float = 0.0
 
     def __post_init__(self):
         self.calls = tuple(self.calls)
         if not self.calls:
             raise RuntimeBrookError("a service request needs at least one "
                                     "kernel call")
+        if self.deadline is not None:
+            deadline = float(self.deadline)
+            if not deadline > 0.0:
+                raise RuntimeBrookError(
+                    f"a service request deadline must be a positive number "
+                    f"of seconds, got deadline={self.deadline!r}"
+                )
+            self.deadline = deadline
+        if not isinstance(self.priority, (int, np.integer)):
+            raise RuntimeBrookError(
+                f"a service request priority must be an integer, "
+                f"got priority={self.priority!r}"
+            )
+        self.priority = int(self.priority)
+        release = float(self.release)
+        if release < 0.0:
+            raise RuntimeBrookError(
+                f"a service request release time cannot be negative, "
+                f"got release={self.release!r}"
+            )
+        self.release = release
         self.inputs = {
             str(key): np.asarray(value, dtype=np.float32)
             for key, value in self.inputs.items()
@@ -155,6 +188,17 @@ class ServiceResponse:
     execute_s: float
     #: Whether the worker reused a prepared plan cache entry.
     cached: bool = field(default=False)
+    #: Modelled execution seconds of the work this request actually
+    #: recorded (deadline-tracking mode only, else ``None``).
+    modelled_s: Optional[float] = None
+    #: The request's worst-case execution time bound in modelled seconds
+    #: (deadline-tracking mode only).
+    wcet_s: Optional[float] = None
+    #: Completion time on the service's modelled timeline.
+    virtual_finish_s: Optional[float] = None
+    #: Whether the modelled completion met the request's deadline
+    #: (``None`` when the request had no deadline or tracking is off).
+    deadline_met: Optional[bool] = None
 
 
 class ServiceFuture(LaunchFuture):

@@ -44,7 +44,9 @@ import numpy as np
 
 from ..core.compiler import CompilerOptions
 from ..errors import RuntimeBrookError
+from ..runtime.profiling import WCETMarginRecord
 from ..runtime.runtime import BrookRuntime
+from .deadline import DeadlineRejected, DeadlineStats, EDFQueue
 from .request import ServiceFuture, ServiceRequest, ServiceResponse
 
 __all__ = ["BrookService"]
@@ -60,12 +62,15 @@ LATENCY_WINDOW = 65536
 class _PendingItem:
     """One submitted request travelling through a worker queue."""
 
-    __slots__ = ("request", "future", "submitted_at")
+    __slots__ = ("request", "future", "submitted_at", "wcet_s")
 
     def __init__(self, request: ServiceRequest, future: ServiceFuture):
         self.request = request
         self.future = future
         self.submitted_at = time.perf_counter()
+        #: The request's WCET bound in modelled seconds (deadline
+        #: tracking only; ``None`` otherwise).
+        self.wcet_s: Optional[float] = None
 
 
 class _PreparedRequest:
@@ -95,7 +100,15 @@ class _ServiceWorker:
             devices=service.devices,
             compiler_options=service._compiler_options,
         )
-        self.queue: "Queue[object]" = Queue()
+        self.queue = (EDFQueue() if service.scheduler == "edf"
+                      else Queue())
+        #: Modelled completion time of the work this worker has actually
+        #: executed (the service's virtual timeline, seconds).
+        self.virtual_s = 0.0
+        #: Modelled completion time of everything *dispatched* to this
+        #: worker, projected with WCET bounds (admission control's
+        #: backlog clock; always >= the virtual clock).
+        self.committed_s = 0.0
         #: Requests dispatched to this worker and not completed yet
         #: (maintained by the service under its dispatch lock).
         self.outstanding = 0
@@ -174,19 +187,28 @@ class _ServiceWorker:
                 self.service._complete(self, item, None, exc)
             else:
                 resolved.append((item, entry, cached))
-        # Requests sharing a cache entry share streams, so they cannot be
-        # in flight inside the same flush - split the batch into rounds
-        # of pairwise-distinct entries, preserving submission order.
-        round_items: List[Tuple[_PendingItem, _PreparedRequest, bool]] = []
-        seen = set()
-        for record in resolved:
-            if id(record[1]) in seen:
+        if self.service._track_deadlines:
+            # One request per round: the statistics interval between the
+            # round's start and end then belongs to exactly one request,
+            # which is what prices its modelled execution time (and the
+            # WCET margin) without cross-request attribution guesswork.
+            for record in resolved:
+                self._run_round([record])
+        else:
+            # Requests sharing a cache entry share streams, so they
+            # cannot be in flight inside the same flush - split the
+            # batch into rounds of pairwise-distinct entries, preserving
+            # submission order.
+            round_items: List[Tuple[_PendingItem, _PreparedRequest, bool]] = []
+            seen = set()
+            for record in resolved:
+                if id(record[1]) in seen:
+                    self._run_round(round_items)
+                    round_items, seen = [], set()
+                round_items.append(record)
+                seen.add(id(record[1]))
+            if round_items:
                 self._run_round(round_items)
-                round_items, seen = [], set()
-            round_items.append(record)
-            seen.add(id(record[1]))
-        if round_items:
-            self._run_round(round_items)
         for entry in evicted:
             entry.release()
 
@@ -195,6 +217,8 @@ class _ServiceWorker:
             return
         started = time.perf_counter()
         completed = 0
+        tracking = self.service._track_deadlines
+        marker = self.runtime.statistics.marker() if tracking else None
         try:
             for item, entry, _ in round_items:
                 for name, array in item.request.inputs.items():
@@ -236,11 +260,49 @@ class _ServiceWorker:
                     execute_s=per_request,
                     cached=cached,
                 )
+                if tracking:
+                    self._account_deadline(item, response, marker)
                 self.service._complete(self, item, response, None)
                 completed += 1
         except BaseException as exc:  # noqa: BLE001 - forwarded
             for item, _, _ in round_items[completed:]:
                 self.service._complete(self, item, None, exc)
+
+    # ------------------------------------------------------------------ #
+    def _account_deadline(self, item: _PendingItem,
+                          response: ServiceResponse, marker) -> None:
+        """Advance the virtual clock and stamp deadline fields.
+
+        The statistics interval since ``marker`` covers exactly this
+        request's input writes, kernel passes and output reads (deadline
+        mode runs one request per round); pricing it with the platform
+        model gives the modelled execution time the deadline accounting
+        runs on.  The stream/plan *preparation* transfers of a cache
+        miss happen before the marker and are deliberately excluded -
+        the WCET bound covers steady-state serving, and preparation is
+        a one-time signature cost, not per-request work.
+        """
+        service = self.service
+        request = item.request
+        aggregate = self.runtime.statistics.workload_since(marker)
+        modelled_s = service._modelled_seconds(aggregate)
+        with service._stats_lock:
+            start = max(request.release, self.virtual_s)
+            finish = start + modelled_s
+            self.virtual_s = finish
+            # The backlog clock can never lag the executed clock.
+            self.committed_s = max(self.committed_s, finish)
+        response.modelled_s = modelled_s
+        response.wcet_s = item.wcet_s
+        response.virtual_finish_s = finish
+        if request.deadline is not None:
+            response.deadline_met = finish <= request.deadline
+        if item.wcet_s:
+            self.runtime.statistics.record_wcet_margin(WCETMarginRecord(
+                label=request.name or request.calls[0].kernel,
+                wcet_s=item.wcet_s,
+                modelled_s=modelled_s,
+            ))
 
     # ------------------------------------------------------------------ #
     def cache_info(self) -> Dict[str, int]:
@@ -283,6 +345,22 @@ class BrookService:
             (``BrookRuntime(devices=N)``), so one big request fans out
             across a device group while the pool still serves requests
             concurrently; responses stay bit-identical to ``devices=1``.
+        scheduler: ``"fifo"`` (default, submission order) or ``"edf"``
+            (earliest-deadline-first worker queues; best-effort requests
+            run after every deadline request).
+        admission: Enable WCET-based admission control: a request whose
+            deadline provably cannot be met - its static worst-case
+            bound stacked on the worker's committed backlog lands past
+            the deadline - resolves immediately with a typed
+            :class:`~repro.service.deadline.DeadlineRejected` response
+            instead of being queued.
+        platform: Timing platform pricing the WCET bounds and the
+            modelled per-request execution times (deadline accounting
+            runs on this modelled timeline).  Defaults to ``"target"``
+            when EDF/admission/deadline tracking is active.  Setting it
+            explicitly turns deadline *tracking* on even under the FIFO
+            scheduler without admission - that is the measurable
+            baseline the deadline benchmark compares against.
     """
 
     def __init__(
@@ -295,6 +373,9 @@ class BrookService:
         plan_cache_size: int = 32,
         compiler_options: Optional[CompilerOptions] = None,
         devices: int = 1,
+        scheduler: str = "fifo",
+        admission: bool = False,
+        platform: Optional[str] = None,
     ):
         # Degenerate configurations fail loudly and uniformly with a
         # RuntimeBrookError instead of being silently clamped (or
@@ -326,6 +407,23 @@ class BrookService:
                 f"unknown fuse mode {fuse!r}; expected 'pipeline', 'queue' "
                 "or 'off'"
             )
+        if scheduler not in ("fifo", "edf"):
+            raise RuntimeBrookError(
+                f"unknown scheduler {scheduler!r}; expected 'fifo' or 'edf'")
+        self.scheduler = scheduler
+        self.admission = bool(admission)
+        #: Deadline accounting is active whenever any deadline feature
+        #: is requested; a bare FIFO service skips it entirely.
+        self._track_deadlines = (self.admission or scheduler == "edf"
+                                 or platform is not None)
+        self.platform = platform or ("target" if self._track_deadlines
+                                     else None)
+        if self.platform is not None:
+            from ..timing.platforms import PLATFORMS
+            if self.platform not in PLATFORMS:
+                raise RuntimeBrookError(
+                    f"unknown timing platform {self.platform!r}; available: "
+                    f"{sorted(PLATFORMS)}")
         self.backend_name = backend
         self.device = device
         self.pool_size = int(pool_size)
@@ -341,6 +439,12 @@ class BrookService:
         self._first_submit: Optional[float] = None
         self._last_done: Optional[float] = None
         self._closed = False
+        self._deadline_stats = DeadlineStats()
+        #: WCET bounds per request signature (admission-path cache; the
+        #: bound only depends on the signature, never the input data).
+        self._wcet_cache: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._wcet_lock = threading.Lock()
+        self._round_robin = 0
         self.workers = [_ServiceWorker(self, index)
                         for index in range(self.pool_size)]
 
@@ -348,12 +452,26 @@ class BrookService:
     # Submission
     # ------------------------------------------------------------------ #
     def submit(self, request: ServiceRequest) -> ServiceFuture:
-        """Dispatch ``request`` to the least-loaded worker runtime."""
+        """Dispatch ``request`` to the least-loaded worker runtime.
+
+        With deadline tracking active the request's WCET bound is
+        derived first (raising :class:`~repro.errors.WCETError` for
+        kernels outside the certified subset - they can never be given a
+        bound and are refused synchronously), and with ``admission=True``
+        a request whose bound cannot fit before its deadline resolves
+        immediately with a :class:`DeadlineRejected` response instead of
+        being queued.
+        """
         if not isinstance(request, ServiceRequest):
             raise RuntimeBrookError(
                 "BrookService.submit expects a ServiceRequest")
         future = ServiceFuture(request)
         item = _PendingItem(request, future)
+        if self._track_deadlines:
+            # Outside the dispatch lock: first derivation per signature
+            # compiles the source.  Raises WCETError for unbounded work.
+            item.wcet_s = self._request_wcet_seconds(request)
+        rejection: Optional[DeadlineRejected] = None
         # Enqueue under the dispatch lock: a concurrent close() also
         # takes it before appending the stop sentinels, so a request
         # that passed the closed check can never land behind a sentinel
@@ -361,10 +479,46 @@ class BrookService:
         with self._dispatch_lock:
             if self._closed:
                 raise RuntimeBrookError("service has been closed")
-            worker = min(self.workers, key=lambda w: w.outstanding)
-            worker.outstanding += 1
-            worker.queue.put(item)
+            if self.admission:
+                # Admit onto the worker whose WCET-projected backlog
+                # clears first; reject if even the bound cannot make it.
+                worker = min(self.workers, key=lambda w: w.committed_s)
+                projected = max(request.release, worker.committed_s) \
+                    + item.wcet_s
+                if request.deadline is not None \
+                        and projected > request.deadline:
+                    rejection = DeadlineRejected(
+                        name=request.name,
+                        reason=(
+                            f"WCET bound {item.wcet_s:.6f}s on top of the "
+                            f"worker backlog projects completion at "
+                            f"{projected:.6f}s, past the deadline "
+                            f"{request.deadline:.6f}s"),
+                        wcet_s=item.wcet_s,
+                        deadline_s=request.deadline,
+                        projected_s=projected,
+                        worker=worker.index,
+                    )
+                else:
+                    worker.committed_s = projected
+            elif self._track_deadlines:
+                # Deterministic round-robin keeps the FIFO baseline's
+                # hit/miss accounting reproducible across runs.
+                worker = self.workers[self._round_robin % len(self.workers)]
+                self._round_robin += 1
+            else:
+                worker = min(self.workers, key=lambda w: w.outstanding)
+            if rejection is None:
+                worker.outstanding += 1
+                worker.queue.put(item)
+        if rejection is not None:
+            with self._stats_lock:
+                self._deadline_stats.rejected += 1
+            future._set_result(rejection)
+            return future
         with self._stats_lock:
+            if self._track_deadlines:
+                self._deadline_stats.admitted += 1
             if self._first_submit is None:
                 self._first_submit = item.submitted_at
         return future
@@ -377,6 +531,56 @@ class BrookService:
         """Submit every request, then collect the responses in order."""
         futures = [self.submit(request) for request in requests]
         return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Deadline accounting helpers
+    # ------------------------------------------------------------------ #
+    def _request_wcet_seconds(self, request: ServiceRequest) -> float:
+        """WCET bound of ``request`` in modelled seconds (cached).
+
+        The bound depends only on the request signature (source, calls,
+        shapes) - never the input data - so it is derived once per
+        signature and reused, exactly like the workers' prepared plans.
+        """
+        key = request.signature()
+        with self._wcet_lock:
+            cached = self._wcet_cache.get(key)
+            if cached is not None:
+                self._wcet_cache.move_to_end(key)
+                return cached
+        from ..core.analysis.wcet import request_wcet
+        runtime = self.workers[0].runtime
+        module = runtime.compile(request.source)
+        bound = request_wcet(
+            request, module.program, platform=self.platform,
+            devices=self.devices, limits=runtime.backend.target_limits(),
+        )
+        with self._wcet_lock:
+            self._wcet_cache[key] = bound.seconds
+            while len(self._wcet_cache) > max(64, 4 * self.plan_cache_size):
+                self._wcet_cache.popitem(last=False)
+        return bound.seconds
+
+    def _modelled_seconds(self, aggregate: Dict[str, float]) -> float:
+        """Price one request's recorded work on the service platform."""
+        from ..timing.gpu_model import GPUWorkload
+        from ..timing.platforms import get_platform
+        workload = GPUWorkload(
+            passes=aggregate["passes"],
+            elements=aggregate["elements"],
+            flops=aggregate["flops"],
+            texture_fetches=aggregate["texture_fetches"],
+            bytes_to_device=aggregate["bytes_uploaded"],
+            bytes_from_device=aggregate["bytes_downloaded"],
+            transfer_calls=aggregate["transfer_calls"],
+            tile_switches=aggregate["extra_tiles"],
+            shard_dispatches=aggregate["extra_shards"],
+            halo_bytes=aggregate["halo_bytes"],
+        )
+        model = get_platform(self.platform).gpu
+        if self.devices > 1:
+            return model.sharded_time_seconds(workload, self.devices)
+        return model.time_seconds(workload)
 
     # ------------------------------------------------------------------ #
     # Completion bookkeeping (called from worker threads)
@@ -393,6 +597,10 @@ class BrookService:
                 worker.requests_served += 1
                 self._completed += 1
                 self._latencies.append(now - item.submitted_at)
+                if self._track_deadlines and response is not None:
+                    self._deadline_stats.record_completion(
+                        response.deadline_met, response.wcet_s,
+                        response.modelled_s)
             else:
                 self._failed += 1
         if error is None:
@@ -443,12 +651,14 @@ class BrookService:
                 "plan_cache": worker.cache_info(),
                 "compile_cache": worker.runtime.compile_cache_info(),
             })
-        return {
+        report = {
             "backend": self.backend_name,
             "device": self.device,
             "pool_size": self.pool_size,
             "devices": self.devices,
             "mode": self.mode,
+            "scheduler": self.scheduler,
+            "admission": self.admission,
             "requests_completed": completed,
             "requests_failed": failed,
             "elapsed_s": elapsed,
@@ -457,15 +667,34 @@ class BrookService:
             "workers": worker_rows,
             "device_totals": device_totals,
         }
+        if self._track_deadlines:
+            with self._stats_lock:
+                deadline = self._deadline_stats.summary()
+                deadline["platform"] = self.platform
+                deadline["virtual_s"] = max(
+                    (w.virtual_s for w in self.workers), default=0.0)
+            report["deadline"] = deadline
+        return report
 
     def reset_service_stats(self) -> None:
-        """Forget latency/throughput history (worker caches are kept)."""
+        """Forget latency/throughput history (worker caches are kept).
+
+        Also rewinds the deadline machinery: hit/miss/rejection counters
+        and the per-worker virtual/committed clocks restart from zero,
+        so benchmark phases can reuse warmed-up workers on a fresh
+        modelled timeline.  WCET bounds stay cached - they depend only
+        on request signatures.
+        """
         with self._stats_lock:
             self._latencies = deque(maxlen=LATENCY_WINDOW)
             self._completed = 0
             self._failed = 0
             self._first_submit = None
             self._last_done = None
+            self._deadline_stats.reset()
+            for worker in self.workers:
+                worker.virtual_s = 0.0
+                worker.committed_s = 0.0
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -120,3 +120,66 @@ class TestBackendsCommand:
             assert "cli-test" in capsys.readouterr().out
         finally:
             unregister_backend("cli-test")
+
+
+class TestCertifyCommand:
+    def test_certify_compliant_exits_zero(self, compliant_file, capsys):
+        assert main(["certify", str(compliant_file)]) == 0
+        out = capsys.readouterr().out
+        assert "certification COMPLIANT" in out
+
+    def test_certify_non_compliant_exits_one(self, non_compliant_file, capsys):
+        assert main(["certify", str(non_compliant_file)]) == 1
+        assert "NON-COMPLIANT" in capsys.readouterr().out
+
+    def test_certify_wcet_table(self, compliant_file, capsys):
+        assert main(["certify", str(compliant_file), "--wcet"]) == 0
+        out = capsys.readouterr().out
+        assert "Worst-case work bounds" in out
+        assert "scale" in out
+
+    def test_certify_wcet_reports_missing_bound(self, tmp_path, capsys):
+        path = tmp_path / "spin.br"
+        path.write_text("""
+kernel void spin(float x<>, out float y<>) {
+    float i = 0.0;
+    while (i < x) { i += 1.0; }
+    y = i;
+}
+""")
+        assert main(["certify", str(path), "--wcet"]) == 1
+        assert "NO BOUND" in capsys.readouterr().out
+
+    def test_certify_json_format(self, compliant_file, capsys):
+        assert main(["certify", str(compliant_file), "--format", "json"]) == 0
+        json.loads(capsys.readouterr().out.split("\n\n")[0])
+
+    def test_certify_unparsable_source(self, tmp_path, capsys):
+        path = tmp_path / "broken.br"
+        path.write_text("kernel void f( {")
+        assert main(["certify", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeBenchDeadlineMode:
+    def test_overload_run_writes_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        exit_code = main(["serve-bench", "--size", "16", "--requests", "8",
+                          "--pool-sizes", "1", "--overload", "2.0",
+                          "--json", str(tmp_path / "bench.json")])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "edf+admission" in out
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        assert payload["benchmark"] == "deadline"
+        assert payload["bitwise_identical"]
+        assert payload["wcet_sound"]
+        assert set(payload["configs"]) == {"fifo", "edf", "edf+admission"}
+
+    def test_deadline_ms_axis(self, tmp_path, capsys):
+        exit_code = main(["serve-bench", "--size", "16", "--requests", "6",
+                          "--pool-sizes", "1", "--deadline-ms", "1000",
+                          "--json", str(tmp_path / "bench.json")])
+        assert exit_code == 0
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        assert payload["timing"]["relative_deadline_s"] == pytest.approx(1.0)
