@@ -22,6 +22,10 @@ compiler is used in a build system:
 * ``brookauto certify`` - certification verdict table for a source file
   (exit code 1 on non-compliance), optionally with the per-kernel WCET
   work bounds the deadline-aware serving layer relies on.
+* ``brookauto autoplan`` - run the cost-model auto-planner on the ADAS
+  image pipeline and print the per-candidate pricing table (fusion /
+  devices / batching) with the chosen configuration and its modelled
+  speedup over the unplanned baseline.
 """
 
 from __future__ import annotations
@@ -209,6 +213,63 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_autoplan(args: argparse.Namespace) -> int:
+    from .core.analysis.planner import plan_service_request
+    from .errors import PlanningError
+    from .runtime.runtime import BrookRuntime
+    from .service.bench import build_adas_request, make_frames
+    from .service.service import prepare_request
+
+    try:
+        frame = make_frames(args.size, 1, seed=args.seed)[0]
+        request = build_adas_request(args.size, frame, name="autoplan")
+        with BrookRuntime(
+            backend=args.backend,
+            device=args.device if args.backend != "cpu" else None,
+            devices=args.devices,
+        ) as rt:
+            module, streams, plans = prepare_request(rt, request)
+            try:
+                decision = plan_service_request(
+                    request, module.program, rt, plans,
+                    platform=args.platform,
+                    executable_devices=rt.device_count,
+                    max_batch=args.max_batch,
+                    limits=rt.backend.target_limits(),
+                )
+                deadline_s = (args.deadline_ms * 1e-3
+                              if args.deadline_ms is not None else None)
+                chosen = decision.choose(deadline_s)
+            finally:
+                for stream in streams.values():
+                    stream.release()
+    except PlanningError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrookError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        payload = decision.to_payload()
+        payload["deadline_ms"] = args.deadline_ms
+        payload["deadline_chosen"] = chosen.to_payload()
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(decision.render_table())
+        if args.deadline_ms is not None:
+            print(f"  with deadline budget {args.deadline_ms:.3f} ms: "
+                  f"{chosen.config.describe()} "
+                  f"(wcet {chosen.wcet_s * 1e3:.4f} ms)")
+    if args.json:
+        payload = decision.to_payload()
+        payload["deadline_ms"] = args.deadline_ms
+        payload["deadline_chosen"] = chosen.to_payload()
+        pathlib.Path(args.json).write_text(json.dumps(payload, indent=2,
+                                                      default=str) + "\n")
+        print(f"results written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="brookauto",
@@ -293,6 +354,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--json", default=None,
                               help="also write the raw results to this file")
     serve_parser.set_defaults(func=_cmd_serve_bench)
+
+    autoplan_parser = sub.add_parser(
+        "autoplan",
+        help="print the cost-model auto-planner's candidate table for the "
+             "ADAS image pipeline")
+    autoplan_parser.add_argument("--backend", default="cpu",
+                                 choices=available_backends())
+    autoplan_parser.add_argument("--device", default=None)
+    autoplan_parser.add_argument("--size", type=int, default=32,
+                                 help="frame edge length of the ADAS pipeline")
+    autoplan_parser.add_argument("--seed", type=int, default=0)
+    autoplan_parser.add_argument("--devices", type=int, default=1,
+                                 help="devices the runtime opens (the "
+                                      "executable device count)")
+    autoplan_parser.add_argument("--platform", default="target",
+                                 help="timing platform pricing the candidates")
+    autoplan_parser.add_argument("--max-batch", type=int, default=8,
+                                 help="largest queue batch to enumerate")
+    autoplan_parser.add_argument("--deadline-ms", type=float, default=None,
+                                 help="also resolve the deadline-constrained "
+                                      "choice for this budget (exit 1 when "
+                                      "no candidate's WCET bound fits)")
+    autoplan_parser.add_argument("--format", default="text",
+                                 choices=("text", "json"))
+    autoplan_parser.add_argument("--json", default=None,
+                                 help="also write the decision to this file")
+    autoplan_parser.set_defaults(func=_cmd_autoplan)
 
     eval_parser = sub.add_parser("evaluate", help="regenerate the paper's figures")
     eval_parser.add_argument("experiment", nargs="?", default="all",

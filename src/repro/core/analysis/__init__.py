@@ -13,6 +13,9 @@ ISO 26262 / MISRA-style guidelines require an answer to at compile time:
   given that every Brook Auto stream is statically sized?
 * :mod:`wcet` - what is the worst-case work (and, priced through the
   platform cost model, time) a kernel launch can cost?
+* :mod:`planner` - which execution configuration (fusion, devices,
+  batching) should a pipeline use, given the platform cost model and,
+  optionally, a deadline its WCET bound must fit?
 """
 
 from .call_graph import CallGraph, build_call_graph
@@ -20,6 +23,14 @@ from .loop_bounds import LoopBound, LoopBoundAnalysis, analyze_loop_bounds
 from .memory_usage import MemoryUsageReport, estimate_memory_usage
 from .resources import KernelResources, estimate_resources
 from .stack_depth import StackDepthReport, estimate_stack_depth
+from .planner import (
+    CandidateConfig,
+    PlanCandidate,
+    PlanDecision,
+    build_launchables,
+    plan_pipeline,
+    plan_service_request,
+)
 from .wcet import (
     KernelWCET,
     WCETBound,
@@ -42,6 +53,12 @@ __all__ = [
     "estimate_stack_depth",
     "MemoryUsageReport",
     "estimate_memory_usage",
+    "CandidateConfig",
+    "PlanCandidate",
+    "PlanDecision",
+    "build_launchables",
+    "plan_pipeline",
+    "plan_service_request",
     "KernelWCET",
     "WCETBound",
     "analyze_kernel_wcet",

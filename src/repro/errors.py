@@ -93,6 +93,16 @@ class FusionError(BrookError):
     """A producer/consumer kernel pair cannot be legally fused."""
 
 
+class PlanningError(BrookError):
+    """The auto-planner cannot produce an execution plan.
+
+    Raised by :mod:`repro.core.analysis.planner` when a pipeline has no
+    feasible candidate configuration, or when a request carries a
+    deadline that no candidate's WCET bound provably fits - the planner
+    never falls back to an unproven configuration.
+    """
+
+
 class RuntimeBrookError(BrookError):
     """Base class for errors raised by the Brook runtime (host side)."""
 

@@ -393,6 +393,41 @@ class BrookRuntime:
         self._require_open()
         return build_fused_pipeline(self, plans)
 
+    def autoplan(self, plans: List[LaunchPlan], platform: str = "target",
+                 device_counts=None, max_batch: int = 1,
+                 label: Optional[str] = None):
+        """Cost-model decision for how to execute a prepared pipeline.
+
+        Enumerates the candidate execution configurations of ``plans``
+        (fusion on/off per legal group, device-group sizes, shard axis,
+        batching), prices each with the ``platform`` timing model, and
+        returns the argmin as a
+        :class:`~repro.core.analysis.planner.PlanDecision`.  Only
+        candidates matching this runtime's :attr:`device_count` are
+        selectable; other device counts stay in the decision's table as
+        fleet advice.  Materialise the chosen config with
+        :func:`~repro.core.analysis.planner.build_launchables`:
+
+        .. code-block:: python
+
+            plans = [module.blur.bind(src, tmp),
+                     module.sharpen.bind(tmp, 0.5, dst)]
+            decision = rt.autoplan(plans)
+            print(decision.render_table())
+            for launchable in build_launchables(rt, plans,
+                                                decision.chosen.config):
+                launchable.launch()
+        """
+        self._require_open()
+        from ..core.analysis.planner import DEFAULT_DEVICE_COUNTS, plan_pipeline
+        if device_counts is None:
+            device_counts = DEFAULT_DEVICE_COUNTS
+        return plan_pipeline(
+            self, plans, platform=platform, device_counts=device_counts,
+            executable_devices=self.device_count, max_batch=max_batch,
+            limits=self.backend.target_limits(), label=label,
+        )
+
     def _queue_stack(self) -> List[CommandQueue]:
         """The *calling thread's* stack of active command queues.
 

@@ -36,10 +36,11 @@ accelerator.  This package provides that serving surface:
 
 from .deadline import DeadlineRejected, DeadlineStats, EDFQueue
 from .request import KernelCall, ServiceFuture, ServiceRequest, ServiceResponse, call
-from .service import BrookService
+from .service import BrookService, prepare_request
 
 __all__ = [
     "BrookService",
+    "prepare_request",
     "DeadlineRejected",
     "DeadlineStats",
     "EDFQueue",

@@ -26,6 +26,15 @@ Every mode produces bit-identical outputs to executing the request's
 calls serially on a single runtime; the modes only differ in how many
 passes (and how much per-request overhead) they pay.
 
+With ``plan="auto"`` the fuse mode stops being a knob: the cost-model
+auto-planner (:mod:`repro.core.analysis.planner`) prices the candidate
+configurations of each request signature on the service's timing
+platform and executes the argmin.  Decisions are cached per
+``(signature, platform, devices)`` - a service built for a different
+platform or device count never reuses a stale decision - and a request
+carrying a deadline only ever gets a configuration whose WCET bound
+provably fits its budget.
+
 Requests are independent by construction (each signature owns distinct
 streams), and the per-runtime state the workers share - compile cache,
 statistics, stream table, backend storage accounting - is thread-safe,
@@ -34,6 +43,7 @@ so a service is safe to drive from many client threads at once.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import OrderedDict, deque
@@ -49,7 +59,7 @@ from ..runtime.runtime import BrookRuntime
 from .deadline import DeadlineRejected, DeadlineStats, EDFQueue
 from .request import ServiceFuture, ServiceRequest, ServiceResponse
 
-__all__ = ["BrookService"]
+__all__ = ["BrookService", "prepare_request"]
 
 _STOP = object()
 
@@ -57,6 +67,45 @@ _STOP = object()
 #: so a service handling heavy traffic for days does not grow without
 #: limit; the counters stay exact, only the percentile window slides.
 LATENCY_WINDOW = 65536
+
+
+def prepare_request(runtime: BrookRuntime, request: ServiceRequest):
+    """Compile and bind a request on ``runtime``: (module, streams, plans).
+
+    The canonical request-preparation recipe shared by the service
+    workers, the auto-planner's decision pass, the CLI and the
+    benchmarks: one stream per input/output/scratch entry, one prepared
+    plan per kernel call with string arguments resolved to streams.
+    The caller owns the returned streams (release them when done).
+    """
+    module = runtime.compile(request.source)
+    streams = {}
+    for name, array in request.inputs.items():
+        streams[name] = runtime.stream(array.shape, name=name)
+    for name, dims in request.outputs.items():
+        streams[name] = runtime.stream(dims, name=name)
+    for name, dims in request.scratch.items():
+        streams[name] = runtime.stream(dims, name=name)
+    plans = []
+    for one_call in request.calls:
+        handle = module.kernel(one_call.kernel)
+        args = [streams[arg] if isinstance(arg, str) else arg
+                for arg in one_call.args]
+        plans.append(handle.bind(*args))
+    return module, streams, plans
+
+
+def _signature_label(request: ServiceRequest) -> str:
+    """Stable human-readable identity of a request signature.
+
+    The kernel chain plus a short signature digest: readable in reports,
+    and distinct signatures sharing a kernel chain (different shapes,
+    say) stay distinguishable.
+    """
+    digest = hashlib.sha1(
+        repr(request.signature()).encode("utf-8")).hexdigest()[:8]
+    return "+".join(one_call.kernel for one_call in request.calls) \
+        + "@" + digest
 
 
 class _PendingItem:
@@ -76,12 +125,15 @@ class _PendingItem:
 class _PreparedRequest:
     """Cache entry: streams + prepared plans for one request signature."""
 
-    __slots__ = ("streams", "plans", "pipeline")
+    __slots__ = ("streams", "plans", "pipeline", "launchables")
 
-    def __init__(self, streams, plans, pipeline):
+    def __init__(self, streams, plans, pipeline, launchables=None):
         self.streams = streams
         self.plans = plans
         self.pipeline = pipeline
+        #: Auto-planned execution order (fused groups + bare plans);
+        #: ``None`` outside ``plan="auto"``.
+        self.launchables = launchables
 
     def release(self) -> None:
         for stream in self.streams.values():
@@ -116,6 +168,10 @@ class _ServiceWorker:
         self._cache: "OrderedDict[Tuple, _PreparedRequest]" = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
+        #: Per-signature hit/miss counters ({label: [hits, misses]}), so
+        #: cache behaviour (and autoplan wins) is attributable per
+        #: pipeline rather than only in aggregate.
+        self._sig_stats: "OrderedDict[str, List[int]]" = OrderedDict()
         self.thread = threading.Thread(
             target=self._run, name=f"brook-service-{index}", daemon=True)
         self.thread.start()
@@ -142,33 +198,51 @@ class _ServiceWorker:
         self.runtime.close()
 
     # ------------------------------------------------------------------ #
+    def _record_sig(self, label: str, hit: bool) -> None:
+        counters = self._sig_stats.get(label)
+        if counters is None:
+            counters = self._sig_stats[label] = [0, 0]
+            while len(self._sig_stats) > max(64,
+                                             4 * self.service.plan_cache_size):
+                self._sig_stats.popitem(last=False)
+        counters[0 if hit else 1] += 1
+
     def _entry_for(self, request: ServiceRequest,
                    evicted: List[_PreparedRequest]
                    ) -> "Tuple[_PreparedRequest, bool]":
-        key = request.signature()
+        key: Tuple = request.signature()
+        chosen = None
+        if self.service.plan_mode == "auto":
+            # The planner decides first (PlanningError propagates to the
+            # request's future); the chosen config joins the cache key,
+            # so the same signature under a different deadline budget
+            # can legitimately map to a differently-built entry.
+            decision = self.service._decision_for(self, request)
+            budget = None
+            if request.deadline is not None:
+                budget = request.deadline - request.release
+            chosen = decision.choose(budget)
+            key = (key, chosen.config.key())
+        label = _signature_label(request)
         entry = self._cache.get(key)
         if entry is not None:
             self._cache_hits += 1
+            self._record_sig(label, hit=True)
             self._cache.move_to_end(key)
             return entry, True
         self._cache_misses += 1
+        self._record_sig(label, hit=False)
         rt = self.runtime
-        module = rt.compile(request.source)
-        streams = {}
-        for name, array in request.inputs.items():
-            streams[name] = rt.stream(array.shape, name=name)
-        for name, dims in request.outputs.items():
-            streams[name] = rt.stream(dims, name=name)
-        for name, dims in request.scratch.items():
-            streams[name] = rt.stream(dims, name=name)
-        plans = []
-        for one_call in request.calls:
-            handle = module.kernel(one_call.kernel)
-            args = [streams[arg] if isinstance(arg, str) else arg
-                    for arg in one_call.args]
-            plans.append(handle.bind(*args))
-        pipeline = rt.fuse(plans) if self.service.mode == "pipeline" else None
-        entry = _PreparedRequest(streams, plans, pipeline)
+        _module, streams, plans = prepare_request(rt, request)
+        if chosen is not None:
+            from ..core.analysis.planner import build_launchables
+            pipeline = None
+            launchables = build_launchables(rt, plans, chosen.config)
+        else:
+            pipeline = (rt.fuse(plans)
+                        if self.service.mode == "pipeline" else None)
+            launchables = None
+        entry = _PreparedRequest(streams, plans, pipeline, launchables)
         self._cache[key] = entry
         while len(self._cache) > self.service.plan_cache_size:
             # Defer the stream release to the caller: an evicted entry
@@ -224,7 +298,10 @@ class _ServiceWorker:
                 for name, array in item.request.inputs.items():
                     entry.streams[name].write(array)
             values: List[Optional[float]] = []
-            if self.service.mode == "queue" and len(round_items) >= 1:
+            planned = any(entry.launchables is not None
+                          for _, entry, _ in round_items)
+            if self.service.mode == "queue" and not planned \
+                    and len(round_items) >= 1:
                 # One fusing flush for the whole round: adjacent
                 # producer->consumer launches inside each request merge,
                 # statistics are recorded in one bulk operation.
@@ -239,7 +316,14 @@ class _ServiceWorker:
                     values.append(results[offset - 1])
             else:
                 for _, entry, _ in round_items:
-                    if entry.pipeline is not None:
+                    if entry.launchables is not None:
+                        # Auto-planned order: fused groups and bare
+                        # plans exactly as the chosen config dictates.
+                        value = None
+                        for launchable in entry.launchables:
+                            value = launchable.launch()
+                        values.append(value)
+                    elif entry.pipeline is not None:
                         values.append(entry.pipeline.launch())
                     else:
                         value = None
@@ -305,12 +389,16 @@ class _ServiceWorker:
             ))
 
     # ------------------------------------------------------------------ #
-    def cache_info(self) -> Dict[str, int]:
+    def cache_info(self) -> Dict[str, object]:
         return {
             "entries": len(self._cache),
             "capacity": self.service.plan_cache_size,
             "hits": self._cache_hits,
             "misses": self._cache_misses,
+            "per_signature": {
+                label: {"hits": counters[0], "misses": counters[1]}
+                for label, counters in self._sig_stats.items()
+            },
         }
 
 
@@ -361,6 +449,15 @@ class BrookService:
             explicitly turns deadline *tracking* on even under the FIFO
             scheduler without admission - that is the measurable
             baseline the deadline benchmark compares against.
+        plan: ``"manual"`` (default) executes the ``fuse`` mode as
+            given; ``"auto"`` lets the cost-model planner pick the
+            execution configuration per request signature (fusion
+            groups, batching - priced on the service's timing platform,
+            which defaults to ``"target"`` without turning deadline
+            tracking on).  Deadline-carrying requests only receive
+            configurations whose WCET bound fits the deadline budget;
+            when none fits, the request's future raises
+            :class:`~repro.errors.PlanningError`.
     """
 
     def __init__(
@@ -376,6 +473,7 @@ class BrookService:
         scheduler: str = "fifo",
         admission: bool = False,
         platform: Optional[str] = None,
+        plan: str = "manual",
     ):
         # Degenerate configurations fail loudly and uniformly with a
         # RuntimeBrookError instead of being silently clamped (or
@@ -410,14 +508,23 @@ class BrookService:
         if scheduler not in ("fifo", "edf"):
             raise RuntimeBrookError(
                 f"unknown scheduler {scheduler!r}; expected 'fifo' or 'edf'")
+        if plan not in ("manual", "auto"):
+            raise RuntimeBrookError(
+                f"unknown plan mode {plan!r}; expected 'manual' or 'auto'")
+        self.plan_mode = plan
         self.scheduler = scheduler
         self.admission = bool(admission)
         #: Deadline accounting is active whenever any deadline feature
-        #: is requested; a bare FIFO service skips it entirely.
+        #: is requested; a bare FIFO service skips it entirely.  Note
+        #: the check uses the *constructor* platform argument: the
+        #: auto-planner needing a pricing platform below must not drag
+        #: per-request deadline accounting in with it.
         self._track_deadlines = (self.admission or scheduler == "edf"
                                  or platform is not None)
         self.platform = platform or ("target" if self._track_deadlines
                                      else None)
+        if self.plan_mode == "auto" and self.platform is None:
+            self.platform = "target"
         if self.platform is not None:
             from ..timing.platforms import PLATFORMS
             if self.platform not in PLATFORMS:
@@ -444,6 +551,13 @@ class BrookService:
         #: bound only depends on the signature, never the input data).
         self._wcet_cache: "OrderedDict[Tuple, object]" = OrderedDict()
         self._wcet_lock = threading.Lock()
+        #: Auto-planner decisions keyed (signature, platform, devices):
+        #: shared across the pool, and structurally unable to survive a
+        #: platform or device-count change.
+        self._plan_decisions: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._plan_lock = threading.Lock()
+        self._autoplan_hits = 0
+        self._autoplan_misses = 0
         self._round_robin = 0
         self.workers = [_ServiceWorker(self, index)
                         for index in range(self.pool_size)]
@@ -531,6 +645,49 @@ class BrookService:
         """Submit every request, then collect the responses in order."""
         futures = [self.submit(request) for request in requests]
         return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Auto-planning
+    # ------------------------------------------------------------------ #
+    def _decision_for(self, worker: _ServiceWorker,
+                      request: ServiceRequest):
+        """The planner's decision for ``request`` (cached service-wide).
+
+        Keyed ``(signature, platform, devices)``: the decision depends
+        on exactly those three - never the input data - so every worker
+        shares it, and a different platform or device count can never
+        see a stale decision.  First derivation per signature prepares a
+        throwaway plan set on ``worker``'s runtime to enumerate and
+        price the candidates; the streams are released immediately.
+        """
+        key = (request.signature(), self.platform, self.devices)
+        with self._plan_lock:
+            decision = self._plan_decisions.get(key)
+            if decision is not None:
+                self._plan_decisions.move_to_end(key)
+                self._autoplan_hits += 1
+                return decision
+            self._autoplan_misses += 1
+        from ..core.analysis.planner import plan_service_request
+        rt = worker.runtime
+        module, streams, plans = prepare_request(rt, request)
+        try:
+            decision = plan_service_request(
+                request, module.program, rt, plans,
+                platform=self.platform,
+                executable_devices=self.devices,
+                max_batch=self.max_batch,
+                limits=rt.backend.target_limits(),
+            )
+        finally:
+            for stream in streams.values():
+                stream.release()
+        with self._plan_lock:
+            self._plan_decisions[key] = decision
+            while len(self._plan_decisions) > max(64,
+                                                  4 * self.plan_cache_size):
+                self._plan_decisions.popitem(last=False)
+        return decision
 
     # ------------------------------------------------------------------ #
     # Deadline accounting helpers
@@ -674,6 +831,27 @@ class BrookService:
                 deadline["virtual_s"] = max(
                     (w.virtual_s for w in self.workers), default=0.0)
             report["deadline"] = deadline
+        if self.plan_mode == "auto":
+            with self._plan_lock:
+                decisions = list(self._plan_decisions.values())
+                hits, misses = self._autoplan_hits, self._autoplan_misses
+            report["autoplan"] = {
+                "platform": self.platform,
+                "decision_cache": {
+                    "entries": len(decisions),
+                    "hits": hits,
+                    "misses": misses,
+                },
+                "decisions": [{
+                    "label": decision.label,
+                    "chosen": decision.chosen.config.describe(),
+                    "chosen_modelled_ms":
+                        decision.chosen.modelled_s * 1e3,
+                    "baseline_modelled_ms":
+                        decision.baseline.modelled_s * 1e3,
+                    "modelled_speedup": decision.speedup,
+                } for decision in decisions],
+            }
         return report
 
     def reset_service_stats(self) -> None:

@@ -161,6 +161,40 @@ kernel void spin(float x<>, out float y<>) {
         assert "error" in capsys.readouterr().err
 
 
+class TestAutoplanCommand:
+    def test_prints_candidate_table(self, capsys):
+        assert main(["autoplan", "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "auto-plan for" in out
+        assert "devices" in out
+        assert "modelled_ms" in out
+        assert "baseline" in out
+
+    def test_json_format_parses(self, capsys):
+        assert main(["autoplan", "--size", "16", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["chosen"]["modelled_ms"] \
+            <= payload["baseline"]["modelled_ms"]
+        assert payload["candidates"]
+
+    def test_json_file_output(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        assert main(["autoplan", "--size", "16", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["label"].startswith("filter3x3+")
+
+    def test_unmeetable_deadline_exits_one(self, capsys):
+        exit_code = main(["autoplan", "--size", "16",
+                          "--deadline-ms", "0.000001"])
+        assert exit_code == 1
+        assert "deadline budget" in capsys.readouterr().err
+
+    def test_meetable_deadline_reports_choice(self, capsys):
+        assert main(["autoplan", "--size", "16",
+                     "--deadline-ms", "60000"]) == 0
+        assert "deadline budget" in capsys.readouterr().out
+
+
 class TestServeBenchDeadlineMode:
     def test_overload_run_writes_json(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)

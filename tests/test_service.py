@@ -131,6 +131,28 @@ class TestBrookService:
         assert cache["hits"] == 1 and cache["misses"] == 1
         np.testing.assert_allclose(second.outputs["out"], (data + 5) * 2 + 1)
 
+    def test_plan_cache_counters_attributable_per_signature(self):
+        # Aggregate hit/miss counters cannot tell which pipeline the
+        # cache worked for; the per-signature breakdown must.
+        data_a = np.arange(16.0, dtype=np.float32)
+        data_b = np.arange(32.0, dtype=np.float32)
+        with BrookService(backend="cpu", pool_size=1) as service:
+            service.process(make_request(data_a, name="a0"))
+            service.process(make_request(data_a + 1, name="a1"))
+            service.process(make_request(data_b, name="b0"))
+            report = service.service_report()
+        cache = report["workers"][0]["plan_cache"]
+        assert cache["hits"] == 1 and cache["misses"] == 2
+        per_signature = cache["per_signature"]
+        assert len(per_signature) == 2
+        # Labels lead with the kernel chain and stay distinct even
+        # though both signatures run the same kernels.
+        for label in per_signature:
+            assert label.startswith("scale+offset@")
+        counters = sorted((c["hits"], c["misses"])
+                          for c in per_signature.values())
+        assert counters == [(0, 1), (1, 1)]
+
     def test_least_loaded_dispatch_spreads_requests(self):
         data = np.arange(8.0, dtype=np.float32)
         with BrookService(backend="cpu", pool_size=3) as service:
