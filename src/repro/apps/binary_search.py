@@ -33,26 +33,36 @@ __all__ = ["BinarySearchApp"]
 #: explored devices can hold, so the constant bound is always sufficient.
 MAX_PROBES = 24
 
+#: The probe loop is bounded by ``probes``, an adaptive per-launch count
+#: derived from the declared table size: ``ceil(log2(count)) + 1`` capped
+#: at ``MAX_PROBES``.  The syntactic loop-bound deduction cannot evaluate
+#: the ``log2``/``ceil`` limit, so certification and WCET rely on the
+#: interval range analysis (``range_specs`` below), which proves 23 trips
+#: for the largest declared table — one tighter than the fixed cap.  The
+#: gather indices are clamped to the declared extents (rule BL-102) and
+#: the equal/less/greater cases are restructured so no float ``==``
+#: comparison remains (rule BL-104).
 BROOK_SOURCE = """
 kernel void binary_search(float key<>, float table[][], float width,
-                          float count, out float position<>) {
+                          float height, float count, out float position<>) {
     float lo = 0.0;
     float hi = count - 1.0;
     float found = -1.0;
-    for (int probe = 0; probe < 24; probe = probe + 1) {
+    float probes = min(ceil(log2(max(count, 2.0))) + 1.0, 24.0);
+    for (int probe = 0; probe < probes; probe = probe + 1) {
         if (lo <= hi) {
             float mid = floor((lo + hi) * 0.5);
-            float my = floor(mid / width);
-            float mx = mid - my * width;
+            float my = clamp(floor(mid / width), 0.0, height - 1.0);
+            float mx = clamp(mid - my * width, 0.0, width - 1.0);
             float value = table[my][mx];
-            if (value == key) {
-                found = mid;
-                lo = hi + 1.0;
+            if (value < key) {
+                lo = mid + 1.0;
             } else {
-                if (value < key) {
-                    lo = mid + 1.0;
-                } else {
+                if (value > key) {
                     hi = mid - 1.0;
+                } else {
+                    found = mid;
+                    lo = hi + 1.0;
                 }
             }
         }
@@ -70,6 +80,16 @@ class BinarySearchApp(BrookApplication):
     description = "size^2 parallel binary searches in a sorted table"
     figure = "figure3"
     brook_source = BROOK_SOURCE
+    range_specs = {
+        "binary_search": {
+            "gathers": {"table": ("height", "width")},
+            "params": {
+                "width": (1, 2048),
+                "height": (1, 2048),
+                "count": (1, 2048 * 2048),
+            },
+        }
+    }
     default_sizes = (128, 256, 512, 1024, 2048)
     max_target_size = 2048
     validation_rtol = 0.0
@@ -100,7 +120,8 @@ class BinarySearchApp(BrookApplication):
         keys = runtime.stream_from(inputs["keys"], name="keys")
         table = runtime.stream_from(inputs["table"], name="table")
         positions = runtime.stream((size, size), name="positions")
-        module.binary_search(keys, table, float(size), float(size * size), positions)
+        module.binary_search(keys, table, float(size), float(size),
+                             float(size * size), positions)
         return {"position": positions.read()}
 
     # ------------------------------------------------------------------ #

@@ -46,7 +46,10 @@ kernel void binomial_option(float price<>, float strike<>,
     float down = 1.0 / up;
     float growth = exp(riskfree * dt);
     float p_up = (growth - down) / (up - down);
-    float p_down = 1.0 - p_up;
+    /* Any no-arbitrage parameter set keeps p_down well above zero; the
+       floor is a defensive guard that also lets the range analysis prove
+       the p_ratio division safe (rule BL-103). */
+    float p_down = max(1.0 - p_up, 0.000001);
 
     /* Running-product evaluation of sum_k C(n,k) p^k q^(n-k) payoff(k). */
     float term = pow(p_down, num_steps);
@@ -81,6 +84,16 @@ class BinomialOptionApp(BrookApplication):
     brook_source = BROOK_SOURCE
     #: ``num_steps`` bounds the per-option loop (rule BA-005).
     param_bounds = {"binomial_option": {"num_steps": NUM_STEPS}}
+    range_specs = {
+        "binomial_option": {
+            "params": {
+                "num_steps": (1, NUM_STEPS),
+                "riskfree": (0.0, 0.1),
+                "volatility": (0.05, 1.0),
+                "years": (0.5, 2.0),
+            },
+        }
+    }
     default_sizes = (128, 256, 512, 1024, 2048)
     max_target_size = 2048
     validation_rtol = 5e-3

@@ -33,14 +33,17 @@ __all__ = ["BitonicSortApp"]
 
 BROOK_SOURCE = """
 kernel void bitonic_step(float element<>, float data[][], float stage_j,
-                         float stage_k, float width, out float result<>) {
+                         float stage_k, float width, float height,
+                         out float result<>) {
     float2 idx = indexof(result);
     float i = idx.y * width + idx.x;
     /* (i & j) == 0  <=>  floor(i / j) is even (j is a power of two). */
     float lower = (fmod(floor(i / stage_j), 2.0) < 0.5) ? 1.0 : 0.0;
     float partner = (lower > 0.5) ? (i + stage_j) : (i - stage_j);
-    float py = floor(partner / width);
-    float px = partner - py * width;
+    /* The bitonic network keeps every partner inside the grid; the
+       clamps make that invariant statically provable (rule BL-102). */
+    float py = clamp(floor(partner / width), 0.0, height - 1.0);
+    float px = clamp(partner - py * width, 0.0, width - 1.0);
     float other = data[py][px];
     float ascending = (fmod(floor(i / stage_k), 2.0) < 0.5) ? 1.0 : 0.0;
     float smaller = min(element, other);
@@ -62,6 +65,18 @@ class BitonicSortApp(BrookApplication):
     description = "Data-independent bitonic sorting network (multipass, no transfers)"
     figure = "figure3"
     brook_source = BROOK_SOURCE
+    range_specs = {
+        "bitonic_step": {
+            "domain": ("height", "width"),
+            "gathers": {"data": ("height", "width")},
+            "params": {
+                "stage_j": (1, 2048 * 2048),
+                "stage_k": (2, 2048 * 2048),
+                "width": (1, 2048),
+                "height": (1, 2048),
+            },
+        }
+    }
     #: The paper reports results up to 256^2 elements only (the reference
     #: CPU implementation becomes intractable beyond that).
     default_sizes = (64, 128, 256)
@@ -103,7 +118,7 @@ class BitonicSortApp(BrookApplication):
             j = k // 2
             while j >= 1:
                 module.bitonic_step(current, current, float(j), float(k),
-                                    float(size), scratch)
+                                    float(size), float(size), scratch)
                 current, scratch = scratch, current
                 j //= 2
             k *= 2

@@ -82,6 +82,20 @@ class BlackScholesApp(BrookApplication):
     description = "Black-Scholes call/put pricing (two-output kernel)"
     figure = "figure2"
     brook_source = BROOK_SOURCE
+    #: Input streams carry market data inside these documented ranges
+    #: (matching ``generate_inputs``); they let the range analysis prove
+    #: every division safe (rule BL-103).
+    range_specs = {
+        "black_scholes": {
+            "params": {
+                "price": (10.0, 100.0),
+                "strike": (10.0, 100.0),
+                "years": (0.25, 5.0),
+                "riskfree": (0.0, 0.1),
+                "volatility": (0.05, 1.0),
+            },
+        }
+    }
     default_sizes = (128, 256, 512, 1024, 2048)
     max_target_size = 2048
     validation_rtol = 5e-3

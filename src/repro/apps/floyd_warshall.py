@@ -53,6 +53,14 @@ class FloydWarshallApp(BrookApplication):
     description = "Floyd-Warshall shortest paths (two-output relaxation kernel)"
     figure = "figure3"
     brook_source = BROOK_SOURCE
+    #: ``k`` is the relaxation pivot the host loop sweeps over ``0..n-1``.
+    range_specs = {
+        "fw_relax": {
+            "domain": ("n", "n"),
+            "gathers": {"dist": ("n", "n")},
+            "params": {"k": (0, "n-1")},
+        }
+    }
     default_sizes = (128, 256, 512, 1024, 2048)
     max_target_size = 2048
     validation_rtol = 1e-4

@@ -68,6 +68,13 @@ class ImageFilterApp(BrookApplication):
     description = "3x3 convolution over a single-channel image"
     figure = "figure3"
     brook_source = BROOK_SOURCE
+    range_specs = {
+        "filter3x3": {
+            "domain": ("height", "width"),
+            "gathers": {"image": ("height", "width")},
+            "params": {"width": (1, 2048), "height": (1, 2048)},
+        }
+    }
     default_sizes = (128, 256, 512, 1024, 2048)
     max_target_size = 2048
     validation_rtol = 1e-3

@@ -26,14 +26,15 @@ __all__ = ["PrefixSumApp"]
 
 BROOK_SOURCE = """
 kernel void scan_step(float current<>, float previous[][], float offset,
-                      float width, out float result<>) {
+                      float width, float height, out float result<>) {
     float2 idx = indexof(current);
     float linear = idx.y * width + idx.x;
     /* Clamp the gather index so that it is valid on every backend even for
-     * the elements that do not add a partial sum this pass. */
+     * the elements that do not add a partial sum this pass; the row/column
+     * clamps make in-bounds statically provable (rule BL-102). */
     float source = max(linear - offset, 0.0);
-    float sy = floor(source / width);
-    float sx = source - sy * width;
+    float sy = clamp(floor(source / width), 0.0, height - 1.0);
+    float sx = clamp(source - sy * width, 0.0, width - 1.0);
     float partial = previous[sy][sx];
     if (linear - offset >= 0.0) {
         result = current + partial;
@@ -52,6 +53,17 @@ class PrefixSumApp(BrookApplication):
     description = "Multipass inclusive prefix sum over all elements"
     figure = "figure2"
     brook_source = BROOK_SOURCE
+    range_specs = {
+        "scan_step": {
+            "domain": ("height", "width"),
+            "gathers": {"previous": ("height", "width")},
+            "params": {
+                "offset": (1, 2048 * 2048),
+                "width": (1, 2048),
+                "height": (1, 2048),
+            },
+        }
+    }
     default_sizes = (128, 256, 512, 1024, 2048)
     max_target_size = 2048
     validation_rtol = 1e-3
@@ -76,7 +88,8 @@ class PrefixSumApp(BrookApplication):
         passes = int(math.ceil(math.log2(total))) if total > 1 else 0
         offset = 1
         for _ in range(passes):
-            module.scan_step(current, current, float(offset), float(size), scratch)
+            module.scan_step(current, current, float(offset), float(size),
+                             float(size), scratch)
             current, scratch = scratch, current
             offset *= 2
         return {"scan": current.read()}

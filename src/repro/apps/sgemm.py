@@ -56,6 +56,13 @@ class SgemmApp(BrookApplication):
     #: The inner-product loop is bounded by the matrix dimension, which is
     #: itself bounded by the texture limit of the target (rule BA-005).
     param_bounds = {"sgemm": {"inner": MAX_INNER_DIMENSION}}
+    range_specs = {
+        "sgemm": {
+            "domain": ("m", "n"),
+            "gathers": {"a": ("m", "inner"), "b": ("inner", "n")},
+            "params": {"inner": (1, MAX_INNER_DIMENSION)},
+        }
+    }
     default_sizes = (128, 256, 512, 1024, 2048)
     max_target_size = 2048
     validation_rtol = 2e-3

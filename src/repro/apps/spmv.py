@@ -32,8 +32,12 @@ __all__ = ["SpMVApp"]
 NNZ_PER_ROW = 8
 
 BROOK_SOURCE = """
-kernel void spmv_gather(float columns<>, float vector[], out float gathered<>) {
-    gathered = vector[columns];
+kernel void spmv_gather(float columns<>, float vector[], float count,
+                        out float gathered<>) {
+    /* Column indices are data (stream contents), so no static analysis
+       can bound them; the explicit clamp pins the gather inside the
+       declared vector extent on every backend (rule BL-102). */
+    gathered = vector[clamp(columns, 0.0, count - 1.0)];
 }
 
 kernel void spmv_multiply(float values<>, float gathered<>, out float product<>) {
@@ -61,6 +65,17 @@ class SpMVApp(BrookApplication):
     figure = "figure2"
     brook_source = BROOK_SOURCE
     param_bounds = {"spmv_accumulate": {"nnz": NNZ_PER_ROW}}
+    range_specs = {
+        "spmv_gather": {
+            "gathers": {"vector": ("count",)},
+            "params": {"count": (1, 2048)},
+        },
+        "spmv_accumulate": {
+            "domain": ("n",),
+            "gathers": {"products": ("n", "nnz")},
+            "params": {"nnz": (1, NNZ_PER_ROW)},
+        },
+    }
     default_sizes = (128, 256, 512, 1024, 2048)
     #: The decompressed matrix reaches the 2048 texture limit beyond 1024
     #: on the OpenGL ES 2 target (paper section 6.1).
@@ -93,7 +108,7 @@ class SpMVApp(BrookApplication):
         gathered = runtime.stream((size, NNZ_PER_ROW), name="spmv_gathered")
         products = runtime.stream((size, NNZ_PER_ROW), name="spmv_products")
         row_sums = runtime.stream((size,), name="spmv_row_sums")
-        module.spmv_gather(columns, vector, gathered)
+        module.spmv_gather(columns, vector, float(size), gathered)
         module.spmv_multiply(values, gathered, products)
         module.spmv_accumulate(products, float(NNZ_PER_ROW), row_sums)
         return {"row_sum": row_sums.read()}

@@ -26,6 +26,10 @@ compiler is used in a build system:
   image pipeline and print the per-candidate pricing table (fusion /
   devices / batching) with the chosen configuration and its modelled
   speedup over the unplanned baseline.
+* ``brookauto lint`` - run the brooklint interval/range analysis over
+  ``.br`` sources, Python files with embedded kernel strings, or the
+  registered reference applications (``--apps``), emitting findings as a
+  table, JSON or SARIF 2.1.0 (exit code 1 on error-severity findings).
 """
 
 from __future__ import annotations
@@ -123,9 +127,133 @@ def _cmd_certify(args: argparse.Namespace) -> int:
                 print(f"{name:>24} {bound.flops_per_element:>8} "
                       f"{bound.fetches_per_element:>8} "
                       f"{bound.max_loop_iterations:>11}")
+    if args.lint:
+        from .core.analysis.lint import lint_program
+        lint_report = lint_program(program, source_file=str(source_path))
+        print()
+        print(_render_lint_summary(lint_report))
     verdict = "COMPLIANT" if report.is_compliant else "NON-COMPLIANT"
     print(f"\n{source_path}: certification {verdict}")
     return 0 if report.is_compliant else 1
+
+
+def _render_lint_summary(report) -> str:
+    """The brooklint block appended to the certification verdict table."""
+    summary = report.summary()
+    lines = ["brooklint summary:"]
+    lines.append(f"  kernels linted: {summary['kernels']}, "
+                 f"gathers proved in-bounds: {summary['gathers_proved']}"
+                 f"/{summary['gathers']}")
+    lines.append(f"  findings: {summary['error']} error(s), "
+                 f"{summary['warning']} warning(s), {summary['note']} note(s)")
+    for diag in report.diagnostics:
+        lines.append(f"  {diag}")
+    return "\n".join(lines)
+
+
+def _python_kernel_snippets(path: pathlib.Path):
+    """Extract embedded Brook kernel sources from a Python file.
+
+    Scans the module's AST for string constants that contain ``kernel
+    void`` — the convention every reference application uses for its
+    ``BROOK_SOURCE`` literal.  Returns ``(line, source)`` pairs; a Python
+    syntax error yields no snippets (the caller emits BL-100).
+    """
+    import ast as python_ast
+
+    try:
+        tree = python_ast.parse(path.read_text())
+    except SyntaxError:
+        return None
+    snippets = []
+    for node in python_ast.walk(tree):
+        if (isinstance(node, python_ast.Constant)
+                and isinstance(node.value, str)
+                and "kernel void" in node.value):
+            snippets.append((node.lineno, node.value))
+    return snippets
+
+
+def _iter_lint_files(paths):
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.br"))
+            yield from sorted(p for p in path.rglob("*.py"))
+        else:
+            yield path
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .core.analysis.lint import (LintReport, lint_program, lint_source,
+                                     sarif_json, skipped_source_report)
+
+    if not args.paths and not args.apps:
+        print("error: no inputs (pass .br/.py paths and/or --apps)",
+              file=sys.stderr)
+        return 2
+
+    merged = LintReport()
+    if args.apps:
+        # Reference applications carry their own range specs, so their
+        # gathers and loops are linted with the documented input bounds.
+        for name in list_applications():
+            app = get_application(name)
+            options = CompilerOptions(
+                target=_target_limits(args.device), strict=False,
+                param_bounds=dict(app.param_bounds),
+                range_specs=dict(app.range_specs),
+                emit_glsl_es=False, emit_desktop_glsl=False, emit_c=False,
+                enable_fast_path=False,
+            )
+            virtual = f"apps/{name}.br"
+            try:
+                program = compile_source(app.brook_source, filename=virtual,
+                                         options=options)
+            except BrookError as error:
+                merged.extend(skipped_source_report(virtual, str(error)))
+            else:
+                merged.extend(lint_program(program, source_file=virtual))
+
+    for path in _iter_lint_files(args.paths):
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        if path.suffix == ".py":
+            snippets = _python_kernel_snippets(path)
+            if snippets is None:
+                merged.extend(skipped_source_report(
+                    str(path), "not valid Python source"))
+                continue
+            # Diagnostic line numbers are relative to each embedded
+            # kernel string, not to the Python file.
+            for _, source in snippets:
+                merged.extend(lint_source(source, source_file=str(path)))
+        else:
+            merged.extend(lint_source(path.read_text(),
+                                      source_file=str(path)))
+
+    if args.format == "json":
+        rendered = json.dumps(merged.to_dict(), indent=2)
+    elif args.format == "sarif":
+        rendered = sarif_json(merged)
+    else:
+        lines = [str(diag) for diag in merged.diagnostics]
+        summary = merged.summary()
+        lines.append(f"{summary['kernels']} kernel(s): "
+                     f"{summary['error']} error(s), "
+                     f"{summary['warning']} warning(s), "
+                     f"{summary['note']} note(s); gathers proved "
+                     f"{summary['gathers_proved']}/{summary['gathers']}")
+        rendered = "\n".join(lines)
+    if args.output:
+        pathlib.Path(args.output).write_text(rendered + "\n")
+        print(f"lint results written to {args.output}")
+        if args.format == "table":
+            print(rendered.splitlines()[-1])
+    else:
+        print(rendered)
+    return 1 if merged.has_errors else 0
 
 
 def _cmd_run_app(args: argparse.Namespace) -> int:
@@ -308,7 +436,29 @@ def build_parser() -> argparse.ArgumentParser:
     certify_parser.add_argument("--wcet", action="store_true",
                                 help="also print each kernel's worst-case "
                                      "work bound (or why none exists)")
+    certify_parser.add_argument("--lint", action="store_true",
+                                help="also append the brooklint summary "
+                                     "(findings + gather bound proofs)")
     certify_parser.set_defaults(func=_cmd_certify)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run brooklint (interval/range analysis) over Brook sources; "
+             "exit 1 when any error-severity finding is present")
+    lint_parser.add_argument("paths", nargs="*",
+                             help=".br files, .py files with embedded kernel "
+                                  "strings, or directories of either")
+    lint_parser.add_argument("--apps", action="store_true",
+                             help="lint every registered reference "
+                                  "application with its range specs")
+    lint_parser.add_argument("--device", default="videocore-iv",
+                             choices=sorted(DEVICE_PROFILES))
+    lint_parser.add_argument("--format", default="table",
+                             choices=("table", "json", "sarif"))
+    lint_parser.add_argument("--output", default=None,
+                             help="write the rendered findings to this file "
+                                  "instead of stdout")
+    lint_parser.set_defaults(func=_cmd_lint)
 
     run_parser = sub.add_parser("run-app", help="run a reference application")
     run_parser.add_argument("app", choices=list_applications())

@@ -1,0 +1,17 @@
+"""brooklint: the Brook Auto whole-program kernel linter.
+
+Layered on the interval analysis in :mod:`repro.core.analysis.ranges`,
+with stable ``BL-xxx`` rule codes, machine-readable diagnostics and
+SARIF 2.1.0 output.  See ``docs/analysis.md`` for the rule table.
+"""
+
+from .diagnostics import (Diagnostic, LINT_RULES, LintReport, LintRule,
+                          LintSeverity)
+from .engine import lint_program, lint_source, skipped_source_report
+from .sarif import sarif_json, to_sarif
+
+__all__ = [
+    "Diagnostic", "LINT_RULES", "LintReport", "LintRule", "LintSeverity",
+    "lint_program", "lint_source", "skipped_source_report",
+    "sarif_json", "to_sarif",
+]

@@ -1,0 +1,91 @@
+"""brooklint driver: lint compiled programs or raw Brook source.
+
+The engine runs the interval analysis (:mod:`repro.core.analysis.ranges`)
+over every *original* kernel definition of a compiled program — the
+pre-transformation ASTs, so locations match what the user wrote — plus
+every helper function standalone, then applies the rule set from
+:mod:`.rules`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ....errors import BrookError
+from ... import ast_nodes as ast
+from ..ranges import RangeContext, analyze_kernel_ranges
+from .diagnostics import Diagnostic, LintReport, LintSeverity
+from .rules import kernel_diagnostics, kernel_facts, program_diagnostics
+
+__all__ = ["lint_program", "lint_source", "skipped_source_report"]
+
+
+def lint_program(program, specs: Optional[Dict[str, dict]] = None,
+                 source_file: str = "<source>") -> LintReport:
+    """Lint one :class:`~repro.core.compiler.CompiledProgram`.
+
+    Args:
+        program: The compiled program.
+        specs: Per-kernel range specs; defaults to the program's
+            ``options.range_specs`` when present.
+        source_file: Artifact path recorded on each diagnostic (SARIF).
+    """
+    if specs is None:
+        specs = getattr(program.options, "range_specs", None) or {}
+    report = LintReport()
+    helpers = program.helpers()
+
+    definitions = list(program.original_definitions.values())
+    for kernel in definitions:
+        spec = specs.get(kernel.name)
+        ctx = RangeContext(spec)
+        analysis = analyze_kernel_ranges(kernel, spec, helpers)
+        report.kernels.append(kernel.name)
+        report.facts[kernel.name] = kernel_facts(analysis, ctx)
+        report.diagnostics.extend(
+            kernel_diagnostics(kernel, analysis, ctx, source_file))
+
+    for name, helper in helpers.items():
+        ctx = RangeContext(None)
+        analysis = analyze_kernel_ranges(helper, None, helpers=None)
+        report.kernels.append(name)
+        report.facts[name] = kernel_facts(analysis, ctx)
+        # Gather/division rules only: helpers have unconstrained
+        # parameters, so bounds-style warnings would all be noise; real
+        # hygiene findings (float ==, dead stores) still apply.
+        report.diagnostics.extend(
+            d for d in kernel_diagnostics(helper, analysis, ctx, source_file)
+            if d.rule not in ("BL-102", "BL-103", "BL-110"))
+
+    report.diagnostics.extend(program_diagnostics(definitions, source_file))
+    return report
+
+
+def lint_source(source: str, specs: Optional[Dict[str, dict]] = None,
+                source_file: str = "<source>") -> LintReport:
+    """Compile ``source`` in analysis (non-strict) mode and lint it.
+
+    Sources that do not compile at all produce a single BL-100 note via
+    :func:`skipped_source_report` rather than raising.
+    """
+    from ...compiler import compile_source
+
+    try:
+        program = compile_source(
+            source, filename=source_file, strict=False,
+            emit_glsl_es=False, emit_desktop_glsl=False, emit_c=False,
+            enable_fast_path=False,
+        )
+    except BrookError as exc:
+        return skipped_source_report(source_file, str(exc))
+    return lint_program(program, specs=specs, source_file=source_file)
+
+
+def skipped_source_report(source_file: str, reason: str) -> LintReport:
+    """A report holding the single BL-100 note for an unparseable source."""
+    report = LintReport()
+    report.diagnostics.append(Diagnostic(
+        rule="BL-100", severity=LintSeverity.NOTE,
+        message=f"skipped: {reason}", kernel="",
+        location=None, source_file=source_file))
+    return report

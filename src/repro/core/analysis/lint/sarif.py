@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 serialisation of a :class:`LintReport`.
+
+The output validates against the OASIS SARIF 2.1.0 schema and uploads
+cleanly to code-scanning UIs (one run, one ``brooklint`` driver, one
+result per diagnostic with a physical location when known).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .diagnostics import Diagnostic, LINT_RULES, LintReport
+
+__all__ = ["to_sarif", "sarif_json"]
+
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _rule_descriptor(code: str) -> Dict:
+    rule = LINT_RULES[code]
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity.value]},
+    }
+
+
+def _result(diag: Diagnostic) -> Dict:
+    message = diag.message
+    if diag.kernel:
+        message = f"[{diag.kernel}] {message}"
+    result: Dict = {
+        "ruleId": diag.rule,
+        "level": _LEVELS[diag.severity.value],
+        "message": {"text": message},
+    }
+    location: Dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": diag.source_file},
+        }
+    }
+    if diag.location is not None:
+        location["physicalLocation"]["region"] = {
+            "startLine": max(1, diag.location.line),
+            "startColumn": max(1, diag.location.column),
+        }
+    result["locations"] = [location]
+    return result
+
+
+def to_sarif(report: LintReport, tool_version: str = "1.0.0") -> Dict:
+    """Build the SARIF 2.1.0 document for ``report``."""
+    used_rules = sorted({d.rule for d in report.diagnostics})
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "brooklint",
+                        "informationUri": "docs/analysis.md",
+                        "version": tool_version,
+                        "rules": [_rule_descriptor(code)
+                                  for code in used_rules],
+                    }
+                },
+                "results": [_result(d) for d in report.diagnostics],
+            }
+        ],
+    }
+
+
+def sarif_json(report: LintReport, tool_version: str = "1.0.0") -> str:
+    return json.dumps(to_sarif(report, tool_version), indent=2,
+                      sort_keys=False)

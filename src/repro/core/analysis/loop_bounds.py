@@ -237,13 +237,35 @@ def _for_bound(stmt: ast.ForStatement, env: Dict[str, float]) -> LoopBound:
 class _LoopCollector:
     """Walk a kernel body collecting every loop with its deduced bound."""
 
-    def __init__(self, env: Dict[str, float]):
+    def __init__(self, env: Dict[str, float],
+                 trip_overrides: Optional[Dict[int, int]] = None):
         self.env = env
+        self.trip_overrides = trip_overrides or {}
         self.loops: List[LoopBound] = []
+
+    def _apply_override(self, bound: LoopBound) -> LoopBound:
+        """Combine with the interval-analysis trip count, never loosening.
+
+        The override (keyed by ``id(loop_node)``, from
+        :func:`repro.core.analysis.ranges.range_trip_overrides`) can bound
+        loops the syntactic deduction cannot (limit held in a local
+        variable) and tighten bounds it can, but the minimum of the two
+        deductions is always taken so a bound can only ever shrink.
+        """
+        override = self.trip_overrides.get(id(bound.loop))
+        if override is None:
+            return bound
+        if bound.max_trip_count is None:
+            return LoopBound(bound.loop, bound.kind, int(override),
+                             "bounded by interval range analysis")
+        if override < bound.max_trip_count:
+            return LoopBound(bound.loop, bound.kind, int(override),
+                             bound.reason + "; tightened by range analysis")
+        return bound
 
     def visit(self, node: ast.Node) -> None:
         if isinstance(node, ast.ForStatement):
-            self.loops.append(_for_bound(node, self.env))
+            self.loops.append(self._apply_override(_for_bound(node, self.env)))
         elif isinstance(node, ast.WhileStatement):
             self.loops.append(LoopBound(
                 node, "while", None,
@@ -261,6 +283,7 @@ class _LoopCollector:
 def analyze_loop_bounds(
     kernel: ast.FunctionDef,
     param_bounds: Optional[Dict[str, float]] = None,
+    trip_overrides: Optional[Dict[int, int]] = None,
 ) -> LoopBoundAnalysis:
     """Deduce the maximum trip count of every loop in ``kernel``.
 
@@ -270,8 +293,13 @@ def analyze_loop_bounds(
             declared maximum value; Brook Auto programs use this to make
             data-dependent loops certifiable (e.g. ``numSteps <= 255`` for
             binomial option pricing).
+        trip_overrides: Interval-analysis trip counts keyed by
+            ``id(loop_node)`` (see
+            :func:`repro.core.analysis.ranges.range_trip_overrides`);
+            combined with the syntactic deduction by taking the minimum,
+            so bounds never loosen.
     """
     env: Dict[str, float] = dict(param_bounds or {})
-    collector = _LoopCollector(env)
+    collector = _LoopCollector(env, trip_overrides)
     collector.visit(kernel.body)
     return LoopBoundAnalysis(kernel_name=kernel.name, loops=collector.loops)

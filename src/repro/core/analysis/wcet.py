@@ -90,9 +90,11 @@ class _CostWalker:
     """AST walker computing (flops, fetches) upper bounds per element."""
 
     def __init__(self, helpers: Dict[str, ast.FunctionDef],
-                 env: Dict[str, float]):
+                 env: Dict[str, float],
+                 trip_overrides: Optional[Dict[int, int]] = None):
         self.helpers = helpers or {}
         self.env = dict(env or {})
+        self.trip_overrides = trip_overrides or {}
         self._helper_cache: Dict[str, Tuple[int, int]] = {}
         self._inlining: List[str] = []
 
@@ -136,12 +138,18 @@ class _CostWalker:
 
     def _for_cost(self, stmt: ast.ForStatement) -> Tuple[int, int]:
         bound = _for_bound(stmt, self.env)
-        if not bound.is_bounded:
+        # Min-combine with the interval-analysis deduction: the override
+        # can tighten a syntactic bound or rescue a loop the syntactic
+        # deduction cannot bound at all, but never loosens anything.
+        override = self.trip_overrides.get(id(stmt))
+        if not bound.is_bounded and override is None:
             raise WCETError(
                 f"for loop has no deducible trip count: {bound.reason}",
                 reasons=[bound.reason],
             )
-        trips = max(0, bound.max_trip_count)
+        candidates = [c for c in (bound.max_trip_count, override)
+                      if c is not None]
+        trips = max(0, min(candidates))
         init_cost = (0, 0)
         if stmt.init is not None:
             init_cost = self.statement(stmt.init)
@@ -239,6 +247,7 @@ def analyze_kernel_wcet(
     kernel: ast.FunctionDef,
     helpers: Optional[Dict[str, ast.FunctionDef]] = None,
     param_bounds: Optional[Dict[str, float]] = None,
+    range_spec: Optional[dict] = None,
 ) -> KernelWCET:
     """Derive the worst-case per-element work bound of one kernel.
 
@@ -249,17 +258,23 @@ def analyze_kernel_wcet(
         param_bounds: Declared maxima of scalar parameters, used to bound
             data-dependent loops (same mapping ``analyze_loop_bounds``
             consumes).
+        range_spec: The kernel's range spec for the interval analysis
+            (see :func:`repro.core.analysis.ranges.analyze_kernel_ranges`);
+            range-deduced trip counts are min-combined with the syntactic
+            deduction so the WCET bound can only ever tighten.
 
     Raises:
         WCETError: When the kernel contains an unbounded loop, recursion,
             an unknown call or a construct the walker cannot price.
     """
-    walker = _CostWalker(helpers or {}, param_bounds or {})
+    from .ranges import range_trip_overrides
+    trip_overrides = range_trip_overrides(kernel, range_spec, helpers)
+    walker = _CostWalker(helpers or {}, param_bounds or {}, trip_overrides)
     flops, fetches = walker.statement(kernel.body)
     # Loop-iteration product, for reporting; the per-element costs above
     # already fold the trip counts in.
     from .loop_bounds import analyze_loop_bounds
-    analysis = analyze_loop_bounds(kernel, param_bounds)
+    analysis = analyze_loop_bounds(kernel, param_bounds, trip_overrides)
     if not analysis.all_bounded:  # pragma: no cover - walker raises first
         raise WCETError(
             f"kernel {kernel.name!r} has unbounded loops",
@@ -283,6 +298,11 @@ def _piece_bounds(program, piece_name: str, original: str) -> Dict[str, float]:
     return bounds.get(piece_name, bounds.get(original, {}))
 
 
+def _piece_spec(program, piece_name: str, original: str) -> Optional[dict]:
+    specs = getattr(program.options, "range_specs", None) or {}
+    return specs.get(piece_name, specs.get(original))
+
+
 def kernel_wcet(program, kernel_name: str) -> KernelWCET:
     """WCET work bound for one compiled kernel piece, certification-gated.
 
@@ -303,6 +323,7 @@ def kernel_wcet(program, kernel_name: str) -> KernelWCET:
     return analyze_kernel_wcet(
         compiled.definition, program.helpers(),
         _piece_bounds(program, kernel_name, compiled.original_name),
+        range_spec=_piece_spec(program, kernel_name, compiled.original_name),
     )
 
 

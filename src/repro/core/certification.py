@@ -188,6 +188,7 @@ class CertificationChecker:
         program: AnalyzedProgram,
         target: Optional[TargetLimits] = None,
         param_bounds: Optional[Dict[str, Dict[str, float]]] = None,
+        range_specs: Optional[Dict[str, dict]] = None,
     ):
         """
         Args:
@@ -197,10 +198,24 @@ class CertificationChecker:
             param_bounds: Per-kernel mapping of scalar parameter names to
                 their declared maximum values, used to bound data-dependent
                 loops (``{"kernel_name": {"num_steps": 255}}``).
+            range_specs: Per-kernel range specs for the interval analysis
+                (:mod:`repro.core.analysis.ranges`); range-deduced loop
+                trip counts are min-combined with the syntactic deduction,
+                so they can certify loops whose limit lives in a local
+                variable but never loosen an existing bound.
         """
         self.program = program
         self.target = target or TargetLimits()
         self.param_bounds = param_bounds or {}
+        self.range_specs = range_specs or {}
+
+    def _trip_overrides(self, func: ast.FunctionDef,
+                        kernel: ast.FunctionDef) -> Dict[int, int]:
+        from .analysis.ranges import range_trip_overrides
+        spec = self.range_specs.get(kernel.name) if func is kernel else None
+        helpers = {info.name: info.definition
+                   for info in self.program.helpers}
+        return range_trip_overrides(func, spec, helpers)
 
     # ------------------------------------------------------------------ #
     def check(self) -> CertificationReport:
@@ -302,7 +317,8 @@ class CertificationChecker:
         total = 1
         bounded = True
         for func in self._functions_reached(kernel):
-            analysis = analyze_loop_bounds(func, bounds)
+            analysis = analyze_loop_bounds(func, bounds,
+                                           self._trip_overrides(func, kernel))
             for loop in analysis.unbounded:
                 self._add(cert, "BA-005",
                           f"loop in {func.name!r} has no statically deducible maximum "
@@ -323,7 +339,9 @@ class CertificationChecker:
 
     def _check_resources(self, kernel: ast.FunctionDef, cert: KernelCertification) -> None:
         bounds = self.param_bounds.get(kernel.name, {})
-        loop_analysis = analyze_loop_bounds(kernel, bounds)
+        loop_analysis = analyze_loop_bounds(kernel, bounds,
+                                            self._trip_overrides(kernel,
+                                                                 kernel))
         resources = estimate_resources(kernel, loop_analysis)
         cert.resource_summary = resources
         problems = resources.fits(self.target)
@@ -381,6 +399,7 @@ def check_program(
     target: Optional[TargetLimits] = None,
     param_bounds: Optional[Dict[str, Dict[str, float]]] = None,
     strict: bool = False,
+    range_specs: Optional[Dict[str, dict]] = None,
 ) -> CertificationReport:
     """Run the Brook Auto certification checker.
 
@@ -390,8 +409,11 @@ def check_program(
         param_bounds: Per-kernel declared maxima for scalar parameters.
         strict: When True, raise :class:`CertificationError` on any
             error-severity violation instead of returning the report.
+        range_specs: Per-kernel range specs feeding interval-analysis
+            trip counts into the loop-bound rule (BA-005).
     """
-    report = CertificationChecker(program, target, param_bounds).check()
+    report = CertificationChecker(program, target, param_bounds,
+                                  range_specs).check()
     if strict:
         report.raise_if_non_compliant()
     return report

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import CodegenError
 from . import ast_nodes as ast
 from .analysis.loop_bounds import analyze_loop_bounds
+from .analysis.ranges import range_trip_overrides
 from .analysis.resources import KernelResources, TargetLimits, estimate_resources
 from .certification import CertificationReport, check_program
 from .codegen.c_backend import generate_c
@@ -46,6 +47,11 @@ class CompilerOptions:
         target: Hardware limits used for certification and kernel fitting.
         param_bounds: Per-kernel declared maxima of scalar parameters, used
             to bound data-dependent loops (``{"kernel": {"n": 255}}``).
+        range_specs: Per-kernel range specs for the interval analysis
+            (:mod:`repro.core.analysis.ranges`): declared gather extents,
+            launch-domain symbols and scalar parameter ranges.  Feeds the
+            brooklint bounds rules and min-combines range-deduced loop
+            trip counts into certification and WCET bounds.
         strict: Raise :class:`~repro.errors.CertificationError` when the
             program violates the Brook Auto subset (default).  Non-strict
             mode still produces the report but lets compilation continue,
@@ -67,6 +73,7 @@ class CompilerOptions:
 
     target: TargetLimits = field(default_factory=TargetLimits)
     param_bounds: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    range_specs: Dict[str, dict] = field(default_factory=dict)
     strict: bool = True
     split_outputs: bool = True
     scalarize: bool = False
@@ -214,14 +221,18 @@ class BrookAutoCompiler:
 
         program = analyze(transformed_unit)
         bounds = dict(options.param_bounds)
+        specs = dict(options.range_specs)
         # Bounds declared for an original kernel apply to its split pieces.
         for original, pieces in kernel_groups.items():
             if original in bounds:
                 for piece in pieces:
                     bounds.setdefault(piece, bounds[original])
+            if original in specs:
+                for piece in pieces:
+                    specs.setdefault(piece, specs[original])
         certification = check_program(
             program, target=options.target, param_bounds=bounds,
-            strict=options.strict,
+            strict=options.strict, range_specs=specs,
         )
 
         compiled = CompiledProgram(
@@ -233,9 +244,13 @@ class BrookAutoCompiler:
             },
         )
         helper_defs = [info.definition for info in program.helpers]
+        helper_map = {helper.name: helper for helper in helper_defs}
         for info in program.kernels:
             kernel = info.definition
-            loop_analysis = analyze_loop_bounds(kernel, bounds.get(kernel.name, {}))
+            trip_overrides = range_trip_overrides(
+                kernel, specs.get(kernel.name), helper_map)
+            loop_analysis = analyze_loop_bounds(
+                kernel, bounds.get(kernel.name, {}), trip_overrides)
             resources = estimate_resources(kernel, loop_analysis)
             original = next(
                 (orig for orig, pieces in kernel_groups.items() if kernel.name in pieces),

@@ -21,7 +21,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from ...errors import StreamError
+from ...errors import GatherBoundsError
 
 __all__ = ["GatherSource", "NumpyGatherSource", "ClampingGatherSource"]
 
@@ -49,8 +49,10 @@ class GatherSource:
 class NumpyGatherSource(GatherSource):
     """Direct host-memory gather used by the CPU backend.
 
-    Out-of-bounds indices raise :class:`~repro.errors.StreamError`, which
-    models the unprotected behaviour of CPU (and CUDA/OpenCL) code.
+    Out-of-bounds indices raise :class:`~repro.errors.GatherBoundsError`
+    (a :class:`~repro.errors.StreamError` and
+    :class:`~repro.errors.KernelLaunchError`), which models the
+    unprotected behaviour of CPU (and CUDA/OpenCL) code.
     """
 
     def __init__(self, data: np.ndarray):
@@ -67,7 +69,7 @@ class NumpyGatherSource(GatherSource):
         height, width = self.shape
         if rows.size and (rows.min() < 0 or rows.max() >= height
                           or cols.min() < 0 or cols.max() >= width):
-            raise StreamError(
+            raise GatherBoundsError(
                 "gather access out of bounds on the CPU backend: "
                 f"rows in [{rows.min()}, {rows.max()}], cols in "
                 f"[{cols.min()}, {cols.max()}] for array of shape {self.shape}"

@@ -115,6 +115,23 @@ class KernelLaunchError(RuntimeBrookError):
     """A kernel was invoked with arguments that do not match its signature."""
 
 
+class GatherBoundsError(StreamError, KernelLaunchError):
+    """A gather access fell outside the declared array extent at run time.
+
+    Only the CPU backend raises this: it indexes host memory directly, so
+    an out-of-bounds gather is a hard fault (the behaviour that makes
+    unverified CUDA/OpenCL kernels crash drivers, paper section 2).  The
+    OpenGL ES 2 backend never raises it - the texture unit clamps the
+    coordinate to the array edge instead.  ``brooklint`` flags gathers it
+    cannot prove in-bounds precisely because of this cross-backend
+    divergence (rules BL-101 / BL-102 in ``docs/analysis.md``).
+
+    Derives from both :class:`StreamError` and :class:`KernelLaunchError`
+    so callers guarding either launch failures or stream-access failures
+    catch it.
+    """
+
+
 class BackendError(RuntimeBrookError):
     """The selected backend cannot execute the request (resource limits, etc.)."""
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 from ..apps.base import get_application, list_applications
 from ..core import analyze, check_program, parse
+from ..core.analysis.lint import lint_program
 from ..core.analysis.resources import TargetLimits
 from ..core.certification import RULES, CertificationReport
 from ..core.compiler import CompilerOptions, compile_source
@@ -71,6 +72,10 @@ class ComplianceEntry:
     kernels: int
     violations: int
     violated_rules: List[str] = field(default_factory=list)
+    #: brooklint evidence: severity counts plus gather bound proofs
+    #: (``summary()`` of the application's :class:`LintReport`); empty
+    #: for the counter-example, which never reaches the linter.
+    lint_summary: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -87,6 +92,19 @@ class ComplianceResult:
     @property
     def counter_example_rejected(self) -> bool:
         return not self.counter_example.compliant
+
+    @property
+    def all_applications_lint_clean(self) -> bool:
+        """No error- or warning-severity lint finding across the suite."""
+        return all(entry.lint_summary.get("error", 0) == 0
+                   and entry.lint_summary.get("warning", 0) == 0
+                   for entry in self.applications)
+
+    @property
+    def all_gathers_proved(self) -> bool:
+        return all(entry.lint_summary.get("gathers_proved", 0)
+                   == entry.lint_summary.get("gathers", 0)
+                   for entry in self.applications)
 
     @property
     def reproduced(self) -> bool:
@@ -115,10 +133,14 @@ def run(device: str = "videocore-iv") -> ComplianceResult:
         # certification report of what would actually be deployed.
         options = CompilerOptions(target=target,
                                   param_bounds=dict(app.param_bounds),
+                                  range_specs=dict(app.range_specs),
                                   strict=False)
         compiled = compile_source(app.brook_source, filename=f"{name}.br",
                                   options=options)
-        applications.append(_entry_from_report(name, compiled.certification))
+        entry = _entry_from_report(name, compiled.certification)
+        entry.lint_summary = lint_program(
+            compiled, source_file=f"{name}.br").summary()
+        applications.append(entry)
 
     counter_program = analyze(parse(NON_COMPLIANT_SOURCE, filename="cuda_style.br"))
     counter_report = check_program(counter_program, target=target, strict=False)
@@ -143,15 +165,20 @@ def render(result: Optional[ComplianceResult] = None) -> str:
         rule = RULES[rule_id]
         lines.append(f"  {rule_id}  {rule.title}  ({rule.iso_reference})")
     lines.append("")
-    lines.append(f"{'application':<28}{'kernels':>9}{'violations':>12}{'verdict':>12}")
+    lines.append(f"{'application':<28}{'kernels':>9}{'violations':>12}"
+                 f"{'lint e/w':>10}{'gathers':>9}{'verdict':>12}")
     for entry in result.applications:
         verdict = "compliant" if entry.compliant else "REJECTED"
+        lint = entry.lint_summary
+        lint_col = f"{lint.get('error', 0)}/{lint.get('warning', 0)}"
+        gather_col = (f"{lint.get('gathers_proved', 0)}"
+                      f"/{lint.get('gathers', 0)}")
         lines.append(f"{entry.name:<28}{entry.kernels:>9}{entry.violations:>12}"
-                     f"{verdict:>12}")
+                     f"{lint_col:>10}{gather_col:>9}{verdict:>12}")
     entry = result.counter_example
     verdict = "compliant" if entry.compliant else "REJECTED"
     lines.append(f"{entry.name:<28}{entry.kernels:>9}{entry.violations:>12}"
-                 f"{verdict:>12}")
+                 f"{'-':>10}{'-':>9}{verdict:>12}")
     if entry.violated_rules:
         lines.append(f"    violated rules: {', '.join(entry.violated_rules)}")
     lines.append("")

@@ -222,6 +222,7 @@ class BrookRuntime:
         strict: bool = True,
         filename: str = "<string>",
         scalarize: bool = False,
+        range_specs: Optional[Dict[str, dict]] = None,
     ) -> BrookModule:
         """Compile Brook source for this runtime's backend.
 
@@ -229,6 +230,9 @@ class BrookRuntime:
             source: The ``.br`` kernel source text.
             param_bounds: Per-kernel declared maxima for scalar parameters
                 (used by the loop-bound certification rule BA-005).
+            range_specs: Per-kernel range specs for the interval analysis
+                (gather extents, domain symbols, scalar parameter ranges);
+                used by brooklint and to tighten loop/WCET bounds.
             strict: Raise on Brook Auto rule violations (default).  Legacy
                 Brook code can be compiled with ``strict=False`` to obtain
                 the certification report without aborting.
@@ -248,6 +252,7 @@ class BrookRuntime:
             options = CompilerOptions()
         options.target = self.backend.target_limits()
         options.param_bounds = dict(param_bounds or {})
+        options.range_specs = dict(range_specs or {})
         options.strict = strict
         options.scalarize = scalarize
 

@@ -1,0 +1,223 @@
+"""Tests for the interval/range analysis (``repro.core.analysis.ranges``)
+and its WCET bound tightening.
+
+Two contracts are under test:
+
+* the abstract interpreter is *sound* on the awkward corners (negative
+  steps, ``--`` decrements, clamp idioms, branch refinement, non-affine
+  updates, overflow) — it may answer "unknown" but never "proved" for an
+  access that can actually fault; and
+* range-deduced trip counts only ever *tighten* the legacy WCET bounds:
+  the combination is the minimum, so no kernel's bound gets looser, and
+  the binary-search app (whose probe limit is a local variable the legacy
+  syntactic analysis cannot see through) goes from "no bound" to a real
+  bound.
+"""
+
+from repro.apps.base import get_application, list_applications
+from repro.core.analysis.ranges import (
+    Interval,
+    analyze_kernel_ranges,
+    range_trip_overrides,
+)
+from repro.core.analysis.wcet import analyze_kernel_wcet
+from repro.core.parser import parse
+from repro.errors import WCETError
+
+
+def kernel_from(body, params="float a<>, out float o<>"):
+    unit = parse(f"kernel void f({params}) {{ {body} }}")
+    return unit.kernels[0]
+
+
+def gather_kernel(body, params="float lut[], float n, out float o<>"):
+    return kernel_from(body, params=params)
+
+
+LUT16 = {"gathers": {"lut": (16,)}, "params": {"n": (1, 16)}}
+
+
+class TestLoopDirections:
+    def test_negative_step_loop_bounds_gather(self):
+        kernel = gather_kernel(
+            "o = 0.0; for (int i = 15; i >= 0; i = i - 1) { o = o + lut[i]; }")
+        analysis = analyze_kernel_ranges(kernel, LUT16)
+        assert [s.verdict for s in analysis.gather_sites] == ["proved"]
+        assert list(analysis.loop_trips.values()) == [16]
+
+    def test_decrement_operator_loop(self):
+        kernel = gather_kernel(
+            "o = 0.0; for (int i = 15; i >= 0; i--) { o = o + lut[i]; }")
+        analysis = analyze_kernel_ranges(kernel, LUT16)
+        assert [s.verdict for s in analysis.gather_sites] == ["proved"]
+        assert list(analysis.loop_trips.values()) == [16]
+
+    def test_negative_step_overshoot_is_not_proved(self):
+        # i reaches -1 on the last test but -2 after the final decrement;
+        # the gather at i - 1 can hit -2 ... 14, so it must not be proved.
+        kernel = gather_kernel(
+            "o = 0.0; for (int i = 15; i >= 0; i = i - 1) { o = o + lut[i - 1.0]; }")
+        analysis = analyze_kernel_ranges(kernel, LUT16)
+        assert analysis.gather_sites[0].verdict != "proved"
+
+
+class TestClampIdioms:
+    def test_min_max_clamp_proves_neighbourhood(self):
+        # The image-filter border idiom: min(idx + 1, n - 1) / max(idx - 1, 0).
+        kernel = gather_kernel(
+            "float i = indexof(o).x;"
+            "float x0 = max(i - 1.0, 0.0);"
+            "float x2 = min(i + 1.0, n - 1.0);"
+            "o = lut[x0] + lut[x2];",
+            params="float lut[], float n, out float o<>")
+        spec = {"domain": ("n",), "gathers": {"lut": ("n",)},
+                "params": {"n": (1, 16)}}
+        analysis = analyze_kernel_ranges(kernel, spec)
+        assert [s.verdict for s in analysis.gather_sites] == ["proved", "proved"]
+
+    def test_clamp_builtin_proves(self):
+        kernel = gather_kernel(
+            "o = lut[clamp(a * 100.0, 0.0, n - 1.0)];",
+            params="float a<>, float lut[], float n, out float o<>")
+        analysis = analyze_kernel_ranges(kernel, LUT16)
+        assert [s.verdict for s in analysis.gather_sites] == ["proved"]
+
+    def test_unclamped_index_stays_unknown(self):
+        kernel = gather_kernel(
+            "o = lut[a * 100.0];",
+            params="float a<>, float lut[], float n, out float o<>")
+        analysis = analyze_kernel_ranges(kernel, LUT16)
+        assert analysis.gather_sites[0].verdict == "unknown"
+
+
+class TestBranchRefinement:
+    def test_if_condition_narrows_index(self):
+        kernel = gather_kernel(
+            "float i = a; o = 0.0;"
+            "if (i >= 0.0) { if (i < n) { o = lut[i]; } }",
+            params="float a<>, float lut[], float n, out float o<>")
+        analysis = analyze_kernel_ranges(kernel, LUT16)
+        assert [s.verdict for s in analysis.gather_sites] == ["proved"]
+
+    def test_else_branch_is_not_narrowed(self):
+        kernel = gather_kernel(
+            "float i = a; o = 0.0;"
+            "if (i < 0.0) { o = 1.0; } else { o = lut[i]; }",
+            params="float a<>, float lut[], float n, out float o<>")
+        analysis = analyze_kernel_ranges(kernel, LUT16)
+        # else-branch knows i >= 0 but nothing about the upper bound.
+        assert analysis.gather_sites[0].verdict == "unknown"
+
+
+class TestWideningAndOverflow:
+    def test_non_affine_update_widens_but_terminates(self):
+        # i doubles every iteration: no affine step, so the variable is
+        # widened to top inside the loop; the gather must not be proved.
+        kernel = gather_kernel(
+            "o = 0.0; float j = 1.0;"
+            "for (int i = 0; i < 8; i = i + 1) { j = j * 2.0; o = o + lut[j]; }")
+        analysis = analyze_kernel_ranges(kernel, LUT16)
+        assert analysis.gather_sites[0].verdict != "proved"
+        # The loop itself is still bounded by its affine counter.
+        assert list(analysis.loop_trips.values()) == [8]
+
+    def test_interval_arithmetic_saturates(self):
+        big = Interval.range(1.0, 1e308)
+        squared = big.mul(big)
+        assert squared.hi == float("inf")
+        summed = squared.add(squared)
+        assert summed.hi == float("inf")
+        assert summed.lo == 2.0
+
+    def test_widened_loop_variable_read_after_loop(self):
+        kernel = kernel_from(
+            "float j = 0.0;"
+            "for (int i = 0; i < 4; i = i + 1) { j = j * j + 1.0; }"
+            "o = j;")
+        analysis = analyze_kernel_ranges(kernel, None)
+        assert list(analysis.loop_trips.values()) == [4]
+
+
+class TestTripOverrides:
+    def test_overrides_keyed_by_loop_node(self):
+        kernel = gather_kernel(
+            "o = 0.0; for (int i = 0; i < n; i = i + 1) { o = o + lut[i]; }")
+        overrides = range_trip_overrides(kernel, LUT16)
+        assert list(overrides.values()) == [16]
+
+    def test_overrides_never_raise(self):
+        kernel = kernel_from("o = a;")
+        assert range_trip_overrides(kernel, {"params": {"bogus": object()}}) == {}
+
+
+class TestWCETTightening:
+    def test_range_spec_tightens_param_bound(self):
+        # Legacy bound: n <= 2048 from param_bounds. Range spec: n <= 100.
+        kernel = kernel_from(
+            "o = 0.0; for (int i = 0; i < n; i = i + 1) { o = o + a; }",
+            params="float a<>, float n, out float o<>")
+        loose = analyze_kernel_wcet(kernel, param_bounds={"n": 2048})
+        tight = analyze_kernel_wcet(kernel, param_bounds={"n": 2048},
+                                    range_spec={"params": {"n": (1, 100)}})
+        assert loose.max_loop_iterations == 2048
+        assert tight.max_loop_iterations == 100
+        assert tight.flops_per_element < loose.flops_per_element
+
+    def test_range_spec_never_loosens(self):
+        # Range spec claims n <= 4096, param_bounds says 64: min wins.
+        kernel = kernel_from(
+            "o = 0.0; for (int i = 0; i < n; i = i + 1) { o = o + a; }",
+            params="float a<>, float n, out float o<>")
+        loose = analyze_kernel_wcet(kernel, param_bounds={"n": 64},
+                                    range_spec={"params": {"n": (1, 4096)}})
+        assert loose.max_loop_iterations == 64
+
+    def test_local_variable_limit_needs_ranges(self):
+        # The binary-search shape: the loop limit is a *local* variable,
+        # which the legacy syntactic analysis cannot bound at all; the
+        # interval analysis sees through the min(..., 24) clamp.
+        from repro.core.analysis.loop_bounds import analyze_loop_bounds
+        body = ("float limit = min(ceil(log2(max(n, 2.0))) + 1.0, 24.0);"
+                "o = 0.0;"
+                "for (int i = 0; i < limit; i = i + 1) { o = o + a; }")
+        kernel = kernel_from(body, params="float a<>, float n, out float o<>")
+        legacy = analyze_loop_bounds(kernel)
+        assert not legacy.loops[0].is_bounded
+        bound = analyze_kernel_wcet(kernel)
+        assert bound.max_loop_iterations == 24
+        tight = analyze_kernel_wcet(
+            kernel, range_spec={"params": {"n": (1.0, 2048.0 * 2048.0)}})
+        assert tight.max_loop_iterations == 23
+
+    def test_binary_search_app_strictly_tighter(self):
+        # The app's probe loop is capped at 24 by its clamp alone; the
+        # published range spec (table <= 2048 x 2048) tightens it to 23.
+        app = get_application("binary_search")
+        unit = parse(app.brook_source)
+        kernel = unit.kernels[0]
+        loose = analyze_kernel_wcet(kernel)
+        bound = analyze_kernel_wcet(
+            kernel, range_spec=app.range_specs[kernel.name])
+        assert bound.max_loop_iterations == 23
+        assert bound.max_loop_iterations < loose.max_loop_iterations
+
+    def test_suite_bounds_never_looser_with_specs(self):
+        # For every seed app kernel the legacy analysis can bound, adding
+        # the range spec must not increase any WCET component.
+        for name in list_applications():
+            app = get_application(name)
+            unit = parse(app.brook_source)
+            helpers = {f.name: f for f in unit.functions if not f.is_kernel}
+            for kernel in unit.kernels:
+                bounds = app.param_bounds.get(kernel.name, {})
+                try:
+                    legacy = analyze_kernel_wcet(kernel, helpers=helpers,
+                                                 param_bounds=bounds)
+                except WCETError:
+                    continue
+                ranged = analyze_kernel_wcet(
+                    kernel, helpers=helpers, param_bounds=bounds,
+                    range_spec=app.range_specs.get(kernel.name))
+                assert ranged.max_loop_iterations <= legacy.max_loop_iterations
+                assert ranged.flops_per_element <= legacy.flops_per_element
+                assert ranged.fetches_per_element <= legacy.fetches_per_element
