@@ -77,6 +77,11 @@ class Backend(abc.ABC):
     #: the owning backend declares here.
     gather_clamps: bool = True
 
+    #: Set by ``BrookRuntime(sanitize=True)``: the owning runtime's
+    #: :class:`~repro.runtime.sanitizer.BrookSanitizer`, consulted by
+    #: :meth:`prepare_gathers` to shadow-check gather bounds.
+    _sanitizer = None
+
     def __init__(self) -> None:
         self._storages: List[StreamStorage] = []
         self._storage_lock = threading.Lock()
@@ -192,11 +197,22 @@ class Backend(abc.ABC):
         this once per logical launch and shares the result across the
         tile passes, so gather data is snapshot - and, for RGBA8
         storage, decoded - a single time.
+
+        Under ``BrookRuntime(sanitize=True)`` every source is wrapped
+        with the sanitizer's bounds shadow-check: the backend's own
+        semantics (CPU raise, GL ES 2 edge-clamp) are preserved exactly,
+        but out-of-bounds accesses are recorded as findings on every
+        backend.
         """
-        return {
+        sources = {
             name: self.make_gather_source(self.device_view(stream.storage))
             for name, stream in gather_args.items()
         }
+        sanitizer = getattr(self, "_sanitizer", None)
+        if sanitizer is not None:
+            sources = {name: sanitizer.checked_gather(name, source)
+                       for name, source in sources.items()}
+        return sources
 
     @abc.abstractmethod
     def launch(

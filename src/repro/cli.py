@@ -184,13 +184,107 @@ def _iter_lint_files(paths):
             yield path
 
 
+def _analyze_adas_pipeline(backend: str = "cpu",
+                           device: Optional[str] = None,
+                           size: int = 32, seed: int = 0,
+                           devices: int = 1, fused: bool = False):
+    """Dataflow-analyze the ADAS serving pipeline; (graph, report).
+
+    Materialises the same launch plans ``BrookService`` prepares for one
+    ADAS request (see :func:`~repro.service.bench.build_adas_request`)
+    and runs the brookflow whole-pipeline analysis over them - with
+    ``fused=True`` over the fused pipeline the service's steady state
+    actually launches.
+    """
+    from .core.analysis.dataflow import analyze_pipeline, build_dataflow_graph
+    from .runtime.runtime import BrookRuntime
+    from .service.bench import build_adas_request, make_frames
+    from .service.service import prepare_request
+
+    frame = make_frames(size, 1, seed=seed)[0]
+    request = build_adas_request(size, frame, name="dataflow")
+    source_file = "adas-pipeline" + ("(fused)" if fused else "")
+    with BrookRuntime(backend=backend,
+                      device=device if backend != "cpu" else None,
+                      devices=devices) as rt:
+        module, streams, plans = prepare_request(rt, request)
+        try:
+            # The service worker uploads the request inputs before it
+            # launches the prepared plans; mirror that so the analysis
+            # sees the same initialization state the launches will.
+            for name, array in request.inputs.items():
+                streams[name].write(array)
+            launchables = rt.fuse(plans) if fused else plans
+            graph = build_dataflow_graph(launchables,
+                                         source_file=source_file)
+            report = analyze_pipeline(launchables,
+                                      source_file=source_file, graph=graph)
+        finally:
+            for stream in streams.values():
+                stream.release()
+    return graph, report
+
+
+def _cmd_dataflow(args: argparse.Namespace) -> int:
+    from .core.analysis.lint import sarif_json
+
+    try:
+        graph, report = _analyze_adas_pipeline(
+            backend=args.backend, device=args.device, size=args.size,
+            seed=args.seed, devices=args.devices, fused=args.fused)
+    except BrookError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        rendered = json.dumps({"graph": graph.to_dict(),
+                               "lint": report.to_dict()}, indent=2)
+    elif args.format == "sarif":
+        rendered = sarif_json(report)
+    else:
+        lines = [
+            f"ADAS pipeline dataflow ({args.size}x{args.size}, backend "
+            f"{args.backend}" + (", fused" if args.fused else "") + "): "
+            f"{len(graph.nodes)} launches, {len(graph.edges)} dependency "
+            f"edges, race-free: {'yes' if graph.race_free else 'NO'}",
+        ]
+        for node in graph.nodes:
+            reads = sorted({*(s.name for s in node.reads.values()),
+                            *(s.name for s in node.gathers.values())})
+            writes = sorted(s.name for s in node.writes.values())
+            extra = ""
+            if node.halo_reads:
+                extra += " halo=" + ",".join(sorted(node.halo_reads))
+            if node.tile_boundaries:
+                extra += " tiled=" + ",".join(node.tile_boundaries)
+            lines.append(f"  #{node.index} {node.kernel}: "
+                         f"{','.join(reads) or '-'} -> "
+                         f"{','.join(writes) or '-'}{extra}")
+        for edge in graph.edges:
+            lines.append(f"  edge #{edge.src} -> #{edge.dst} "
+                         f"({edge.kind} on {edge.stream})")
+        for diag in report.diagnostics:
+            lines.append(f"  {diag}")
+        counts = report.counts()
+        lines.append(f"findings: {counts['error']} error(s), "
+                     f"{counts['warning']} warning(s), "
+                     f"{counts['note']} note(s)")
+        rendered = "\n".join(lines)
+    if args.output:
+        pathlib.Path(args.output).write_text(rendered + "\n")
+        print(f"dataflow results written to {args.output}")
+    else:
+        print(rendered)
+    return 1 if report.has_errors else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .core.analysis.lint import (LintReport, lint_program, lint_source,
                                      sarif_json, skipped_source_report)
 
-    if not args.paths and not args.apps:
-        print("error: no inputs (pass .br/.py paths and/or --apps)",
-              file=sys.stderr)
+    if not args.paths and not args.apps and not args.pipelines:
+        print("error: no inputs (pass .br/.py paths, --apps and/or "
+              "--pipelines)", file=sys.stderr)
         return 2
 
     merged = LintReport()
@@ -232,6 +326,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         else:
             merged.extend(lint_source(path.read_text(),
                                       source_file=str(path)))
+
+    if args.pipelines:
+        # Whole-pipeline dataflow findings (BF-2xx) merge into the same
+        # report and SARIF stream as the kernel-level BL rules.
+        _, pipeline_report = _analyze_adas_pipeline()
+        merged.extend(pipeline_report)
+        _, fused_report = _analyze_adas_pipeline(fused=True)
+        merged.extend(fused_report)
 
     if args.format == "json":
         rendered = json.dumps(merged.to_dict(), indent=2)
@@ -311,6 +413,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 fuse=args.fuse,
                 devices=args.devices,
                 platform=args.platform,
+                sanitize=args.sanitize,
             )
         else:
             payload = run_service_bench(
@@ -321,6 +424,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 pool_sizes=pool_sizes,
                 fuse=args.fuse,
                 devices=args.devices,
+                sanitize=args.sanitize,
             )
     except BrookError as error:
         # Degenerate configurations (pool sizes / device counts < 1,
@@ -451,6 +555,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--apps", action="store_true",
                              help="lint every registered reference "
                                   "application with its range specs")
+    lint_parser.add_argument("--pipelines", action="store_true",
+                             help="also run the whole-pipeline dataflow "
+                                  "analysis (brookflow BF-2xx rules) over "
+                                  "the ADAS serving pipeline, plain and "
+                                  "fused")
     lint_parser.add_argument("--device", default="videocore-iv",
                              choices=sorted(DEVICE_PROFILES))
     lint_parser.add_argument("--format", default="table",
@@ -459,6 +568,31 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write the rendered findings to this file "
                                   "instead of stdout")
     lint_parser.set_defaults(func=_cmd_lint)
+
+    dataflow_parser = sub.add_parser(
+        "dataflow",
+        help="static whole-pipeline dataflow analysis (brookflow) of the "
+             "ADAS serving pipeline; exit 1 on any error-severity finding")
+    dataflow_parser.add_argument("--backend", default="cpu",
+                                 choices=available_backends())
+    dataflow_parser.add_argument("--device", default=None)
+    dataflow_parser.add_argument("--size", type=int, default=32,
+                                 help="frame edge length of the ADAS "
+                                      "pipeline")
+    dataflow_parser.add_argument("--seed", type=int, default=0)
+    dataflow_parser.add_argument("--devices", type=int, default=1,
+                                 help="devices the runtime opens (covers "
+                                      "the sharded leaf-storage path)")
+    dataflow_parser.add_argument("--fused", action="store_true",
+                                 help="analyze the fused pipeline the "
+                                      "service's steady state launches "
+                                      "instead of the plain plan chain")
+    dataflow_parser.add_argument("--format", default="table",
+                                 choices=("table", "json", "sarif"))
+    dataflow_parser.add_argument("--output", default=None,
+                                 help="write the rendered results to this "
+                                      "file instead of stdout")
+    dataflow_parser.set_defaults(func=_cmd_dataflow)
 
     run_parser = sub.add_parser("run-app", help="run a reference application")
     run_parser.add_argument("app", choices=list_applications())
@@ -501,6 +635,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--platform", default="target",
                               help="timing platform pricing WCET bounds and "
                                    "modelled times in deadline mode")
+    serve_parser.add_argument("--sanitize", action="store_true",
+                              help="also measure each pool under "
+                                   "BrookSanitizer and report the overhead, "
+                                   "finding counts and a bit-exactness check")
     serve_parser.add_argument("--json", default=None,
                               help="also write the raw results to this file")
     serve_parser.set_defaults(func=_cmd_serve_bench)

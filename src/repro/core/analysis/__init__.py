@@ -16,9 +16,22 @@ ISO 26262 / MISRA-style guidelines require an answer to at compile time:
 * :mod:`planner` - which execution configuration (fusion, devices,
   batching) should a pipeline use, given the platform cost model and,
   optionally, a deadline its WCET bound must fit?
+* :mod:`dataflow` - is a whole launch *pipeline* free of races,
+  use-after-release and dead intermediates (stream-level dependency DAG
+  + BF-2xx diagnostics)?
 """
 
 from .call_graph import CallGraph, build_call_graph
+from .dataflow import (
+    DataflowNode,
+    DependencyEdge,
+    StreamDependencyGraph,
+    analyze_decision,
+    analyze_pipeline,
+    build_dataflow_graph,
+    leaf_storages,
+    storage_units,
+)
 from .loop_bounds import LoopBound, LoopBoundAnalysis, analyze_loop_bounds
 from .memory_usage import MemoryUsageReport, estimate_memory_usage
 from .resources import KernelResources, estimate_resources
@@ -44,6 +57,14 @@ from .wcet import (
 __all__ = [
     "CallGraph",
     "build_call_graph",
+    "DataflowNode",
+    "DependencyEdge",
+    "StreamDependencyGraph",
+    "analyze_decision",
+    "analyze_pipeline",
+    "build_dataflow_graph",
+    "leaf_storages",
+    "storage_units",
     "LoopBound",
     "LoopBoundAnalysis",
     "analyze_loop_bounds",

@@ -73,6 +73,41 @@ LINT_RULES: Dict[str, LintRule] = {
         LintRule("BL-111", "fusion-boundary", LintSeverity.NOTE,
                  "Two kernels of this program cannot fuse; the "
                  "check_fusable reason is reported."),
+        LintRule("BL-112", "inplace-gather-no-snapshot", LintSeverity.WARNING,
+                 "An in-place launch gathers from its own output stream "
+                 "on a path where the pre-launch snapshot is not "
+                 "guaranteed, so the kernel may observe its own "
+                 "partially written results."),
+        # BF-2xx: whole-pipeline dataflow findings (brookflow,
+        # repro.core.analysis.dataflow) - properties *across* launches,
+        # where the BL-1xx rules prove properties inside one kernel body.
+        LintRule("BF-200", "dataflow-skipped", LintSeverity.NOTE,
+                 "A launchable could not be modelled by the pipeline "
+                 "dataflow analysis and was skipped."),
+        LintRule("BF-201", "hazard-divergence", LintSeverity.ERROR,
+                 "Two conflicting launches share underlying storage the "
+                 "executor's dynamic hazard tracker does not key on, so "
+                 "it could legally overlap them and race."),
+        LintRule("BF-202", "use-after-release", LintSeverity.ERROR,
+                 "A pending launch captures a stream whose device "
+                 "storage has already been released (or whose runtime "
+                 "is closed)."),
+        LintRule("BF-203", "read-before-write", LintSeverity.WARNING,
+                 "A launch reads an intermediate stream that no earlier "
+                 "launch (and no host write) initialised, although a "
+                 "later launch of the same pipeline writes it."),
+        LintRule("BF-204", "uninitialised-input", LintSeverity.NOTE,
+                 "A launch reads a stream that was never written by the "
+                 "host or by the pipeline; it still holds its creation "
+                 "zeros."),
+        LintRule("BF-205", "dead-write", LintSeverity.WARNING,
+                 "A launch's output is overwritten by a later launch "
+                 "before anything reads it - the first write is dead "
+                 "work."),
+        LintRule("BF-206", "fusable-intermediate", LintSeverity.NOTE,
+                 "An intermediate stream is produced and consumed "
+                 "element-for-element by adjacent passes and never used "
+                 "again; fusion would eliminate it."),
     ]
 }
 

@@ -136,6 +136,25 @@ class BackendError(RuntimeBrookError):
     """The selected backend cannot execute the request (resource limits, etc.)."""
 
 
+class SanitizerError(RuntimeBrookError):
+    """BrookSanitizer detected a defect the runtime would otherwise hide.
+
+    Raised by the opt-in instrumented execution mode
+    (``BrookRuntime(sanitize=True)`` / env ``BROOKSAN=1``) when the
+    dynamic hazard tracker's observed launch order diverges from the
+    static dependency DAG of :mod:`repro.core.analysis.dataflow` - the
+    two analyses audit each other, so any disagreement means one of them
+    (or an aliasing bug neither models) is wrong and the run cannot be
+    trusted.  Carries the sanitizer findings that led to the failure.
+    """
+
+    def __init__(self, message: str, findings=None):
+        super().__init__(message)
+        #: The :class:`~repro.runtime.sanitizer.SanitizerFinding` list
+        #: (or plain dicts) describing the divergence.
+        self.findings = list(findings or [])
+
+
 class GLES2Error(BrookError):
     """Errors raised by the simulated OpenGL ES 2.0 substrate."""
 

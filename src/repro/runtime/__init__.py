@@ -36,6 +36,7 @@ from .numerics import (
 from .profiling import KernelLaunchRecord, RunStatistics, TransferRecord, WallClockTimer
 from .reduction import ReductionResult, multipass_reduce
 from .runtime import BrookModule, BrookRuntime
+from .sanitizer import BrookSanitizer, SanitizerFinding
 from .shape import StreamShape
 from .sharding import HaloGatherSource, ShardedStorage
 from .stream import Stream
@@ -54,6 +55,8 @@ __all__ = [
     "CommandQueue",
     "AsyncExecutor",
     "LaunchFuture",
+    "BrookSanitizer",
+    "SanitizerFinding",
     "TilePlan",
     "TiledStorage",
     "ShardedStorage",

@@ -106,7 +106,7 @@ class _Task:
     """Internal scheduling node: one submission plus its dependency state."""
 
     __slots__ = ("plan", "future", "pending", "dependents", "finished",
-                 "read_ids", "write_ids")
+                 "read_ids", "write_ids", "audit_index")
 
     def __init__(self, plan: object, future: LaunchFuture):
         self.plan = plan
@@ -116,23 +116,37 @@ class _Task:
         self.finished = False
         self.read_ids: List[int] = []
         self.write_ids: List[int] = []
+        self.audit_index = -1
 
 
 def _hazard_ids(stream: object) -> "tuple[int, ...]":
-    """Hazard-table keys of one stream: its shards, or the stream itself.
+    """Hazard-table keys of one stream: its *leaf* device storages.
 
-    On a sharded runtime a stream is backed by one storage per device;
-    tracking each shard storage as its own hazard unit keeps the tables
-    at shard granularity, so future partial-stream work (per-band
-    reductions, shard-local pipelines) serializes only against the
-    shards it actually touches.  Whole-stream launches conflict on every
-    shard, which degenerates to exactly the stream-level behaviour.
+    On a sharded runtime a stream is backed by one storage per device
+    (each of which may itself be tiled); tracking each leaf storage as
+    its own hazard unit keeps the tables at shard/tile granularity, so
+    future partial-stream work (per-band reductions, shard-local
+    pipelines) serializes only against the storages it actually touches.
+    Whole-stream launches conflict on every leaf, which degenerates to
+    exactly the stream-level behaviour.
+
+    The keys are storage identities, never wrapper identities: two
+    ``Stream`` handles over the same device storage - or a plain stream
+    aliasing one band of a ``ShardedStorage`` - must collide in the
+    hazard tables, otherwise conflicting launches through the two
+    wrappers would legally overlap and race.
     """
     storage = getattr(stream, "storage", None)
-    shards = getattr(storage, "shards", None)
-    if shards:
-        return tuple(id(shard) for shard in shards)
-    return (id(stream),)
+    if storage is None:
+        # Shard/tile recursion: already a storage object.
+        storage = stream
+    parts = getattr(storage, "shards", None) or getattr(storage, "tiles", None)
+    if parts:
+        ids: List[int] = []
+        for part in parts:
+            ids.extend(_hazard_ids(part))
+        return tuple(ids)
+    return (id(storage),)
 
 
 def _collect_hazards(plan: object, reads: Set[int], writes: Set[int]) -> None:
@@ -193,6 +207,17 @@ class AsyncExecutor:
         self._shutdown = False
         self._discard = False
         self._stopped = threading.Event()
+        # Sanitize mode: audit log of submissions and their observed
+        # start/finish order, differentially cross-checked against the
+        # static dependency DAG on every drain (see
+        # repro.runtime.sanitizer.BrookSanitizer.check_executor_order).
+        self._sanitizer = getattr(runtime, "sanitizer", None)
+        self._audit_plans: List[object] = []
+        # Access sets snapshotted at submission time: backends may
+        # replace a storage's buffer on launch, so aliasing through
+        # shared NumPy buffers is only observable before launches run.
+        self._audit_accesses: List[object] = []
+        self._audit_events: List["tuple[str, int]"] = []
         self._threads = [
             threading.Thread(target=self._worker, name=f"brook-exec-{i}",
                              daemon=True)
@@ -264,6 +289,11 @@ class AsyncExecutor:
                 self._readers[sid] = []
             self._outstanding += 1
             self._submitted += 1
+            if self._sanitizer is not None:
+                task.audit_index = len(self._audit_plans)
+                self._audit_plans.append(plan)
+                self._audit_accesses.append(
+                    self._sanitizer.snapshot_accesses(plan))
         if task.pending == 0:
             self._ready.put(task)
         return future
@@ -285,6 +315,9 @@ class AsyncExecutor:
                     RuntimeBrookError("executor shut down before this "
                                       "launch was executed"))
             else:
+                if self._sanitizer is not None:
+                    with self._lock:
+                        self._audit_events.append(("start", task.audit_index))
                 try:
                     result = task.plan.launch()
                 except BaseException as exc:  # noqa: BLE001 - forwarded
@@ -300,6 +333,12 @@ class AsyncExecutor:
             newly_ready: List[_Task] = []
             with self._lock:
                 current.finished = True
+                # Recorded under the lock *before* any dependent can be
+                # released, so a dependent's start event always follows
+                # its dependency's finish event in the audit log.
+                if self._sanitizer is not None and current.audit_index >= 0 \
+                        and not self._discard:
+                    self._audit_events.append(("finish", current.audit_index))
                 # Drop the finished task from the hazard tables so they
                 # stay bounded in a long-running service.
                 for sid in current.write_ids:
@@ -348,10 +387,30 @@ class AsyncExecutor:
             return self._submitted
 
     def wait_all(self, timeout: Optional[float] = None) -> bool:
-        """Block until every submission so far has finished."""
+        """Block until every submission so far has finished.
+
+        In sanitize mode a successful drain additionally cross-checks
+        the observed launch order against the static dependency DAG,
+        raising :class:`~repro.errors.SanitizerError` on divergence.
+        """
+        drained = self._drain(timeout)
+        if drained:
+            self._check_divergence()
+        return drained
+
+    def _drain(self, timeout: Optional[float] = None) -> bool:
         with self._idle:
             return self._idle.wait_for(lambda: self._outstanding == 0,
                                        timeout)
+
+    def _check_divergence(self) -> None:
+        if self._sanitizer is None:
+            return
+        with self._lock:
+            plans = list(self._audit_plans)
+            accesses = list(self._audit_accesses)
+            events = list(self._audit_events)
+        self._sanitizer.check_executor_order(plans, accesses, events)
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the workers.  Safe to call more than once, from any thread.
@@ -375,7 +434,7 @@ class AsyncExecutor:
             return
         try:
             if wait:
-                self.wait_all()
+                self._drain()
             for _ in self._threads:
                 self._ready.put(None)
             for thread in self._threads:
@@ -387,6 +446,10 @@ class AsyncExecutor:
             # even when the winning teardown is interrupted mid-drain
             # (KeyboardInterrupt), a later close() must not hang.
             self._stopped.set()
+        # The divergence cross-check runs only after the workers are
+        # fully stopped, so a raised SanitizerError never leaks threads.
+        if wait:
+            self._check_divergence()
 
     def close(self) -> None:
         """Drain every in-flight submission, then stop the workers.

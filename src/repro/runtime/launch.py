@@ -117,9 +117,16 @@ class LaunchPlan:
         when a later pass raises.
         """
         self._require_launchable()
+        sanitizer = getattr(self.runtime, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.before_launch(self)
         if self.is_reduction:
-            return self._execute_reduction(records)
-        return self._execute_map(records)
+            result = self._execute_reduction(records)
+        else:
+            result = self._execute_map(records)
+        if sanitizer is not None:
+            sanitizer.after_launch(self)
+        return result
 
     def _require_launchable(self) -> None:
         self.runtime._require_open()
@@ -258,6 +265,9 @@ class FusedPlan:
         self.runtime._require_open()
         for stream in self._bound_streams:
             stream._require_live()
+        sanitizer = getattr(self.runtime, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.before_launch(self)
         backend = self.runtime.backend
         if self._tile_plan is None:
             records.append(backend.launch(
@@ -273,6 +283,8 @@ class FusedPlan:
                 self._tile_plan, self.stream_args, self.gather_args,
                 self.scalar_args, self.out_args,
             ))
+        if sanitizer is not None:
+            sanitizer.after_launch(self)
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -518,6 +530,10 @@ class CommandQueue:
         self.fuse_enabled = bool(fuse)
         self._pending: List[QueuedLaunch] = []
         self.flushed_launches = 0
+        # Set while the context-manager exit performs its automatic
+        # flush, which is unconditional and must not count as a
+        # double-flush under the sanitizer.
+        self._exit_flush = False
 
     # ------------------------------------------------------------------ #
     def submit(self, plan: LaunchPlan) -> QueuedLaunch:
@@ -541,6 +557,10 @@ class CommandQueue:
         pending launches are discarded with the exception.
         """
         pending, self._pending = self._pending, []
+        sanitizer = getattr(self.runtime, "sanitizer", None)
+        if (sanitizer is not None and not pending and self.flushed_launches
+                and not self._exit_flush):
+            sanitizer.note_double_flush(self)
         records: List["KernelLaunchRecord"] = []
         results: List[object] = []
         try:
@@ -575,7 +595,11 @@ class CommandQueue:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.runtime._pop_queue(self)
         if exc_type is None:
-            self.flush()
+            self._exit_flush = True
+            try:
+                self.flush()
+            finally:
+                self._exit_flush = False
         else:
             self._pending.clear()
 

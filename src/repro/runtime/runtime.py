@@ -36,6 +36,7 @@ Service-grade pieces for long-lived processes:
 
 from __future__ import annotations
 
+import os
 import threading
 import weakref
 from collections import OrderedDict
@@ -108,6 +109,7 @@ class BrookRuntime:
         compiler_options: Optional[CompilerOptions] = None,
         compile_cache_size: int = 64,
         devices: int = 1,
+        sanitize: Optional[bool] = None,
     ):
         """
         Args:
@@ -133,6 +135,17 @@ class BrookRuntime:
                 already constructed
                 :class:`~repro.backends.sharded.ShardedBackend` as
                 ``backend`` to use custom device instances.
+            sanitize: Enable :class:`~repro.runtime.sanitizer.BrookSanitizer`,
+                the instrumented execution mode (per-stream initialization
+                tracking, NaN/Inf origins, gather bounds shadow-checks,
+                double-flush and use-after-release detection, and the
+                executor's static-vs-dynamic order cross-check).  The
+                default ``None`` consults the ``BROOKSAN`` environment
+                variable, so whole test suites can opt in externally
+                (``BROOKSAN=1 pytest``).  Findings are recorded on
+                :attr:`sanitizer`, never raised - except a cross-check
+                divergence, which raises
+                :class:`~repro.errors.SanitizerError`.
         """
         devices = int(devices)
         if devices < 1:
@@ -156,6 +169,22 @@ class BrookRuntime:
             self.backend = ShardedBackend([
                 create_backend(backend, device) for _ in range(devices)
             ])
+        if sanitize is None:
+            sanitize = os.environ.get("BROOKSAN", "").strip().lower() \
+                not in ("", "0", "false", "off")
+        #: The :class:`~repro.runtime.sanitizer.BrookSanitizer` of this
+        #: runtime, or ``None`` when the instrumented mode is off.
+        self.sanitizer = None
+        if sanitize:
+            from .sanitizer import BrookSanitizer
+
+            self.sanitizer = BrookSanitizer(self)
+            # The backend wraps gather sources with the sanitizer's
+            # bounds shadow-checks; device groups instrument every
+            # member so per-shard launches are covered too.
+            self.backend._sanitizer = self.sanitizer
+            for device in getattr(self.backend, "devices", ()) or ():
+                device._sanitizer = self.sanitizer
         self._base_options = compiler_options
         self.statistics = RunStatistics()
         # Weak references only: a stream freed by the garbage collector

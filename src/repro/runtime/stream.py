@@ -38,6 +38,10 @@ class Stream:
         self.storage = runtime.backend.create_storage(
             self.shape, self.element_width, self.name
         )
+        #: Host writes performed through this handle (``write``/``fill``);
+        #: the pipeline dataflow analysis uses it to tell deliberate
+        #: zero-initialised inputs from never-written intermediates.
+        self.host_writes = 0
         # The finalizer frees the device storage when the handle is
         # released *or* garbage collected, whichever comes first; backend
         # ``free`` is idempotent, and ``weakref.finalize`` only ever runs
@@ -67,6 +71,9 @@ class Stream:
 
     def _require_live(self) -> None:
         if self.released:
+            sanitizer = getattr(self.runtime, "sanitizer", None)
+            if sanitizer is not None:
+                sanitizer.note_use_after_release(self)
             raise StreamError(
                 f"stream {self.name!r} has been released; its device "
                 "storage is no longer available"
@@ -83,6 +90,10 @@ class Stream:
         flattened = self.shape.flatten(np.asarray(data, dtype=np.float32),
                                        self.element_width)
         record = self.runtime.backend.upload(self.storage, flattened)
+        self.host_writes += 1
+        sanitizer = getattr(self.runtime, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.note_host_write(self)
         self.runtime.statistics.record_transfer(record)
 
     def read(self) -> np.ndarray:

@@ -186,6 +186,7 @@ def run_service_bench(
     fuse: object = True,
     seed: int = 0,
     devices: int = 1,
+    sanitize: bool = False,
 ) -> Dict[str, object]:
     """Benchmark ``BrookService`` pools against the serial baseline.
 
@@ -197,6 +198,13 @@ def run_service_bench(
     With ``devices=N`` every pool worker opens a sharded runtime, so
     each request additionally fans out across a device group - the
     bit-exactness check then also covers the sharded execution path.
+
+    With ``sanitize=True`` each pool configuration is measured a second
+    time with every worker runtime under
+    :class:`~repro.runtime.sanitizer.BrookSanitizer`; the report then
+    carries the sanitized throughput, the measured overhead percentage,
+    the aggregated finding counts and a bit-exactness check of the
+    sanitized responses (the sanitizer must not change results).
     """
     if int(devices) < 1:
         raise RuntimeBrookError(
@@ -238,9 +246,36 @@ def run_service_bench(
                                   if baseline["requests_per_s"] else 0.0),
             "report": report,
         }
+        if sanitize:
+            with BrookService(backend=backend, device=device,
+                              pool_size=pool_size, fuse=fuse,
+                              devices=devices, sanitize=True) as service:
+                warmup = [build_adas_request(size, frame_data[0],
+                                             name="warmup")
+                          for _ in range(pool_size)]
+                service.map(warmup)
+                service.reset_service_stats()
+                responses = service.map(request_list)
+                sanitized_report = service.service_report()
+            sanitized_bitwise = True
+            for index, response in enumerate(responses):
+                sanitized_bitwise &= _bitwise_equal(
+                    reference[index]["out"], response.outputs["out"])
+            bitwise_all &= sanitized_bitwise
+            plain_rps = pools[str(pool_size)]["requests_per_s"]
+            sanitized_rps = sanitized_report["requests_per_s"]
+            pools[str(pool_size)]["sanitize"] = {
+                "requests_per_s": sanitized_rps,
+                "latency_ms": sanitized_report["latency_ms"],
+                "overhead_pct": ((plain_rps / sanitized_rps - 1.0) * 100.0
+                                 if sanitized_rps else 0.0),
+                "bitwise_identical": sanitized_bitwise,
+                "sanitizer": sanitized_report["sanitizer"],
+            }
 
     return {
         "benchmark": "service",
+        "sanitize": bool(sanitize),
         "backend": backend,
         "device": device,
         "devices": devices,
@@ -296,6 +331,7 @@ def run_deadline_bench(
     seed: int = 0,
     devices: int = 1,
     platform: str = "target",
+    sanitize: bool = False,
 ) -> Dict[str, object]:
     """Drive the ADAS pipeline past saturation under three schedulers.
 
@@ -366,7 +402,8 @@ def run_deadline_bench(
     for label, knobs in configs.items():
         with BrookService(backend=backend, device=device,
                           pool_size=pool_size, fuse=fuse, devices=devices,
-                          platform=platform, **knobs) as service:
+                          platform=platform, sanitize=sanitize or None,
+                          **knobs) as service:
             warmup = [build_adas_request(size, frame_data[0], name="warmup")
                       for _ in range(pool_size)]
             service.map(warmup)
@@ -399,9 +436,12 @@ def run_deadline_bench(
             "wcet_sound": config_sound,
             "deadline_report": report.get("deadline", {}),
         }
+        if sanitize:
+            results[label]["sanitizer"] = report.get("sanitizer", {})
 
     return {
         "benchmark": "deadline",
+        "sanitize": bool(sanitize),
         "backend": backend,
         "device": device,
         "devices": devices,
@@ -481,6 +521,23 @@ def render_service_report(payload: Dict[str, object]) -> str:
             f"{row['latency_ms']['p95']:>7.2f}ms "
             f"{row['speedup_vs_serial']:>7.2f}x"
         )
+    if payload.get("sanitize"):
+        lines.append("")
+        lines.append("BrookSanitizer (BROOKSAN) overhead:")
+        lines.append(f"{'config':>14} {'req/s':>9} {'overhead':>9} "
+                     f"{'findings':>9} {'bitwise':>8}")
+        for pool_size, row in payload["pools"].items():
+            sanitized = row.get("sanitize")
+            if not sanitized:
+                continue
+            findings = sum(sanitized["sanitizer"]["counts"].values())
+            lines.append(
+                f"{'pool=' + pool_size:>14} "
+                f"{sanitized['requests_per_s']:>9.1f} "
+                f"{sanitized['overhead_pct']:>8.1f}% "
+                f"{findings:>9} "
+                f"{'yes' if sanitized['bitwise_identical'] else 'NO':>8}"
+            )
     lines.append("")
     lines.append("service responses bit-identical to serial baseline: "
                  + ("yes" if payload["bitwise_identical"] else "NO"))

@@ -151,6 +151,7 @@ class _ServiceWorker:
             device=service.device,
             devices=service.devices,
             compiler_options=service._compiler_options,
+            sanitize=service.sanitize,
         )
         self.queue = (EDFQueue() if service.scheduler == "edf"
                       else Queue())
@@ -458,6 +459,12 @@ class BrookService:
             configurations whose WCET bound fits the deadline budget;
             when none fits, the request's future raises
             :class:`~repro.errors.PlanningError`.
+        sanitize: Run every worker runtime under
+            :class:`~repro.runtime.sanitizer.BrookSanitizer` and add an
+            aggregated ``"sanitizer"`` section (launches checked,
+            finding counts, first findings) to :meth:`service_report`.
+            ``None`` (default) defers to the ``BROOKSAN`` environment
+            variable, exactly like ``BrookRuntime(sanitize=None)``.
     """
 
     def __init__(
@@ -474,6 +481,7 @@ class BrookService:
         admission: bool = False,
         platform: Optional[str] = None,
         plan: str = "manual",
+        sanitize: Optional[bool] = None,
     ):
         # Degenerate configurations fail loudly and uniformly with a
         # RuntimeBrookError instead of being silently clamped (or
@@ -533,6 +541,11 @@ class BrookService:
                     f"{sorted(PLATFORMS)}")
         self.backend_name = backend
         self.device = device
+        #: Sanitize mode: every worker runtime runs under BrookSanitizer
+        #: and service_report() gains an aggregated "sanitizer" section.
+        #: None defers to the BROOKSAN environment variable, exactly as
+        #: BrookRuntime(sanitize=None) does.
+        self.sanitize = sanitize
         self.pool_size = int(pool_size)
         self.devices = int(devices)
         self.max_batch = int(max_batch)
@@ -561,6 +574,8 @@ class BrookService:
         self._round_robin = 0
         self.workers = [_ServiceWorker(self, index)
                         for index in range(self.pool_size)]
+        # Resolve the tri-state argument to what the pool actually runs.
+        self.sanitize = self.workers[0].runtime.sanitizer is not None
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -824,6 +839,24 @@ class BrookService:
             "workers": worker_rows,
             "device_totals": device_totals,
         }
+        if self.sanitize:
+            counts: Dict[str, int] = {}
+            launches_checked = 0
+            worker_findings = []
+            for worker in self.workers:
+                sanitizer = worker.runtime.sanitizer
+                if sanitizer is None:
+                    continue
+                worker_report = sanitizer.report()
+                launches_checked += worker_report["launches_checked"]
+                for kind, count in worker_report["counts"].items():
+                    counts[kind] = counts.get(kind, 0) + count
+                worker_findings.extend(worker_report["findings"])
+            report["sanitizer"] = {
+                "launches_checked": launches_checked,
+                "counts": counts,
+                "findings": worker_findings[:50],
+            }
         if self._track_deadlines:
             with self._stats_lock:
                 deadline = self._deadline_stats.summary()

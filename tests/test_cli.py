@@ -217,3 +217,60 @@ class TestServeBenchDeadlineMode:
         assert exit_code == 0
         payload = json.loads((tmp_path / "bench.json").read_text())
         assert payload["timing"]["relative_deadline_s"] == pytest.approx(1.0)
+
+
+class TestDataflowCommand:
+    def test_table_reports_race_free_pipeline(self, capsys):
+        assert main(["dataflow", "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "race-free: yes" in out
+        assert "RAW on s0" in out
+        assert "halo=image" in out
+
+    def test_fused_pipeline_is_single_node(self, capsys):
+        assert main(["dataflow", "--size", "16", "--fused"]) == 0
+        out = capsys.readouterr().out
+        assert "1 launches, 0 dependency edges" in out
+
+    def test_json_format_carries_graph_and_lint(self, capsys):
+        assert main(["dataflow", "--size", "16", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["graph"]["race_free"] is True
+        assert len(payload["graph"]["nodes"]) == 8
+        assert "diagnostics" in payload["lint"]
+
+    def test_sarif_output_file(self, tmp_path, capsys):
+        path = tmp_path / "dataflow.sarif"
+        assert main(["dataflow", "--size", "16", "--format", "sarif",
+                     "--output", str(path)]) == 0
+        sarif = json.loads(path.read_text())
+        assert sarif["runs"][0]["tool"]["driver"]["name"]
+
+    def test_sharded_runtime_analyzes_clean(self, capsys):
+        assert main(["dataflow", "--size", "16", "--backend", "gles2",
+                     "--devices", "2"]) == 0
+        assert "race-free: yes" in capsys.readouterr().out
+
+
+class TestLintPipelinesFlag:
+    def test_lint_pipelines_merges_bf_rules(self, capsys):
+        assert main(["lint", "--pipelines"]) == 0
+        out = capsys.readouterr().out
+        assert "BF-206" in out      # unfused chain: fusable intermediates
+        assert "error(s)" in out
+
+
+class TestServeBenchSanitize:
+    def test_sanitize_overhead_in_report(self, tmp_path, capsys):
+        exit_code = main(["serve-bench", "--size", "16", "--requests", "6",
+                          "--pool-sizes", "1", "--sanitize",
+                          "--json", str(tmp_path / "bench.json")])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "BrookSanitizer (BROOKSAN) overhead:" in out
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        assert payload["sanitize"] is True
+        sanitized = payload["pools"]["1"]["sanitize"]
+        assert sanitized["bitwise_identical"] is True
+        assert "overhead_pct" in sanitized
+        assert sanitized["sanitizer"]["counts"] == {}

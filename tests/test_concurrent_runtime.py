@@ -570,3 +570,73 @@ class TestExecutorShutdownWhileBusy:
         run_threads(4, lambda index: executor.shutdown(wait=True))
         assert all(future.done() for future in futures)
         assert all(future.exception() is None for future in futures)
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: hazard tables key on leaf storages, not wrapper identity
+# --------------------------------------------------------------------------- #
+class _SlowPlan:
+    """Plan-like wrapper that delays a real plan (forces submission-order
+    races to be deterministic instead of timing-dependent)."""
+
+    def __init__(self, plan, delay):
+        self._plan = plan
+        self._delay = delay
+        self._bound_streams = plan._bound_streams
+
+    def launch(self):
+        time.sleep(self._delay)
+        return self._plan.launch()
+
+
+class TestHazardStorageKeying:
+    """Regression: the executor's hazard tables keyed plain streams by
+    *wrapper* identity, so two Stream handles over the same device
+    storage (or a plain stream aliasing one band of a ShardedStorage)
+    never collided and conflicting launches could legally overlap."""
+
+    def test_two_wrappers_over_one_storage_collide(self, cpu_runtime):
+        from repro.runtime.executor import _hazard_ids
+        s1 = cpu_runtime.stream((8,))
+        s2 = cpu_runtime.stream((8,))
+        s2.storage = s1.storage       # second handle to the same storage
+        assert set(_hazard_ids(s1)) == set(_hazard_ids(s2))
+
+    def test_plain_stream_aliasing_a_shard_band_collides(self):
+        from repro.runtime.executor import _hazard_ids
+        with BrookRuntime(backend="cpu", devices=2) as rt:
+            sharded = rt.stream((8, 4))
+            band = rt.stream((4, 4))
+            band.storage = sharded.storage.shards[0]
+            keys = set(_hazard_ids(band))
+            assert keys and keys <= set(_hazard_ids(sharded))
+
+    def test_tiled_storage_keys_descend_to_tiles(self):
+        from repro.runtime.executor import _hazard_ids
+        with tiny_gles2_runtime(8) as rt:
+            big = rt.stream((16, 16))       # tiles at the 8-px limit
+            tiles = big.storage.tiles
+            assert len(tiles) > 1
+            assert set(_hazard_ids(big)) == {id(tile) for tile in tiles}
+            one = rt.stream((4, 4))
+            one.storage = tiles[0]
+            keys = set(_hazard_ids(one))
+            assert keys and keys <= set(_hazard_ids(big))
+
+    def test_conflicting_launches_through_aliased_wrappers_serialize(
+            self, cpu_runtime):
+        """y1 and y2 are two handles to one storage: scale(x)->y1 then
+        offset(y2)->y2 must run in submission order even though the
+        wrappers differ.  The first launch is slowed so the buggy
+        keying (no dependency between the two) deterministically runs
+        the second launch first and computes 2.0 instead of 3.0."""
+        module = cpu_runtime.compile(SRC)
+        x = cpu_runtime.stream_from(np.full((32,), 1.0))
+        y1 = cpu_runtime.stream((32,))
+        y2 = cpu_runtime.stream((32,))
+        y2.storage = y1.storage
+        with cpu_runtime.executor(workers=2) as ex:
+            ex.submit(_SlowPlan(module.scale.bind(x, 2.0, y1), 0.25))
+            ex.submit(module.offset.bind(y2, 1.0, y2))
+            assert ex.wait_all(timeout=10.0)
+        np.testing.assert_array_equal(y1.read(), np.full((32,), 3.0))

@@ -49,7 +49,9 @@ class TestRuleRegistry:
     def test_codes_are_stable(self):
         assert set(LINT_RULES) == {
             "BL-100", "BL-101", "BL-102", "BL-103", "BL-104", "BL-105",
-            "BL-106", "BL-107", "BL-110", "BL-111"}
+            "BL-106", "BL-107", "BL-110", "BL-111", "BL-112",
+            "BF-200", "BF-201", "BF-202", "BF-203", "BF-204", "BF-205",
+            "BF-206"}
 
     def test_severities(self):
         assert LINT_RULES["BL-101"].severity is LintSeverity.ERROR
