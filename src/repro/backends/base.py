@@ -336,6 +336,19 @@ class Backend(abc.ABC):
         ``index_map`` overrides the ``indexof`` positions (tiled
         launches pass the global positions of the tile's elements).
         """
+        if kernel.vector_path is not None:
+            # Whole-array program for brookvec-approved kernels.  Plain
+            # launches hand over the 2-d layout (enabling the padded-slice
+            # gather plan) and let the program derive ``indexof`` lazily;
+            # tiled launches pass their explicit global positions instead.
+            return kernel.vector_path.run(
+                domain.element_count,
+                stream_inputs=stream_values,
+                scalar_args=scalar_args,
+                gathers=gathers,
+                index=index_map,
+                layout=domain.layout_2d if index_map is None else None,
+            )
         index = domain.element_positions() if index_map is None else index_map
         if kernel.fast_path is not None:
             return kernel.fast_path.run(

@@ -118,7 +118,18 @@ class BrookKernelShader(FragmentShader):
                  np.floor(job.texcoord[:, 1] * output_size[1])], axis=1
             ).astype(np.float32)
 
-        if self.kernel.fast_path is not None:
+        if self.kernel.vector_path is not None:
+            # Fragment passes always carry explicit positions (texcoord
+            # derived), so the vector program runs its generic whole-array
+            # nodes rather than the layout-dependent slice plan.
+            outputs, stats = self.kernel.vector_path.run(
+                count,
+                stream_inputs=stream_values,
+                scalar_args=self.scalar_args,
+                gathers=self.gathers,
+                index=index,
+            )
+        elif self.kernel.fast_path is not None:
             outputs, stats = self.kernel.fast_path.run(
                 count,
                 stream_inputs=stream_values,

@@ -29,7 +29,14 @@ compiler is used in a build system:
 * ``brookauto lint`` - run the brooklint interval/range analysis over
   ``.br`` sources, Python files with embedded kernel strings, or the
   registered reference applications (``--apps``), emitting findings as a
-  table, JSON or SARIF 2.1.0 (exit code 1 on error-severity findings).
+  table, JSON or SARIF 2.1.0 (exit code 1 on error-severity findings);
+  ``--vectorize`` merges the brookvec BV-3xx verdict notes.
+* ``brookauto vectorize`` - brookvec vectorization report: per-kernel
+  BV-3xx verdict (vectorized / masked-divergent / fallback reason /
+  unproved obligation), divergence counts and speculation-obligation
+  proofs, rendered as a table, JSON or SARIF 2.1.0.  Verdicts come off
+  the compiled vector path, so BV-300/BV-301 always means the kernel
+  really runs whole-array.
 """
 
 from __future__ import annotations
@@ -132,6 +139,18 @@ def _cmd_certify(args: argparse.Namespace) -> int:
         lint_report = lint_program(program, source_file=str(source_path))
         print()
         print(_render_lint_summary(lint_report))
+    if args.vectorize:
+        # Recompile with the vector path on so the verdicts are the
+        # build_vector_path ones - consistent with what would execute.
+        vector_options = CompilerOptions(
+            target=_target_limits(args.device), strict=False,
+            emit_glsl_es=False, emit_desktop_glsl=False, emit_c=False,
+            enable_fast_path=False, enable_vector_path=True)
+        vector_program = compile_source(source, filename=str(source_path),
+                                        options=vector_options)
+        print()
+        print("brookvec vector-path eligibility:")
+        print(_render_vectorize_table(_vectorize_reports(vector_program)))
     verdict = "COMPLIANT" if report.is_compliant else "NON-COMPLIANT"
     print(f"\n{source_path}: certification {verdict}")
     return 0 if report.is_compliant else 1
@@ -307,7 +326,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             except BrookError as error:
                 merged.extend(skipped_source_report(virtual, str(error)))
             else:
-                merged.extend(lint_program(program, source_file=virtual))
+                merged.extend(lint_program(program, source_file=virtual,
+                                           vectorize=args.vectorize))
 
     for path in _iter_lint_files(args.paths):
         if not path.exists():
@@ -322,10 +342,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             # Diagnostic line numbers are relative to each embedded
             # kernel string, not to the Python file.
             for _, source in snippets:
-                merged.extend(lint_source(source, source_file=str(path)))
+                merged.extend(lint_source(source, source_file=str(path),
+                                          vectorize=args.vectorize))
         else:
             merged.extend(lint_source(path.read_text(),
-                                      source_file=str(path)))
+                                      source_file=str(path),
+                                      vectorize=args.vectorize))
 
     if args.pipelines:
         # Whole-pipeline dataflow findings (BF-2xx) merge into the same
@@ -356,6 +378,126 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(rendered)
     return 1 if merged.has_errors else 0
+
+
+def _vectorize_reports(program):
+    """(name, report) per launchable kernel, verdict/executable-consistent.
+
+    Reports come off the compiled kernels (``enable_vector_path=True``),
+    i.e. through :func:`~repro.core.exec.vectorized.build_vector_path`,
+    so a BV-300/BV-301 verdict always denotes a program that will really
+    run and backend-unsupported kernels show the downgraded BV-302.
+    """
+    return [(name, kernel.vector_report)
+            for name, kernel in program.kernels.items()
+            if kernel.vector_report is not None]
+
+
+def _render_vectorize_table(rows) -> str:
+    lines = [f"{'kernel':<28}{'verdict':>8}{'div br':>7}{'div lp':>7}"
+             f"{'obligations':>12}  why / how"]
+    for name, report in rows:
+        facts = report.to_facts()
+        obligations = (f"{facts['obligations_proved']}"
+                       f"/{facts['obligations']}")
+        blocking = report.blocking()
+        if blocking is not None:
+            why = blocking
+            if report.location is not None:
+                why += f" (line {report.location.line})"
+        elif report.divergent:
+            why = "whole-array with np.where lane merges"
+        else:
+            why = "whole-array, unmasked"
+        lines.append(f"{name:<28}{report.verdict:>8}"
+                     f"{facts['divergent_branches']:>7}"
+                     f"{facts['divergent_loops']:>7}"
+                     f"{obligations:>12}  {why}")
+    vectorized = sum(1 for _, r in rows if r.vectorizable)
+    lines.append(f"{vectorized}/{len(rows)} kernel(s) take the vector path")
+    return "\n".join(lines)
+
+
+def _cmd_vectorize(args: argparse.Namespace) -> int:
+    from .core.analysis.lint import (LintReport, sarif_json,
+                                     skipped_source_report)
+    from .core.analysis.lint.rules import vectorization_diagnostics
+
+    if not args.paths and not args.apps:
+        print("error: no inputs (pass .br/.py paths and/or --apps)",
+              file=sys.stderr)
+        return 2
+
+    def compile_options(app=None):
+        return CompilerOptions(
+            target=_target_limits(args.device), strict=False,
+            param_bounds=dict(app.param_bounds) if app else {},
+            range_specs=dict(app.range_specs) if app else {},
+            emit_glsl_es=False, emit_desktop_glsl=False, emit_c=False,
+            enable_fast_path=False, enable_vector_path=True,
+        )
+
+    rows = []
+    skipped = LintReport()
+
+    def add_source(source, virtual, app=None):
+        try:
+            program = compile_source(source, filename=virtual,
+                                     options=compile_options(app))
+        except BrookError as error:
+            skipped.extend(skipped_source_report(virtual, str(error)))
+            return
+        for name, report in _vectorize_reports(program):
+            rows.append((name, report, virtual,
+                         program.kernels[name].definition))
+
+    if args.apps:
+        for name in list_applications():
+            app = get_application(name)
+            add_source(app.brook_source, f"apps/{name}.br", app)
+    for path in _iter_lint_files(args.paths):
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        if path.suffix == ".py":
+            snippets = _python_kernel_snippets(path)
+            if snippets is None:
+                skipped.extend(skipped_source_report(
+                    str(path), "not valid Python source"))
+                continue
+            for _, source in snippets:
+                add_source(source, str(path))
+        else:
+            add_source(path.read_text(), str(path))
+
+    if args.format == "json":
+        rendered = json.dumps(
+            {"kernels": [dict(report.to_dict(), file=virtual)
+                         for _, report, virtual, _ in rows],
+             "skipped": [d.to_dict() for d in skipped.diagnostics]},
+            indent=2)
+    elif args.format == "sarif":
+        # One BV-3xx note per kernel through the shared lint/SARIF
+        # machinery - same rule descriptors ``brookauto lint`` emits.
+        report = LintReport()
+        report.extend(skipped)
+        for name, vector_report, virtual, definition in rows:
+            report.kernels.append(name)
+            report.facts[name] = vector_report.to_facts()
+            report.diagnostics.extend(vectorization_diagnostics(
+                definition, vector_report, virtual))
+        rendered = sarif_json(report)
+    else:
+        lines = [str(diag) for diag in skipped.diagnostics]
+        lines.append(_render_vectorize_table(
+            [(name, report) for name, report, _, _ in rows]))
+        rendered = "\n".join(lines)
+    if args.output:
+        pathlib.Path(args.output).write_text(rendered + "\n")
+        print(f"vectorization report written to {args.output}")
+    else:
+        print(rendered)
+    return 0
 
 
 def _cmd_run_app(args: argparse.Namespace) -> int:
@@ -543,6 +685,10 @@ def build_parser() -> argparse.ArgumentParser:
     certify_parser.add_argument("--lint", action="store_true",
                                 help="also append the brooklint summary "
                                      "(findings + gather bound proofs)")
+    certify_parser.add_argument("--vectorize", action="store_true",
+                                help="also append the brookvec vector-path "
+                                     "eligibility table (BV-3xx verdicts); "
+                                     "does not affect the exit code")
     certify_parser.set_defaults(func=_cmd_certify)
 
     lint_parser = sub.add_parser(
@@ -560,6 +706,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "analysis (brookflow BF-2xx rules) over "
                                   "the ADAS serving pipeline, plain and "
                                   "fused")
+    lint_parser.add_argument("--vectorize", action="store_true",
+                             help="also emit one BV-3xx brookvec verdict "
+                                  "note per kernel (vectorized / masked / "
+                                  "fallback reason)")
     lint_parser.add_argument("--device", default="videocore-iv",
                              choices=sorted(DEVICE_PROFILES))
     lint_parser.add_argument("--format", default="table",
@@ -568,6 +718,27 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write the rendered findings to this file "
                                   "instead of stdout")
     lint_parser.set_defaults(func=_cmd_lint)
+
+    vectorize_parser = sub.add_parser(
+        "vectorize",
+        help="brookvec vectorization report: per-kernel BV-3xx verdict, "
+             "divergence counts and speculation obligations, consistent "
+             "with the executable vector path")
+    vectorize_parser.add_argument("paths", nargs="*",
+                                  help=".br files, .py files with embedded "
+                                       "kernel strings, or directories of "
+                                       "either")
+    vectorize_parser.add_argument("--apps", action="store_true",
+                                  help="report every registered reference "
+                                       "application with its range specs")
+    vectorize_parser.add_argument("--device", default="videocore-iv",
+                                  choices=sorted(DEVICE_PROFILES))
+    vectorize_parser.add_argument("--format", default="table",
+                                  choices=("table", "json", "sarif"))
+    vectorize_parser.add_argument("--output", default=None,
+                                  help="write the rendered report to this "
+                                       "file instead of stdout")
+    vectorize_parser.set_defaults(func=_cmd_vectorize)
 
     dataflow_parser = sub.add_parser(
         "dataflow",

@@ -8,10 +8,11 @@ SARIF 2.1.0 output.  See ``docs/analysis.md`` for the rule table.
 from .diagnostics import (Diagnostic, LINT_RULES, LintReport, LintRule,
                           LintSeverity)
 from .engine import lint_program, lint_source, skipped_source_report
+from .rules import vectorization_diagnostics
 from .sarif import sarif_json, to_sarif
 
 __all__ = [
     "Diagnostic", "LINT_RULES", "LintReport", "LintRule", "LintSeverity",
     "lint_program", "lint_source", "skipped_source_report",
-    "sarif_json", "to_sarif",
+    "sarif_json", "to_sarif", "vectorization_diagnostics",
 ]

@@ -78,6 +78,28 @@ LINT_RULES: Dict[str, LintRule] = {
                  "on a path where the pre-launch snapshot is not "
                  "guaranteed, so the kernel may observe its own "
                  "partially written results."),
+        # BV-3xx: brookvec vectorization verdicts
+        # (repro.core.analysis.vectorize) - one per kernel, surfaced by
+        # ``brookauto lint --vectorize`` / ``brookauto vectorize`` so the
+        # SARIF stream records which kernels run the whole-array vector
+        # path and exactly why the rest fall back.
+        LintRule("BV-300", "vectorized", LintSeverity.NOTE,
+                 "The kernel has no divergent constructs and runs as an "
+                 "unmasked whole-array program on the vector path."),
+        LintRule("BV-301", "masked-divergent-vectorized", LintSeverity.NOTE,
+                 "The kernel has divergent constructs but every "
+                 "safe-speculation obligation is proved; it runs "
+                 "whole-array with np.where lane merges."),
+        LintRule("BV-302", "vector-fallback", LintSeverity.NOTE,
+                 "A construct outside the vectorizable subset keeps the "
+                 "kernel on the masked interpreter; the construct and "
+                 "location are reported."),
+        LintRule("BV-303", "speculation-obligation-unproved",
+                 LintSeverity.NOTE,
+                 "The construct mix is vectorizable but a speculation "
+                 "obligation (gather bounds, division by zero, int "
+                 "overflow on dead lanes) could not be discharged; the "
+                 "failing interval is reported."),
         # BF-2xx: whole-pipeline dataflow findings (brookflow,
         # repro.core.analysis.dataflow) - properties *across* launches,
         # where the BL-1xx rules prove properties inside one kernel body.

@@ -14,14 +14,17 @@ from typing import Dict, Optional
 from ....errors import BrookError
 from ... import ast_nodes as ast
 from ..ranges import RangeContext, analyze_kernel_ranges
+from ..vectorize import analyze_kernel_vectorization
 from .diagnostics import Diagnostic, LintReport, LintSeverity
-from .rules import kernel_diagnostics, kernel_facts, program_diagnostics
+from .rules import (kernel_diagnostics, kernel_facts, program_diagnostics,
+                    vectorization_diagnostics)
 
 __all__ = ["lint_program", "lint_source", "skipped_source_report"]
 
 
 def lint_program(program, specs: Optional[Dict[str, dict]] = None,
-                 source_file: str = "<source>") -> LintReport:
+                 source_file: str = "<source>",
+                 vectorize: bool = False) -> LintReport:
     """Lint one :class:`~repro.core.compiler.CompiledProgram`.
 
     Args:
@@ -29,9 +32,13 @@ def lint_program(program, specs: Optional[Dict[str, dict]] = None,
         specs: Per-kernel range specs; defaults to the program's
             ``options.range_specs`` when present.
         source_file: Artifact path recorded on each diagnostic (SARIF).
+        vectorize: Also emit one BV-3xx brookvec verdict note per kernel
+            (the verdict always cross-references BL-110 and the facts,
+            even when this is off).
     """
     if specs is None:
         specs = getattr(program.options, "range_specs", None) or {}
+    param_bounds = getattr(program.options, "param_bounds", None) or {}
     report = LintReport()
     helpers = program.helpers()
 
@@ -40,10 +47,20 @@ def lint_program(program, specs: Optional[Dict[str, dict]] = None,
         spec = specs.get(kernel.name)
         ctx = RangeContext(spec)
         analysis = analyze_kernel_ranges(kernel, spec, helpers)
+        vector_report = analyze_kernel_vectorization(
+            kernel, helpers, spec=spec,
+            param_bounds=param_bounds.get(kernel.name))
         report.kernels.append(kernel.name)
-        report.facts[kernel.name] = kernel_facts(analysis, ctx)
+        facts = kernel_facts(analysis, ctx)
+        if kernel.is_kernel and not kernel.is_reduction:
+            facts.update(vector_report.to_facts())
+        report.facts[kernel.name] = facts
         report.diagnostics.extend(
-            kernel_diagnostics(kernel, analysis, ctx, source_file))
+            kernel_diagnostics(kernel, analysis, ctx, source_file,
+                               vector_report=vector_report))
+        if vectorize:
+            report.diagnostics.extend(vectorization_diagnostics(
+                kernel, vector_report, source_file))
 
     for name, helper in helpers.items():
         ctx = RangeContext(None)
@@ -62,7 +79,8 @@ def lint_program(program, specs: Optional[Dict[str, dict]] = None,
 
 
 def lint_source(source: str, specs: Optional[Dict[str, dict]] = None,
-                source_file: str = "<source>") -> LintReport:
+                source_file: str = "<source>",
+                vectorize: bool = False) -> LintReport:
     """Compile ``source`` in analysis (non-strict) mode and lint it.
 
     Sources that do not compile at all produce a single BL-100 note via
@@ -78,7 +96,8 @@ def lint_source(source: str, specs: Optional[Dict[str, dict]] = None,
         )
     except BrookError as exc:
         return skipped_source_report(source_file, str(exc))
-    return lint_program(program, specs=specs, source_file=source_file)
+    return lint_program(program, specs=specs, source_file=source_file,
+                        vectorize=vectorize)
 
 
 def skipped_source_report(source_file: str, reason: str) -> LintReport:

@@ -16,7 +16,8 @@ from ...transforms.fuse import check_fusable
 from ..ranges import (Interval, KernelRangeAnalysis, RangeContext)
 from .diagnostics import Diagnostic, LINT_RULES, LintSeverity
 
-__all__ = ["kernel_diagnostics", "program_diagnostics", "kernel_facts"]
+__all__ = ["kernel_diagnostics", "program_diagnostics", "kernel_facts",
+           "vectorization_diagnostics"]
 
 
 def _diag(code: str, message: str, kernel: str, location,
@@ -338,21 +339,65 @@ def _check_outputs(kernel: ast.FunctionDef,
 _STRAIGHT = (ast.Block, ast.DeclStatement, ast.ExprStatement)
 
 
-def _check_fast_path(kernel: ast.FunctionDef,
-                     source_file: str) -> Iterable[Diagnostic]:
+def _check_fast_path(kernel: ast.FunctionDef, source_file: str,
+                     vector_report=None) -> Iterable[Diagnostic]:
     if not kernel.is_kernel or kernel.is_reduction:
         return
     if is_straight_line(kernel.body):
         return
     for node in kernel.body.walk():
         if isinstance(node, ast.Statement) and not isinstance(node, _STRAIGHT):
-            yield _diag(
-                "BL-110",
-                f"kernel misses the compiled fast path: first divergent "
-                f"construct is a {type(node).__name__}; it runs on the "
-                "masked interpreter instead",
-                kernel.name, node.location, source_file)
+            message = (f"kernel misses the compiled fast path: first "
+                       f"divergent construct is a {type(node).__name__}")
+            # Cross-reference the brookvec verdict: a fast-path miss is
+            # only a real interpreter fallback when the vector path
+            # rejects the kernel too, and then the blocking construct or
+            # obligation (with its location) is what the user must fix.
+            if vector_report is not None and vector_report.vectorizable:
+                how = ("masked vector execution"
+                       if vector_report.divergent
+                       else "unmasked whole-array execution")
+                message += (f"; brookvec still runs it whole-array "
+                            f"({vector_report.verdict}: {how})")
+            elif vector_report is not None:
+                blocking = vector_report.blocking() or vector_report.reason
+                line = getattr(vector_report.location, "line", None)
+                where = f" (line {line})" if line is not None else ""
+                message += (f"; brookvec concurs ({vector_report.verdict}: "
+                            f"{blocking}{where}) so it runs on the masked "
+                            "interpreter")
+            else:
+                message += "; it runs on the masked interpreter instead"
+            yield _diag("BL-110", message, kernel.name, node.location,
+                        source_file)
             return
+
+
+# --------------------------------------------------------------------------- #
+# BV-3xx: brookvec vectorization verdicts
+# --------------------------------------------------------------------------- #
+def vectorization_diagnostics(kernel: ast.FunctionDef, vector_report,
+                              source_file: str) -> List[Diagnostic]:
+    """One BV-3xx note per kernel, built from a brookvec report."""
+    if not kernel.is_kernel or kernel.is_reduction:
+        return []
+    verdict = vector_report.verdict
+    message = vector_report.reason or LINT_RULES[verdict].summary
+    if verdict == "BV-301":
+        divergent = sum(1 for b in vector_report.branches
+                        if b.kind == "divergent")
+        bounded = [l for l in vector_report.loops
+                   if l.kind == "bounded-divergent"]
+        extras = []
+        if divergent:
+            extras.append(f"{divergent} divergent branch(es)")
+        for loop in bounded:
+            extras.append(f"{loop.construct} loop bounded at "
+                          f"{loop.trip_bound} trips")
+        if extras:
+            message += " [" + ", ".join(extras) + "]"
+    return [_diag(verdict, message, kernel.name, vector_report.location,
+                  source_file)]
 
 
 # --------------------------------------------------------------------------- #
@@ -384,7 +429,8 @@ def program_diagnostics(kernels: List[ast.FunctionDef],
 # --------------------------------------------------------------------------- #
 def kernel_diagnostics(kernel: ast.FunctionDef,
                        analysis: KernelRangeAnalysis, ctx: RangeContext,
-                       source_file: str) -> List[Diagnostic]:
+                       source_file: str,
+                       vector_report=None) -> List[Diagnostic]:
     diagnostics: List[Diagnostic] = []
     diagnostics.extend(_check_gathers(kernel, analysis, ctx, source_file))
     diagnostics.extend(_check_divisions(kernel, analysis, ctx, source_file))
@@ -392,7 +438,7 @@ def kernel_diagnostics(kernel: ast.FunctionDef,
     diagnostics.extend(_UninitScan(kernel, source_file).run())
     diagnostics.extend(_check_dead_stores(kernel, source_file))
     diagnostics.extend(_check_outputs(kernel, source_file))
-    diagnostics.extend(_check_fast_path(kernel, source_file))
+    diagnostics.extend(_check_fast_path(kernel, source_file, vector_report))
     return diagnostics
 
 

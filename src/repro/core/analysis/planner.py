@@ -29,6 +29,15 @@ The candidate space per pipeline signature:
   time, so batch variants price identically and the deterministic
   tie-break prefers the larger batch.
 
+Each candidate additionally carries ``host_eval_s``: the predicted host
+functional-simulation cost of its launches, priced per element by the
+execution path each kernel actually takes (brookvec whole-array vector
+path / PR-2 compiled fast path / masked interpreter).  Modelled GPU
+time stays the primary objective; ``host_eval_s`` breaks its ties, so
+``plan="auto"`` never fuses away the vector path for zero modelled
+gain - a merged kernel only loses BV-300/BV-301 status when the fusion
+actually pays on the target model.
+
 Pricing composes the same bounded counters the WCET derivation uses
 (:mod:`repro.core.analysis.wcet`) with host-transfer terms (pipeline
 inputs uploaded once, live-out outputs read back once) and the sharding
@@ -80,6 +89,67 @@ DEFAULT_DEVICE_COUNTS = (1, 2, 4)
 #: the per-group pricing is monotone anyway).
 _MAX_FREE_GROUPS = 3
 
+#: Calibrated host-side functional-simulation throughput (seconds per
+#: element) of the three per-launch execution paths.  ``modelled_ms``
+#: prices *target GPU* time; this second axis prices what the simulator
+#: itself pays per launch, so candidates with equal modelled time
+#: tie-break toward the configuration that keeps the brookvec
+#: whole-array vector path alive (a fusion subset whose merged kernels
+#: all stay BV-300/BV-301 beats one that forces a merged kernel back
+#: onto the masked interpreter).
+_HOST_EVAL_S_PER_ELEMENT = {
+    "vector": 15e-9,
+    "fast": 150e-9,
+    "interpreter": 300e-9,
+}
+
+
+def _host_path(piece) -> str:
+    """Which host execution path a compiled kernel piece takes."""
+    if getattr(piece, "vector_path", None) is not None:
+        return "vector"
+    if getattr(piece, "fast_path", None) is not None:
+        return "fast"
+    return "interpreter"
+
+
+def _host_eval_seconds(infos, fused_groups) -> float:
+    """Predicted host functional-simulation seconds of one candidate.
+
+    Fusion keeps the vector path only when *every* member kernel has it
+    (mirroring the runtime's fuse gating); a mixed group drops the
+    merged kernel to its compiled fast path at best, and that real cost
+    is what this term charges.
+    """
+    grouped: Dict[int, Tuple[int, ...]] = {}
+    for group in fused_groups:
+        for index in group:
+            grouped[index] = group
+    total = 0.0
+    priced = set()
+    for info in infos:
+        group = grouped.get(info.index)
+        if group is None:
+            for path in info.piece_paths:
+                total += (_HOST_EVAL_S_PER_ELEMENT[path]
+                          * info.domain.element_count)
+            continue
+        if group in priced:
+            continue
+        priced.add(group)
+        paths = [path for index in group
+                 for path in infos[index].piece_paths]
+        if all(path == "vector" for path in paths):
+            fused_path = "vector"
+        elif "interpreter" in paths:
+            fused_path = "interpreter"
+        else:
+            fused_path = "fast"
+        for index in group:
+            total += (_HOST_EVAL_S_PER_ELEMENT[fused_path]
+                      * infos[index].domain.element_count)
+    return total
+
 
 # --------------------------------------------------------------------------- #
 # Candidate / decision data model
@@ -125,6 +195,9 @@ class PlanCandidate:
     executable: bool
     #: Why the candidate is not feasible/executable (``None`` when it is).
     reason: Optional[str] = None
+    #: Predicted host functional-simulation seconds (vector / fast /
+    #: interpreter per-launch paths); the modelled-time tie-breaker.
+    host_eval_s: float = 0.0
 
     @property
     def selectable(self) -> bool:
@@ -139,6 +212,7 @@ class PlanCandidate:
             "batch": self.config.batch,
             "modelled_ms": self.modelled_s * 1e3,
             "wcet_ms": self.wcet_s * 1e3,
+            "host_eval_ms": self.host_eval_s * 1e3,
             "feasible": self.feasible,
             "executable": self.executable,
             "reason": self.reason,
@@ -190,7 +264,10 @@ class PlanDecision:
                 continue
             if deadline_s is not None and candidate.wcet_s > deadline_s:
                 continue
-            if best is None or candidate.modelled_s < best.modelled_s:
+            if best is None \
+                    or candidate.modelled_s < best.modelled_s \
+                    or (candidate.modelled_s == best.modelled_s
+                        and candidate.host_eval_s < best.host_eval_s):
                 best = candidate
         if best is not None:
             return best
@@ -250,6 +327,11 @@ class PlanDecision:
             f"  baseline {self.baseline.modelled_s * 1e3:.4f} ms -> chosen "
             f"{self.chosen.modelled_s * 1e3:.4f} ms "
             f"({self.speedup:.2f}x modelled)")
+        lines.append(
+            f"  host functional simulation: baseline "
+            f"{self.baseline.host_eval_s * 1e3:.4f} ms -> chosen "
+            f"{self.chosen.host_eval_s * 1e3:.4f} ms "
+            f"(vector/fast/interpreter path pricing)")
         return "\n".join(lines)
 
 
@@ -261,7 +343,7 @@ class _PlanInfo:
 
     __slots__ = ("index", "label", "is_reduction", "domain", "pieces",
                  "gathers", "definition", "in_streams", "gather_streams",
-                 "out_streams")
+                 "out_streams", "piece_paths")
 
     def reads(self):
         yield from self.in_streams.values()
@@ -287,6 +369,7 @@ def _plan_infos(plans: Sequence[object]) -> List["_PlanInfo"]:
             info.pieces = [kernel_wcet(program, piece.name)]
             info.gathers = []
             info.definition = None
+            info.piece_paths = [_host_path(piece)]
             stream_param = plan.handle.original.stream_params[0]
             info.in_streams = {stream_param.name: plan._reduce_input}
             info.gather_streams = {}
@@ -304,6 +387,8 @@ def _plan_infos(plans: Sequence[object]) -> List["_PlanInfo"]:
                         (spec.argument(name), stream.shape, scalar_args))
             info.definition = (first_piece.definition
                                if len(plan._pieces) == 1 else None)
+            info.piece_paths = [_host_path(piece)
+                                for piece, _args in plan._pieces]
             stream_args, gather_args, _scalars, out_args = first_args
             info.in_streams = dict(stream_args)
             info.gather_streams = dict(gather_args)
@@ -577,6 +662,7 @@ def plan_pipeline(
 
     candidates: List[PlanCandidate] = []
     for subset in _fuse_subsets(groups):
+        host_eval_s = _host_eval_seconds(infos, subset)
         for devices in counts:
             unfused_s, modelled_s = _price_configuration(
                 infos, uploads, downloads, model, limits, devices, subset)
@@ -604,6 +690,7 @@ def plan_pipeline(
                         feasible=feasible,
                         executable=executable,
                         reason=reason,
+                        host_eval_s=host_eval_s,
                     ))
 
     base_devices = (int(executable_devices)
@@ -617,7 +704,10 @@ def plan_pipeline(
     for candidate in candidates:
         if not candidate.selectable:
             continue
-        if chosen is None or candidate.modelled_s < chosen.modelled_s:
+        if chosen is None \
+                or candidate.modelled_s < chosen.modelled_s \
+                or (candidate.modelled_s == chosen.modelled_s
+                    and candidate.host_eval_s < chosen.host_eval_s):
             chosen = candidate
     if chosen is None:
         raise PlanningError(

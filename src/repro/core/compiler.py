@@ -28,7 +28,9 @@ from .certification import CertificationReport, check_program
 from .codegen.c_backend import generate_c
 from .codegen.glsl_desktop import generate_desktop_glsl
 from .codegen.glsl_es import generate_glsl_es
+from .analysis.vectorize import VectorizationReport
 from .exec.compiled import CompiledKernelProgram, compile_fast_path
+from .exec.vectorized import VectorizedKernelProgram, build_vector_path
 from .parser import parse
 from .semantic import AnalyzedProgram, analyze
 from .transforms.constant_fold import fold_constants
@@ -69,6 +71,12 @@ class CompilerOptions:
             :mod:`repro.core.exec.compiled`); divergent kernels always
             fall back to the masked interpreter.  Disable to force every
             kernel through the interpreter (benchmarking / debugging).
+        enable_vector_path: Compile brookvec-approved kernels (verdict
+            BV-300/BV-301, see :mod:`repro.core.analysis.vectorize`) to
+            whole-array programs (:mod:`repro.core.exec.vectorized`).
+            ``None`` (default) inherits ``enable_fast_path``; kernels the
+            analysis rejects (BV-302/BV-303) always fall back to the
+            masked interpreter or fast path with zero behavior change.
     """
 
     target: TargetLimits = field(default_factory=TargetLimits)
@@ -82,6 +90,14 @@ class CompilerOptions:
     emit_desktop_glsl: bool = True
     emit_c: bool = True
     enable_fast_path: bool = True
+    enable_vector_path: Optional[bool] = None
+
+    @property
+    def vector_enabled(self) -> bool:
+        """Effective vector-path switch (``None`` inherits the fast path)."""
+        if self.enable_vector_path is None:
+            return self.enable_fast_path
+        return self.enable_vector_path
 
     def fingerprint(self) -> str:
         """Stable digest of every option that influences compilation.
@@ -124,6 +140,14 @@ class CompiledKernel:
     #: interpreter).  Shared by every launch of this kernel.
     fast_path: Optional[CompiledKernelProgram] = field(default=None,
                                                       compare=False)
+    #: Whole-array program for brookvec-approved kernels (None: fall back
+    #: to the fast path / masked interpreter).  Shared by every launch.
+    vector_path: Optional[VectorizedKernelProgram] = field(default=None,
+                                                           compare=False)
+    #: The brookvec verdict this kernel compiled under (None when the
+    #: vector path was disabled at compile time).
+    vector_report: Optional[VectorizationReport] = field(default=None,
+                                                         compare=False)
     #: Names of the source kernels when this kernel was produced by the
     #: fusion transform (empty for ordinary kernels).
     fused_from: Tuple[str, ...] = ()
@@ -286,6 +310,12 @@ class BrookAutoCompiler:
             if options.enable_fast_path:
                 compiled_kernel.fast_path = compile_fast_path(
                     kernel, compiled.helpers())
+            if options.vector_enabled:
+                compiled_kernel.vector_path, compiled_kernel.vector_report = \
+                    build_vector_path(
+                        kernel, compiled.helpers(),
+                        spec=specs.get(kernel.name),
+                        param_bounds=bounds.get(kernel.name))
             compiled.kernels[kernel.name] = compiled_kernel
         return compiled
 

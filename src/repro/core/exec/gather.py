@@ -40,6 +40,25 @@ class GatherSource:
         """
         raise NotImplementedError
 
+    def dense(self) -> Optional[np.ndarray]:
+        """Full 2-d array exactly as in-bounds integer fetches see it.
+
+        The vectorized execution path uses this to serve gathers whose
+        indices are proved in-bounds with padded array slices instead of
+        per-element fancy indexing.  Sources whose fetch semantics cannot
+        be reproduced that way (value transforms, remote tiles) return
+        ``None`` and keep the generic ``fetch`` path.
+        """
+        return None
+
+    def add_fetches(self, count: int) -> None:
+        """Account ``count`` element fetches served outside :meth:`fetch`.
+
+        Keeps the statistics truthful when the vectorized path reads the
+        array through :meth:`dense` slices rather than ``fetch``.
+        """
+        raise NotImplementedError
+
     @property
     def fetch_count(self) -> int:
         """Number of element fetches performed so far (for statistics)."""
@@ -77,6 +96,12 @@ class NumpyGatherSource(GatherSource):
         self._fetches += int(rows.size)
         return self._data[rows, cols]
 
+    def dense(self) -> Optional[np.ndarray]:
+        return self._data
+
+    def add_fetches(self, count: int) -> None:
+        self._fetches += int(count)
+
     @property
     def fetch_count(self) -> int:
         return self._fetches
@@ -108,6 +133,14 @@ class ClampingGatherSource(GatherSource):
         if self._transform is not None:
             values = self._transform(values)
         return values
+
+    def dense(self) -> Optional[np.ndarray]:
+        # A value transform must run per fetch; the slice path cannot
+        # model it, so transformed sources keep the generic path.
+        return self._data if self._transform is None else None
+
+    def add_fetches(self, count: int) -> None:
+        self._fetches += int(count)
 
     @property
     def fetch_count(self) -> int:

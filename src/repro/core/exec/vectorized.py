@@ -1,0 +1,1200 @@
+"""Whole-array vectorized execution of brookvec-approved kernels.
+
+The PR-2 fast path (:mod:`repro.core.exec.compiled`) removed the AST
+dispatch cost for *straight-line* kernels but kept two per-launch
+expenses: gathers run through per-element fancy indexing (a random
+access per lane, the dominant cost of stencil kernels) and the
+``indexof`` positions are materialised for every launch.  Divergent
+kernels got nothing at all.
+
+This module compiles every kernel that brookvec
+(:mod:`repro.core.analysis.vectorize`) marks BV-300 or BV-301 into a
+whole-array NumPy program:
+
+* straight-line bodies become a flat closure list, with gathers whose
+  indices are affine in ``indexof`` and clamped to the array edge served
+  by **padded-array slices** - one contiguous strided read instead of a
+  million random fetches - and the index columns built lazily only when
+  the kernel actually reads them;
+* divergent bodies (the BV-301 subset) run through a small region tree
+  whose ``if``/loop drivers replay the masked interpreter's algorithm
+  verbatim - same mask algebra, same ``np.where`` lane merges, same
+  error messages - so results stay bit-identical, while every region's
+  flop count is a compile-time constant multiplied by the live-lane
+  popcount.
+
+Legality is *not* re-derived here: the caller gates compilation on the
+brookvec verdict, whose speculation obligations (masked division,
+gather bounds, dead-lane overflow) were discharged against the PR-8
+interval engine.  Evaluating a masked region on all lanes is exactly
+what the masked interpreter itself does, so a proved obligation
+guarantees the whole-array program cannot trap or diverge from it.
+
+``build_vector_path`` keeps verdict and executable consistent: if a
+vectorizable kernel uses a construct this backend cannot compile, the
+report is downgraded to BV-302 and the kernel keeps the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ...errors import KernelLaunchError, RuntimeBrookError
+from .. import ast_nodes as ast
+from ..types import ParamKind, ScalarKind, swizzle_indices
+from ..analysis.vectorize import (
+    VERDICT_FALLBACK,
+    VectorizationReport,
+    analyze_kernel_vectorization,
+)
+from .compiled import _Compiler, _Unsupported, is_straight_line
+from .evaluator import (
+    KernelExecutionStats,
+    _Frame,
+    _is_int_dtype,
+    _LoopRecord,
+    _merge_masked,
+    as_bool_array,
+    materialize,
+)
+from .gather import GatherSource
+
+__all__ = [
+    "VectorizedKernelProgram",
+    "build_vector_path",
+    "compile_vector_path",
+]
+
+_MAX_SIMT_STEPS = 1_000_000
+#: Above this extent a float32 ``indexof`` coordinate loses integer
+#: exactness, so the slice/fancy-index equivalence argument breaks.
+_MAX_EXACT_EXTENT = 1 << 24
+
+
+# --------------------------------------------------------------------------- #
+# Per-launch context
+# --------------------------------------------------------------------------- #
+class _VCtx:
+    """Per-launch execution context shared by every compiled closure.
+
+    Extends the fast path's context with the current activity mask
+    (``None`` while execution is un-diverged - the common case that the
+    store closures exploit to skip the ``np.where`` merge), a lazily
+    built ``indexof`` (per column, so a kernel reading only ``idx.x``
+    never pays for the stack), and the padded gather arrays of the
+    slice plan.
+    """
+
+    __slots__ = ("size", "gathers", "stats", "layout", "pads", "mask",
+                 "explicit_index", "_index", "_index_x", "_index_y", "_full")
+
+    def __init__(self, size: int, gathers: Dict[str, GatherSource],
+                 stats: KernelExecutionStats,
+                 index: Optional[np.ndarray] = None,
+                 layout: Optional[Tuple[int, int]] = None):
+        self.size = size
+        self.gathers = gathers
+        self.stats = stats
+        self.layout = layout
+        self.pads: Dict[str, Tuple[np.ndarray, int]] = {}
+        self.mask: Optional[np.ndarray] = None
+        self.explicit_index = index is not None
+        self._index = None if index is None \
+            else np.asarray(index, dtype=np.float32)
+        self._index_x: Optional[np.ndarray] = None
+        self._index_y: Optional[np.ndarray] = None
+        self._full: Optional[np.ndarray] = None
+
+    # The columns reproduce StreamShape.element_positions bitwise:
+    # x is the column (fastest axis), y the row, both int-range values
+    # converted to float32.
+    @property
+    def index_x(self) -> np.ndarray:
+        if self._index_x is None:
+            if self._index is not None:
+                self._index_x = self._index[:, 0]
+            elif self.layout is not None:
+                rows, cols = self.layout
+                self._index_x = np.tile(
+                    np.arange(cols), rows).astype(np.float32)
+            else:
+                self._index_x = np.arange(self.size, dtype=np.float32)
+        return self._index_x
+
+    @property
+    def index_y(self) -> np.ndarray:
+        if self._index_y is None:
+            if self._index is not None:
+                self._index_y = self._index[:, 1]
+            elif self.layout is not None:
+                rows, cols = self.layout
+                self._index_y = np.repeat(
+                    np.arange(rows), cols).astype(np.float32)
+            else:
+                self._index_y = np.zeros(self.size, dtype=np.float32)
+        return self._index_y
+
+    @property
+    def index(self) -> np.ndarray:
+        if self._index is None:
+            self._index = np.stack([self.index_x, self.index_y], axis=1)
+        return self._index
+
+    @property
+    def full_mask(self) -> np.ndarray:
+        """Cached all-true mask; read-only (merges only)."""
+        if self._full is None:
+            self._full = np.ones(self.size, dtype=bool)
+        return self._full
+
+    def ones(self) -> np.ndarray:
+        """A fresh, writable all-true mask."""
+        return np.ones(self.size, dtype=bool)
+
+
+def _popcount(ctx: _VCtx, mask: Optional[np.ndarray]) -> int:
+    return ctx.size if mask is None else int(mask.sum())
+
+
+# --------------------------------------------------------------------------- #
+# Region tree
+# --------------------------------------------------------------------------- #
+def _run_nodes(nodes: List, env: Dict[str, np.ndarray], ctx: _VCtx,
+               mask: Optional[np.ndarray], frame: _Frame
+               ) -> Optional[np.ndarray]:
+    """Execute a node list; returns the fall-through mask (None = full)."""
+    current = mask
+    for node in nodes:
+        if current is not None and not current.any():
+            return current
+        current = node.exec(env, ctx, current, frame)
+    return current
+
+
+class _Seq:
+    """A maximal run of straight-line statements under one mask."""
+
+    __slots__ = ("steps", "cost")
+
+    def __init__(self, steps: List[Callable], cost: int):
+        self.steps = steps
+        self.cost = cost
+
+    def exec(self, env, ctx, mask, frame):
+        ctx.mask = mask
+        if self.cost:
+            ctx.stats.flops += self.cost * _popcount(ctx, mask)
+        for step in self.steps:
+            step(env, ctx)
+        return mask
+
+
+class _IfNode:
+    __slots__ = ("cond_fn", "cond_cost", "then_nodes", "else_nodes")
+
+    def __init__(self, cond_fn, cond_cost, then_nodes, else_nodes):
+        self.cond_fn = cond_fn
+        self.cond_cost = cond_cost
+        self.then_nodes = then_nodes
+        self.else_nodes = else_nodes
+
+    def exec(self, env, ctx, mask, frame):
+        ctx.mask = mask
+        ctx.stats.flops += self.cond_cost * _popcount(ctx, mask)
+        raw = np.asarray(self.cond_fn(env, ctx))
+        if raw.ndim == 0:
+            # Uniform condition: the interpreter's broadcast mask algebra
+            # degenerates to taking one branch with the mask unchanged
+            # (and never counts a divergent branch).
+            taken = bool(raw) if raw.dtype == np.bool_ else bool(raw != 0)
+            if taken:
+                return _run_nodes(self.then_nodes, env, ctx, mask, frame)
+            if self.else_nodes is not None:
+                return _run_nodes(self.else_nodes, env, ctx, mask, frame)
+            return mask
+        cond = as_bool_array(raw, ctx.size)
+        base = mask if mask is not None else ctx.full_mask
+        then_mask = base & cond
+        else_mask = base & ~cond
+        if then_mask.any() and else_mask.any():
+            ctx.stats.divergent_branches += 1
+        after_then = then_mask
+        if then_mask.any():
+            after_then = _run_nodes(self.then_nodes, env, ctx, then_mask, frame)
+        after_else = else_mask
+        if self.else_nodes is not None and else_mask.any():
+            after_else = _run_nodes(self.else_nodes, env, ctx, else_mask, frame)
+        return after_then | after_else
+
+
+class _LoopNode:
+    """Replays KernelEvaluator._run_loop verbatim over compiled closures."""
+
+    __slots__ = ("kernel_name", "init_nodes", "cond_fn", "cond_cost",
+                 "body_nodes", "update_fn", "update_cost", "check_before")
+
+    def __init__(self, kernel_name, init_nodes, cond_fn, cond_cost,
+                 body_nodes, update_fn, update_cost, check_before):
+        self.kernel_name = kernel_name
+        self.init_nodes = init_nodes
+        self.cond_fn = cond_fn
+        self.cond_cost = cond_cost
+        self.body_nodes = body_nodes
+        self.update_fn = update_fn
+        self.update_cost = update_cost
+        self.check_before = check_before
+
+    def exec(self, env, ctx, mask, frame):
+        if self.init_nodes is not None:
+            _run_nodes(self.init_nodes, env, ctx, mask, frame)
+        stats = ctx.stats
+        record = _LoopRecord(ctx.size)
+        frame.loops.append(record)
+        base = mask if mask is not None else ctx.ones()
+        entered = base.copy()
+        iter_mask = base.copy()
+        steps = 0
+        try:
+            while True:
+                if self.check_before or steps > 0:
+                    if self.cond_fn is not None:
+                        ctx.mask = iter_mask
+                        stats.flops += self.cond_cost * int(iter_mask.sum())
+                        cond = as_bool_array(self.cond_fn(env, ctx), ctx.size)
+                        iter_mask = iter_mask & cond
+                if not iter_mask.any():
+                    break
+                steps += 1
+                stats.simt_loop_steps += 1
+                if steps > _MAX_SIMT_STEPS:
+                    raise RuntimeBrookError(
+                        f"kernel {self.kernel_name!r} exceeded "
+                        f"{_MAX_SIMT_STEPS} loop steps; the loop is unbounded "
+                        "or the bound is too large for simulation"
+                    )
+                record.continued[:] = False
+                fall = _run_nodes(self.body_nodes, env, ctx, iter_mask, frame)
+                alive = fall | (record.continued & iter_mask)
+                alive = alive & ~record.broke & ~frame.returned
+                if self.update_fn is not None and alive.any():
+                    ctx.mask = alive
+                    stats.flops += self.update_cost * int(alive.sum())
+                    self.update_fn(env, ctx)
+                iter_mask = alive
+                if not self.check_before and self.cond_fn is not None:
+                    ctx.mask = iter_mask
+                    stats.flops += self.cond_cost * int(iter_mask.sum())
+                    cond = as_bool_array(self.cond_fn(env, ctx), ctx.size)
+                    iter_mask = iter_mask & cond
+        finally:
+            frame.loops.pop()
+        return entered & ~frame.returned
+
+
+class _ReturnNode:
+    __slots__ = ("value_fn", "cost")
+
+    def __init__(self, value_fn, cost):
+        self.value_fn = value_fn
+        self.cost = cost
+
+    def exec(self, env, ctx, mask, frame):
+        ctx.mask = mask
+        base = mask if mask is not None else ctx.full_mask
+        if self.value_fn is not None:
+            ctx.stats.flops += self.cost * _popcount(ctx, mask)
+            value = self.value_fn(env, ctx)
+            if frame.return_value is None:
+                arr = np.asarray(value)
+                frame.return_value = (
+                    np.zeros(ctx.size, dtype=np.float32) if arr.ndim <= 1
+                    else np.zeros((ctx.size, arr.shape[-1]), dtype=np.float32))
+            frame.return_value = _merge_masked(frame.return_value, value, base)
+        frame.returned = frame.returned | base
+        return np.zeros(ctx.size, dtype=bool)
+
+
+class _BreakNode:
+    __slots__ = ()
+
+    def exec(self, env, ctx, mask, frame):
+        if not frame.loops:
+            raise RuntimeBrookError("break outside of a loop")
+        frame.loops[-1].broke |= mask if mask is not None else ctx.full_mask
+        return np.zeros(ctx.size, dtype=bool)
+
+
+class _ContinueNode:
+    __slots__ = ()
+
+    def exec(self, env, ctx, mask, frame):
+        if not frame.loops:
+            raise RuntimeBrookError("continue outside of a loop")
+        frame.loops[-1].continued |= mask if mask is not None else ctx.full_mask
+        return np.zeros(ctx.size, dtype=bool)
+
+
+# --------------------------------------------------------------------------- #
+# Slice-gather planning
+# --------------------------------------------------------------------------- #
+class _Affine:
+    """``indexof`` column plus integer offset, optionally edge-clamped."""
+
+    __slots__ = ("axis", "offset", "lo", "hi_fn")
+
+    def __init__(self, axis: str, offset: int = 0,
+                 lo: Optional[float] = None, hi_fn=None):
+        self.axis = axis
+        self.offset = offset
+        self.lo = lo
+        self.hi_fn = hi_fn
+
+
+class _SlicePlan:
+    """One gather site proved servable by a padded-array slice.
+
+    Validity that depends only on the kernel text (clamp presence vs
+    offset sign, clamp-to-zero constants) is checked at compile time;
+    everything that depends on the launch (layout matches the array
+    shape, the upper clamp equals ``extent - 1``) is re-checked per
+    launch by :meth:`VectorizedKernelProgram._validate_slices`.
+    """
+
+    __slots__ = ("name", "dy", "dx", "row_hi_fn", "col_hi_fn")
+
+    def __init__(self, name: str, dy: int, dx: int, row_hi_fn, col_hi_fn):
+        self.name = name
+        self.dy = dy
+        self.dx = dx
+        self.row_hi_fn = row_hi_fn
+        self.col_hi_fn = col_hi_fn
+
+
+def _literal_value(expr: ast.Expression) -> Optional[float]:
+    if isinstance(expr, ast.NumberLiteral):
+        return float(expr.value)
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Compiler
+# --------------------------------------------------------------------------- #
+class _VCompiler(_Compiler):
+    """Extends the fast-path expression compiler with mask-aware stores,
+    fully general helper calls, lazy ``indexof`` columns and (in slice
+    mode) padded-slice gathers."""
+
+    def __init__(self, kernel: ast.FunctionDef,
+                 helpers: Dict[str, ast.FunctionDef],
+                 slice_mode: bool = False):
+        super().__init__(helpers)
+        self.kernel = kernel
+        self.slice_mode = slice_mode
+        self.slice_plans: List[_SlicePlan] = []
+        self._affine: Dict[str, _Affine] = {}
+        #: Locals bound to ``indexof(...)`` (``float2 idx = indexof(o)``),
+        #: so ``idx.x`` resolves to an affine index column.
+        self._index_locals: Set[str] = set()
+        #: Names each compiled fast-mode statement actually reads at
+        #: runtime (slice-served index locals excluded) - feeds the
+        #: dead-decl sweep.
+        self._stmt_reads: Optional[Set[str]] = None
+        #: Width-1 scalar params: provably 0-d at runtime, so a stencil
+        #: weight multiplying a 2-d slice broadcasts like the 1-d path.
+        self._uniform_scalars: Set[str] = {
+            param.name for param in kernel.params
+            if param.kind is ParamKind.SCALAR and param.type.width == 1
+        }
+        #: Locals declared ``float`` (width 1) in the fast body - the only
+        #: accumulators the stencil fuser may bypass the store path for
+        #: (no int truncation, value shape () or (n,)).
+        self._float_locals: Set[str] = set()
+
+    # -- statement/region compilation ---------------------------------- #
+    def compile_nodes(self, body: ast.Statement, defined: Set[str]) -> List:
+        nodes: List = []
+        steps: List[Callable] = []
+        cost = 0
+
+        def flush():
+            nonlocal steps, cost
+            if steps or cost:
+                nodes.append(_Seq(steps, cost))
+                steps, cost = [], 0
+
+        for stmt in self._flatten(body):
+            if isinstance(stmt, ast.DeclStatement):
+                step, step_cost = self._compile_decl(stmt, defined)
+                steps.append(step)
+                cost += step_cost
+            elif isinstance(stmt, ast.ExprStatement):
+                fn, step_cost = self.compile_expr(stmt.expr, defined)
+                def step(env, ctx, _fn=fn):
+                    _fn(env, ctx)
+                steps.append(step)
+                cost += step_cost
+            elif isinstance(stmt, ast.IfStatement):
+                flush()
+                cond_fn, cond_cost = self.compile_expr(stmt.cond, defined)
+                then_nodes = self.compile_nodes(stmt.then_branch, defined)
+                else_nodes = None
+                if stmt.else_branch is not None:
+                    else_nodes = self.compile_nodes(stmt.else_branch, defined)
+                nodes.append(_IfNode(cond_fn, cond_cost, then_nodes, else_nodes))
+            elif isinstance(stmt, ast.ForStatement):
+                flush()
+                init_nodes = None
+                if stmt.init is not None:
+                    init_nodes = self.compile_nodes(stmt.init, defined)
+                nodes.append(self._compile_loop(
+                    stmt.cond, stmt.body, stmt.update, True, init_nodes,
+                    defined))
+            elif isinstance(stmt, ast.WhileStatement):
+                flush()
+                nodes.append(self._compile_loop(
+                    stmt.cond, stmt.body, None, True, None, defined))
+            elif isinstance(stmt, ast.DoWhileStatement):
+                flush()
+                nodes.append(self._compile_loop(
+                    stmt.cond, stmt.body, None, False, None, defined))
+            elif isinstance(stmt, ast.ReturnStatement):
+                flush()
+                if stmt.value is not None:
+                    value_fn, value_cost = self.compile_expr(stmt.value, defined)
+                else:
+                    value_fn, value_cost = None, 0
+                nodes.append(_ReturnNode(value_fn, value_cost))
+            elif isinstance(stmt, ast.BreakStatement):
+                flush()
+                nodes.append(_BreakNode())
+            elif isinstance(stmt, ast.ContinueStatement):
+                flush()
+                nodes.append(_ContinueNode())
+            else:
+                raise _Unsupported(type(stmt).__name__)
+        flush()
+        return nodes
+
+    def _compile_loop(self, cond_expr, body, update_expr, check_before,
+                      init_nodes, defined: Set[str]) -> _LoopNode:
+        if cond_expr is not None:
+            cond_fn, cond_cost = self.compile_expr(cond_expr, defined)
+        else:
+            cond_fn, cond_cost = None, 0
+        body_nodes = self.compile_nodes(body, defined)
+        if update_expr is not None:
+            update_fn, update_cost = self.compile_expr(update_expr, defined)
+        else:
+            update_fn, update_cost = None, 0
+        return _LoopNode(self.kernel.name, init_nodes, cond_fn, cond_cost,
+                         body_nodes, update_fn, update_cost, check_before)
+
+    # -- fast (straight-line) compilation ------------------------------ #
+    def compile_fast_body(self, body: ast.Statement, defined: Set[str]
+                          ) -> Tuple[List[Callable], List[Optional[str]],
+                                     List[Set[str]], List[bool], int,
+                                     List[Optional[tuple]]]:
+        """Compile a straight-line body for the slice-enabled fast list.
+
+        Returns ``(steps, decl_names, read_sets, removable, flops,
+        stencils)`` aligned per statement; ``decl_names[i]`` is the
+        declared name for removable declarations (None otherwise),
+        ``read_sets[i]`` the names the compiled statement reads at
+        runtime, and ``stencils[i]`` the fusion record for statements of
+        the shape ``acc = acc + w * gather`` whose gather is slice-served
+        (see :func:`_make_stencil_step`).
+        """
+        steps: List[Callable] = []
+        decl_names: List[Optional[str]] = []
+        read_sets: List[Set[str]] = []
+        removable: List[bool] = []
+        stencils: List[Optional[tuple]] = []
+        flops = 0
+        for stmt in self._flatten(body):
+            self._stmt_reads = set()
+            stencil: Optional[tuple] = None
+            if isinstance(stmt, ast.DeclStatement):
+                # Track clamped-affine index locals before compiling, so
+                # later gathers can resolve them to slice plans; any
+                # reassignment kills the binding.
+                affine = None
+                if self.slice_mode and stmt.decl_type.width == 1 \
+                        and stmt.init is not None:
+                    affine = self._extract_affine(stmt.init, defined)
+                step, cost = self._compile_decl(stmt, defined)
+                self._index_locals.discard(stmt.name)
+                self._uniform_scalars.discard(stmt.name)
+                if stmt.decl_type.width == 1 \
+                        and stmt.decl_type.kind is ScalarKind.FLOAT:
+                    self._float_locals.add(stmt.name)
+                else:
+                    self._float_locals.discard(stmt.name)
+                if affine is not None:
+                    self._affine[stmt.name] = affine
+                else:
+                    self._affine.pop(stmt.name, None)
+                if self.slice_mode \
+                        and isinstance(stmt.init, ast.IndexOfExpr):
+                    self._index_locals.add(stmt.name)
+                pure = stmt.init is None or not any(
+                    isinstance(node, (ast.Assignment, ast.IndexExpr))
+                    for node in stmt.init.walk())
+                decl_names.append(stmt.name)
+                removable.append(pure)
+            elif isinstance(stmt, ast.ExprStatement):
+                for node in stmt.expr.walk():
+                    if not isinstance(node, ast.Assignment):
+                        continue
+                    target = node.target
+                    # A member store (``p.y = ...``) mutates the base
+                    # vector, so the indexof-derived binding dies too.
+                    if isinstance(target, ast.MemberExpr) \
+                            and isinstance(target.base, ast.Identifier):
+                        target = target.base
+                    if isinstance(target, ast.Identifier):
+                        self._affine.pop(target.name, None)
+                        self._index_locals.discard(target.name)
+                        self._uniform_scalars.discard(target.name)
+                match = self._match_stencil(stmt.expr) if self.slice_mode \
+                    else None
+                plans_before = len(self.slice_plans)
+                fn, cost = self.compile_expr(stmt.expr, defined)
+                if match is not None \
+                        and len(self.slice_plans) == plans_before + 1:
+                    acc_name, weight_expr, gather_left = match
+                    weight_fn = None
+                    if weight_expr is not None:
+                        weight_fn, _ = self.compile_expr(weight_expr, defined)
+                    stencil = (acc_name, weight_fn, gather_left,
+                               self.slice_plans[-1])
+                def step(env, ctx, _fn=fn):
+                    _fn(env, ctx)
+                decl_names.append(None)
+                removable.append(False)
+            else:
+                raise _Unsupported(type(stmt).__name__)
+            steps.append(step)
+            flops += cost
+            read_sets.append(self._stmt_reads)
+            stencils.append(stencil)
+            self._stmt_reads = None
+        return steps, decl_names, read_sets, removable, flops, stencils
+
+    def _match_stencil(self, expr: ast.Expression
+                       ) -> Optional[Tuple[str, Optional[ast.Expression],
+                                           bool]]:
+        """Match ``acc = acc + [w *] gather`` for the stencil fuser.
+
+        ``acc`` must be a width-1 float local (so bypassing the scalar
+        store path loses no int truncation and the value shape is () or
+        (n,)), and the weight a literal or width-1 scalar param (provably
+        0-d, so multiplying the 2-d slice broadcasts like the 1-d path).
+        Returns ``(acc_name, weight_expr, gather_on_left)`` -
+        ``gather_on_left`` preserves the operand order of the multiply so
+        NaN-payload propagation stays bit-identical.
+        """
+        if not isinstance(expr, ast.Assignment) or expr.op != "=":
+            return None
+        if not isinstance(expr.target, ast.Identifier):
+            return None
+        acc = expr.target.name
+        if acc not in self._float_locals:
+            return None
+        value = expr.value
+        if not isinstance(value, ast.BinaryOp) or value.op != "+":
+            return None
+        if not isinstance(value.left, ast.Identifier) \
+                or value.left.name != acc:
+            return None
+        term = value.right
+        if isinstance(term, ast.IndexExpr):
+            return acc, None, True
+        if isinstance(term, ast.BinaryOp) and term.op == "*":
+            if isinstance(term.right, ast.IndexExpr) \
+                    and self._is_uniform_weight(term.left):
+                return acc, term.left, False
+            if isinstance(term.left, ast.IndexExpr) \
+                    and self._is_uniform_weight(term.right):
+                return acc, term.right, True
+        return None
+
+    def _is_uniform_weight(self, expr: ast.Expression) -> bool:
+        if isinstance(expr, ast.NumberLiteral):
+            return True
+        return isinstance(expr, ast.Identifier) \
+            and expr.name in self._uniform_scalars
+
+    def _extract_affine(self, expr: ast.Expression, defined: Set[str]
+                        ) -> Optional[_Affine]:
+        if isinstance(expr, ast.MemberExpr) and expr.member in ("x", "y"):
+            if isinstance(expr.base, ast.IndexOfExpr):
+                return _Affine(expr.member)
+            if isinstance(expr.base, ast.Identifier) \
+                    and expr.base.name in self._index_locals:
+                return _Affine(expr.member)
+        if isinstance(expr, ast.Identifier):
+            return self._affine.get(expr.name)
+        if isinstance(expr, ast.BinaryOp) and expr.op in ("+", "-"):
+            left_lit = _literal_value(expr.left)
+            right_lit = _literal_value(expr.right)
+            if right_lit is not None and right_lit == int(right_lit):
+                base = self._extract_affine(expr.left, defined)
+                if base is not None and base.lo is None and base.hi_fn is None:
+                    delta = int(right_lit) if expr.op == "+" else -int(right_lit)
+                    return _Affine(base.axis, base.offset + delta)
+            if expr.op == "+" and left_lit is not None \
+                    and left_lit == int(left_lit):
+                base = self._extract_affine(expr.right, defined)
+                if base is not None and base.lo is None and base.hi_fn is None:
+                    return _Affine(base.axis, base.offset + int(left_lit))
+            return None
+        if isinstance(expr, ast.CallExpr) and expr.callee in ("max", "min") \
+                and len(expr.args) == 2:
+            for affine_arg, other in ((expr.args[0], expr.args[1]),
+                                      (expr.args[1], expr.args[0])):
+                base = self._extract_affine(affine_arg, defined)
+                if base is None:
+                    continue
+                if expr.callee == "max":
+                    # Only clamp-to-zero matches the edge-padding clip.
+                    if base.lo is not None or _literal_value(other) != 0.0:
+                        return None
+                    return _Affine(base.axis, base.offset, 0.0, base.hi_fn)
+                if base.hi_fn is not None:
+                    return None
+                if any(isinstance(node, (ast.Assignment, ast.IndexExpr))
+                       for node in other.walk()):
+                    return None
+                try:
+                    hi_fn, _ = self.compile_expr(other, defined)
+                except _Unsupported:
+                    return None
+                return _Affine(base.axis, base.offset, base.lo, hi_fn)
+            return None
+        return None
+
+    # -- expression overrides ------------------------------------------ #
+    def compile_expr(self, expr: ast.Expression, defined: Set[str]):
+        if isinstance(expr, ast.Identifier) and self._stmt_reads is not None:
+            self._stmt_reads.add(expr.name)
+        return super().compile_expr(expr, defined)
+
+    def _compile_member(self, expr: ast.MemberExpr, defined: Set[str]):
+        # Lazy indexof columns: idx.x / idx.y never build the stacked
+        # (n, 2) positions array.
+        if isinstance(expr.base, ast.IndexOfExpr):
+            if expr.member == "x":
+                return (lambda env, ctx: ctx.index_x), 0
+            if expr.member == "y":
+                return (lambda env, ctx: ctx.index_y), 0
+        return super()._compile_member(expr, defined)
+
+    def _compile_store(self, target: ast.Expression, defined: Set[str]):
+        if isinstance(target, ast.Identifier):
+            name = target.name
+            defined.add(name)
+
+            def store(env, ctx, value):
+                old = env.get(name)
+                if old is None:
+                    env[name] = materialize(value, ctx.size)
+                    return
+                value_arr = np.asarray(value)
+                if _is_int_dtype(old) and not _is_int_dtype(value_arr):
+                    value_arr = np.asarray(np.trunc(value_arr), dtype=np.int32)
+                mask = ctx.mask
+                old_arr = np.asarray(old)
+                if mask is None:
+                    # Full-mask merge elision: np.where(all-true, new, old)
+                    # is ``new`` promoted against ``old``'s dtype.  A 0-d
+                    # ``old`` materializes to an (n,) broadcast of the same
+                    # dtype, so the promotion rule is identical.
+                    if value_arr.ndim == 1 \
+                            and value_arr.shape[0] == ctx.size \
+                            and (old_arr.ndim == 0
+                                 or (old_arr.ndim == 1
+                                     and old_arr.shape[0] == ctx.size)):
+                        result_type = np.result_type(value_arr.dtype,
+                                                     old_arr.dtype)
+                        env[name] = value_arr \
+                            if value_arr.dtype == result_type \
+                            else value_arr.astype(result_type)
+                        return
+                    mask = ctx.full_mask
+                env[name] = _merge_masked(materialize(old, ctx.size),
+                                          materialize(value_arr, ctx.size),
+                                          mask)
+
+            return store
+        if isinstance(target, ast.MemberExpr) \
+                and isinstance(target.base, ast.Identifier):
+            name = target.base.name
+            indices = swizzle_indices(target.member)
+            member = target.member
+
+            def store(env, ctx, value):
+                mask = ctx.mask if ctx.mask is not None else ctx.full_mask
+                old = env.get(name)
+                if old is None:
+                    raise RuntimeBrookError(
+                        f"assignment to undeclared vector {name!r}")
+                old = materialize(old, ctx.size)
+                if old.ndim != 2:
+                    raise RuntimeBrookError(
+                        f"cannot assign component .{member} of non-vector "
+                        f"{name!r}")
+                new = old.copy()
+                value_arr = materialize(value, ctx.size)
+                for position, component in enumerate(indices):
+                    if value_arr.ndim == 2:
+                        component_value = value_arr[:, position]
+                    else:
+                        component_value = value_arr
+                    new[:, component] = np.where(mask, component_value,
+                                                 old[:, component])
+                env[name] = new
+
+            return store
+        raise _Unsupported("unsupported assignment target")
+
+    def _compile_helper(self, name: str):
+        # Fully general helpers: the body compiles to the same region
+        # tree and runs with a fresh frame under a copy of the caller's
+        # mask, exactly like KernelEvaluator._call_helper.  Flops are
+        # counted dynamically by the helper's own region nodes, so the
+        # static call-site cost is zero.
+        if name in self._helper_cache:
+            return self._helper_cache[name]
+        helper = self.helpers.get(name)
+        if helper is None:
+            raise _Unsupported(f"call to unknown function {name!r}")
+        if name in self._compiling:
+            raise _Unsupported(f"recursive helper {name!r}")
+        self._compiling.add(name)
+        saved_reads = self._stmt_reads
+        self._stmt_reads = None
+        try:
+            param_names = [param.name for param in helper.params]
+            nodes = self.compile_nodes(helper.body, set(param_names))
+        finally:
+            self._compiling.discard(name)
+            self._stmt_reads = saved_reads
+
+        def call(args, ctx):
+            env = {pname: materialize(value, ctx.size).copy()
+                   for pname, value in zip(param_names, args)}
+            frame = _Frame(ctx.size)
+            caller_mask = ctx.mask
+            mask = caller_mask.copy() if caller_mask is not None \
+                else np.ones(ctx.size, dtype=bool)
+            _run_nodes(nodes, env, ctx, mask, frame)
+            ctx.mask = caller_mask
+            if frame.return_value is None:
+                return np.float32(0.0)
+            return frame.return_value
+
+        self._helper_cache[name] = (call, 0)
+        return call, 0
+
+    def _compile_gather(self, expr: ast.IndexExpr, defined: Set[str]):
+        if self.slice_mode:
+            plan_closure = self._try_slice_gather(expr, defined)
+            if plan_closure is not None:
+                return plan_closure
+        return super()._compile_gather(expr, defined)
+
+    def _try_slice_gather(self, expr: ast.IndexExpr, defined: Set[str]):
+        index_exprs: List[ast.Expression] = []
+        node: ast.Expression = expr
+        while isinstance(node, ast.IndexExpr):
+            index_exprs.append(node.index)
+            node = node.base
+        index_exprs.reverse()
+        if len(index_exprs) != 2:
+            return None
+        if not isinstance(node, ast.Identifier) or node.name in defined:
+            return None
+        row_aff = self._extract_affine(index_exprs[0], defined)
+        col_aff = self._extract_affine(index_exprs[1], defined)
+        if row_aff is None or col_aff is None:
+            return None
+        if row_aff.axis != "y" or col_aff.axis != "x":
+            return None
+        for aff in (row_aff, col_aff):
+            if aff.offset < 0 and aff.lo != 0.0:
+                return None
+            if aff.offset > 0 and aff.hi_fn is None:
+                return None
+            if aff.lo is not None and aff.lo != 0.0:
+                return None
+        # Keep the static flop cost identical to the generic path, which
+        # compiles (and charges) the index expressions.  The cost-only
+        # recompile must not register runtime reads, or the slice-served
+        # index locals would never become dead.
+        saved_reads = self._stmt_reads
+        self._stmt_reads = None
+        try:
+            cost = 0
+            for index_expr in index_exprs:
+                _, index_cost = self.compile_expr(index_expr, defined)
+                cost += index_cost
+        finally:
+            self._stmt_reads = saved_reads
+        name = node.name
+        dy, dx = row_aff.offset, col_aff.offset
+        plan = _SlicePlan(name, dy, dx, row_aff.hi_fn, col_aff.hi_fn)
+        self.slice_plans.append(plan)
+
+        def gather(env, ctx):
+            padded, pad = ctx.pads[name]
+            rows, cols = ctx.layout
+            view = padded[pad + dy: pad + dy + rows,
+                          pad + dx: pad + dx + cols]
+            ctx.gathers[name].add_fetches(ctx.size)
+            return view.reshape(-1)
+
+        return gather, cost
+
+
+def _make_stencil_step(acc_name: str, terms: List[tuple]) -> Callable:
+    """Fuse a run of ``acc = acc + w * gather`` statements into one step.
+
+    The interpreter evaluates the run as the left-associated chain
+    ``((acc + w1*g1) + w2*g2) + ...`` over (n,) arrays; this step keeps
+    the same operand order and op sequence over the 2-d padded slices and
+    flattens once at the end.  Elementwise IEEE ops commute with reshape,
+    so the result is bit-identical while skipping one strided-view copy
+    per gather.  The in-place accumulate is guarded to identical
+    dtype/shape, where ``+=`` and ``+`` produce the same bits.
+    """
+
+    def step(env, ctx):
+        rows, cols = ctx.layout
+        total = None
+        for weight_fn, gather_left, plan in terms:
+            padded, pad = ctx.pads[plan.name]
+            view = padded[pad + plan.dy: pad + plan.dy + rows,
+                          pad + plan.dx: pad + plan.dx + cols]
+            ctx.gathers[plan.name].add_fetches(ctx.size)
+            if weight_fn is None:
+                term = view
+            else:
+                weight = weight_fn(env, ctx)
+                term = view * weight if gather_left else weight * view
+            if total is None:
+                old = np.asarray(env[acc_name])
+                base = old if old.ndim == 0 else old.reshape(rows, cols)
+                total = base + term
+            elif total.dtype == term.dtype and total.shape == term.shape:
+                total += term
+            else:
+                total = total + term
+        env[acc_name] = total.reshape(-1)
+
+    return step
+
+
+def _fuse_stencil_runs(steps_with_meta: List[Tuple[Callable, Optional[tuple]]]
+                       ) -> List[Callable]:
+    """Replace runs of >= 2 consecutive same-accumulator stencil
+    statements with one fused step; everything else passes through."""
+    out: List[Callable] = []
+    run_acc: Optional[str] = None
+    run_terms: List[tuple] = []
+    run_steps: List[Callable] = []
+
+    def flush():
+        nonlocal run_acc, run_terms, run_steps
+        if len(run_terms) >= 2:
+            out.append(_make_stencil_step(run_acc, run_terms))
+        else:
+            out.extend(run_steps)
+        run_acc, run_terms, run_steps = None, [], []
+
+    for step, stencil in steps_with_meta:
+        if stencil is None:
+            flush()
+            out.append(step)
+            continue
+        acc_name, weight_fn, gather_left, plan = stencil
+        if run_terms and acc_name != run_acc:
+            flush()
+        run_acc = acc_name
+        run_terms.append((weight_fn, gather_left, plan))
+        run_steps.append(step)
+    flush()
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Program
+# --------------------------------------------------------------------------- #
+class VectorizedKernelProgram:
+    """A brookvec-approved kernel compiled to a whole-array program.
+
+    Immutable after construction and free of per-launch state, so one
+    program is shared by every launch of its kernel (the compiler caches
+    it on the :class:`~repro.core.compiler.CompiledKernel`).
+
+    ``run`` mirrors :meth:`KernelEvaluator.run` - same argument
+    validation, same error messages, bit-identical outputs and
+    statistics - and returns ``(outputs, stats)``.
+    """
+
+    def __init__(self, kernel: ast.FunctionDef, nodes: List,
+                 flops_per_element: int,
+                 fast_steps: Optional[List[Callable]] = None,
+                 slice_plans: Optional[List[_SlicePlan]] = None):
+        self.kernel = kernel
+        self._nodes = nodes
+        #: Static per-element flop cost of the top-level straight-line
+        #: regions (the planner prices the vector path with this).
+        self.flops_per_element = flops_per_element
+        self._fast_steps = fast_steps
+        self._slice_plans = slice_plans or []
+
+    @property
+    def uses_slices(self) -> bool:
+        return bool(self._slice_plans)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        element_count: int,
+        stream_inputs: Optional[Dict[str, np.ndarray]] = None,
+        scalar_args: Optional[Dict[str, float]] = None,
+        gathers: Optional[Dict[str, GatherSource]] = None,
+        index: Optional[np.ndarray] = None,
+        layout: Optional[Tuple[int, int]] = None,
+    ) -> Tuple[Dict[str, np.ndarray], KernelExecutionStats]:
+        """Execute the vector program over ``element_count`` threads."""
+        stream_inputs = dict(stream_inputs or {})
+        scalar_args = dict(scalar_args or {})
+        gathers = dict(gathers or {})
+        size = int(element_count)
+        stats = KernelExecutionStats(elements=size)
+        ctx = _VCtx(size, gathers, stats, index=index, layout=layout)
+
+        env: Dict[str, np.ndarray] = {}
+        input_ids = set()
+        kernel = self.kernel
+        for param in kernel.params:
+            if param.kind in (ParamKind.STREAM, ParamKind.ITERATOR):
+                if param.name not in stream_inputs:
+                    raise KernelLaunchError(
+                        f"missing input stream {param.name!r} for kernel "
+                        f"{kernel.name!r}"
+                    )
+                value = np.asarray(stream_inputs[param.name], dtype=np.float32)
+                env[param.name] = value
+                input_ids.add(id(value))
+                stats.stream_reads += size
+            elif param.kind is ParamKind.SCALAR:
+                if param.name not in scalar_args:
+                    raise KernelLaunchError(
+                        f"missing scalar argument {param.name!r} for kernel "
+                        f"{kernel.name!r}"
+                    )
+                dtype = np.int32 if param.type.kind is ScalarKind.INT \
+                    else np.float32
+                env[param.name] = np.asarray(scalar_args[param.name],
+                                             dtype=dtype)
+            elif param.kind is ParamKind.GATHER:
+                if param.name not in gathers:
+                    raise KernelLaunchError(
+                        f"missing gather array {param.name!r} for kernel "
+                        f"{kernel.name!r}"
+                    )
+            elif param.kind is ParamKind.OUT_STREAM:
+                width = param.type.width
+                shape = (size,) if width == 1 else (size, width)
+                env[param.name] = np.zeros(shape, dtype=np.float32)
+
+        fetch_before = {name: source.fetch_count
+                        for name, source in gathers.items()}
+        frame = _Frame(size)
+        with np.errstate(all="ignore"):
+            if self._fast_steps is not None \
+                    and self._validate_slices(env, ctx):
+                stats.flops += self.flops_per_element * size
+                for step in self._fast_steps:
+                    step(env, ctx)
+            else:
+                _run_nodes(self._nodes, env, ctx, None, frame)
+        stats.gather_fetches = sum(
+            source.fetch_count - fetch_before[name]
+            for name, source in gathers.items()
+        )
+
+        outputs: Dict[str, np.ndarray] = {}
+        for param in kernel.params:
+            if param.kind is ParamKind.OUT_STREAM:
+                value = env[param.name]
+                # The interpreter's np.where merges always produce fresh
+                # arrays; the elided stores may hand back an input array
+                # or a slice view, so restore freshness here.
+                if id(value) in input_ids or value.base is not None \
+                        or not value.flags.owndata:
+                    value = value.copy()
+                outputs[param.name] = value
+                stats.stream_writes += size
+        return outputs, stats
+
+    # ------------------------------------------------------------------ #
+    def _validate_slices(self, env: Dict[str, np.ndarray], ctx: _VCtx) -> bool:
+        """Per-launch validity of the slice plans (see _SlicePlan)."""
+        if not self._slice_plans:
+            return True
+        if ctx.layout is None or ctx.explicit_index:
+            return False
+        rows, cols = ctx.layout
+        if rows * cols != ctx.size:
+            return False
+        if rows > _MAX_EXACT_EXTENT or cols > _MAX_EXACT_EXTENT:
+            return False
+        try:
+            dense_by_name: Dict[str, np.ndarray] = {}
+            pad_by_name: Dict[str, int] = {}
+            for plan in self._slice_plans:
+                source = ctx.gathers.get(plan.name)
+                if source is None:
+                    return False
+                if plan.name not in dense_by_name:
+                    dense_method = getattr(source, "dense", None)
+                    dense = dense_method() if dense_method is not None else None
+                    if dense is None or dense.ndim != 2 \
+                            or dense.shape != (rows, cols):
+                        return False
+                    dense_by_name[plan.name] = dense
+                    pad_by_name[plan.name] = 0
+                for hi_fn, extent in ((plan.row_hi_fn, rows),
+                                      (plan.col_hi_fn, cols)):
+                    if hi_fn is None:
+                        continue
+                    bound = np.asarray(hi_fn(env, ctx))
+                    if bound.ndim != 0 or float(bound) != float(extent - 1):
+                        return False
+                pad_by_name[plan.name] = max(pad_by_name[plan.name],
+                                             abs(plan.dy), abs(plan.dx))
+        except Exception:
+            return False
+        for name, dense in dense_by_name.items():
+            pad = pad_by_name[name]
+            padded = np.pad(dense, pad, mode="edge") if pad else dense
+            ctx.pads[name] = (padded, pad)
+        return True
+
+
+# --------------------------------------------------------------------------- #
+# Entry points
+# --------------------------------------------------------------------------- #
+def _compile_program(kernel: ast.FunctionDef,
+                     helpers: Dict[str, ast.FunctionDef]
+                     ) -> VectorizedKernelProgram:
+    defined = {
+        param.name for param in kernel.params
+        if param.kind is not ParamKind.GATHER
+    }
+    compiler = _VCompiler(kernel, helpers)
+    nodes = compiler.compile_nodes(kernel.body, set(defined))
+    flops = sum(node.cost for node in nodes if isinstance(node, _Seq))
+
+    fast_steps = None
+    slice_plans: List[_SlicePlan] = []
+    if is_straight_line(kernel.body):
+        fast_compiler = _VCompiler(kernel, helpers, slice_mode=True)
+        try:
+            steps, decl_names, read_sets, removable, fast_flops, stencils = \
+                fast_compiler.compile_fast_body(kernel.body, set(defined))
+        except _Unsupported:
+            steps = None
+        if steps is not None:
+            keep = _sweep_dead_decls(decl_names, read_sets, removable)
+            fast_steps = _fuse_stencil_runs(
+                [(step, stencil) for step, stencil, live
+                 in zip(steps, stencils, keep) if live])
+            slice_plans = fast_compiler.slice_plans
+            # Both compilations walk the same statements, so the static
+            # cost must agree; fall back to the node list if not.
+            if fast_flops != flops:
+                fast_steps, slice_plans = None, []
+    return VectorizedKernelProgram(kernel, nodes, flops,
+                                   fast_steps=fast_steps,
+                                   slice_plans=slice_plans)
+
+
+def _sweep_dead_decls(decl_names: List[Optional[str]],
+                      read_sets: List[Set[str]],
+                      removable: List[bool]) -> List[bool]:
+    """Iteratively drop pure declarations nothing later reads.
+
+    The flop cost of a dropped declaration is still charged (the
+    interpreter would have computed it); only the runtime work goes.
+    """
+    count = len(decl_names)
+    keep = [True] * count
+    changed = True
+    while changed:
+        changed = False
+        # suffix_reads[i]: names read at runtime by kept statements > i.
+        suffix_reads: List[Set[str]] = [set()] * count
+        trailing: Set[str] = set()
+        for index in range(count - 1, -1, -1):
+            suffix_reads[index] = trailing
+            if keep[index]:
+                trailing = trailing | read_sets[index]
+        for index, name in enumerate(decl_names):
+            if not keep[index] or not removable[index] or name is None:
+                continue
+            if name not in suffix_reads[index]:
+                keep[index] = False
+                changed = True
+    return keep
+
+
+def build_vector_path(
+    kernel: ast.FunctionDef,
+    helpers: Optional[Dict[str, ast.FunctionDef]] = None,
+    spec: Optional[dict] = None,
+    param_bounds: Optional[Dict[str, float]] = None,
+    report: Optional[VectorizationReport] = None,
+) -> Tuple[Optional[VectorizedKernelProgram], VectorizationReport]:
+    """Compile ``kernel``'s vector path, gated by its brookvec verdict.
+
+    Returns ``(program, report)``.  The pair is always consistent: a
+    BV-300/BV-301 report comes with a runnable program, and a kernel the
+    analysis approves but this backend cannot compile has its report
+    downgraded to BV-302 naming the construct, so diagnostics never
+    promise a path that will not actually run.
+    """
+    helpers = dict(helpers or {})
+    if report is None:
+        report = analyze_kernel_vectorization(kernel, helpers, spec=spec,
+                                              param_bounds=param_bounds)
+    if not report.vectorizable:
+        return None, report
+    if kernel.is_reduction or not kernel.is_kernel:
+        return None, replace(
+            report, verdict=VERDICT_FALLBACK,
+            reason="reduction kernels run through the multipass reducer")
+    try:
+        program = _compile_program(kernel, helpers)
+    except _Unsupported as exc:
+        return None, replace(
+            report, verdict=VERDICT_FALLBACK,
+            reason=f"construct unsupported by the vector backend: {exc}")
+    return program, report
+
+
+def compile_vector_path(
+    kernel: ast.FunctionDef,
+    helpers: Optional[Dict[str, ast.FunctionDef]] = None,
+    spec: Optional[dict] = None,
+    param_bounds: Optional[Dict[str, float]] = None,
+) -> Optional[VectorizedKernelProgram]:
+    """Convenience wrapper over :func:`build_vector_path`."""
+    return build_vector_path(kernel, helpers, spec=spec,
+                             param_bounds=param_bounds)[0]

@@ -235,6 +235,7 @@ def fuse_compiled(
     connections: Dict[str, str],
     helpers: Dict[str, ast.FunctionDef],
     enable_fast_path: bool = True,
+    enable_vector_path: bool = False,
 ) -> Tuple["CompiledKernel", FusionResult]:
     """Fuse two compiled kernels into a launchable :class:`CompiledKernel`.
 
@@ -280,4 +281,9 @@ def fuse_compiled(
             setattr(fused, attribute, None)
     if enable_fast_path:
         fused.fast_path = compile_fast_path(fused_def, helpers)
+    if enable_vector_path:
+        from ..exec.vectorized import build_vector_path
+
+        fused.vector_path, fused.vector_report = build_vector_path(
+            fused_def, helpers)
     return fused, result

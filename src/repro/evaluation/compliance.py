@@ -76,6 +76,22 @@ class ComplianceEntry:
     #: (``summary()`` of the application's :class:`LintReport`); empty
     #: for the counter-example, which never reaches the linter.
     lint_summary: Dict[str, int] = field(default_factory=dict)
+    #: brookvec evidence: per-kernel BV-3xx verdict (map kernels only;
+    #: reductions run the multipass reducer and are not counted).
+    vector_verdicts: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def vector_eligible(self) -> int:
+        """Map kernels the vector path accepts (BV-300 / BV-301)."""
+        return sum(1 for verdict in self.vector_verdicts.values()
+                   if verdict in ("BV-300", "BV-301"))
+
+    @property
+    def vector_findings(self) -> List[str]:
+        """``kernel=BV-30x`` labels for kernels kept off the vector path."""
+        return sorted(f"{kernel}={verdict}"
+                      for kernel, verdict in self.vector_verdicts.items()
+                      if verdict not in ("BV-300", "BV-301"))
 
 
 @dataclass
@@ -98,6 +114,13 @@ class ComplianceResult:
         """No error- or warning-severity lint finding across the suite."""
         return all(entry.lint_summary.get("error", 0) == 0
                    and entry.lint_summary.get("warning", 0) == 0
+                   for entry in self.applications)
+
+    @property
+    def all_applications_vector_clean(self) -> bool:
+        """Every application map kernel takes the whole-array vector path
+        (brookvec verdict BV-300 or BV-301, none falls back)."""
+        return all(entry.vector_eligible == len(entry.vector_verdicts)
                    for entry in self.applications)
 
     @property
@@ -134,12 +157,19 @@ def run(device: str = "videocore-iv") -> ComplianceResult:
         options = CompilerOptions(target=target,
                                   param_bounds=dict(app.param_bounds),
                                   range_specs=dict(app.range_specs),
-                                  strict=False)
+                                  strict=False,
+                                  enable_vector_path=True)
         compiled = compile_source(app.brook_source, filename=f"{name}.br",
                                   options=options)
         entry = _entry_from_report(name, compiled.certification)
         entry.lint_summary = lint_program(
             compiled, source_file=f"{name}.br").summary()
+        # Verdicts off the compiled kernels (build_vector_path), so a
+        # BV-300/BV-301 here certifies a vector program that really runs.
+        entry.vector_verdicts = {
+            kernel_name: kernel.vector_report.verdict
+            for kernel_name, kernel in compiled.kernels.items()
+            if kernel.vector_report is not None}
         applications.append(entry)
 
     counter_program = analyze(parse(NON_COMPLIANT_SOURCE, filename="cuda_style.br"))
@@ -166,19 +196,25 @@ def render(result: Optional[ComplianceResult] = None) -> str:
         lines.append(f"  {rule_id}  {rule.title}  ({rule.iso_reference})")
     lines.append("")
     lines.append(f"{'application':<28}{'kernels':>9}{'violations':>12}"
-                 f"{'lint e/w':>10}{'gathers':>9}{'verdict':>12}")
+                 f"{'lint e/w':>10}{'gathers':>9}{'vector':>8}{'verdict':>12}")
     for entry in result.applications:
         verdict = "compliant" if entry.compliant else "REJECTED"
         lint = entry.lint_summary
         lint_col = f"{lint.get('error', 0)}/{lint.get('warning', 0)}"
         gather_col = (f"{lint.get('gathers_proved', 0)}"
                       f"/{lint.get('gathers', 0)}")
+        vector_col = (f"{entry.vector_eligible}"
+                      f"/{len(entry.vector_verdicts)}")
         lines.append(f"{entry.name:<28}{entry.kernels:>9}{entry.violations:>12}"
-                     f"{lint_col:>10}{gather_col:>9}{verdict:>12}")
+                     f"{lint_col:>10}{gather_col:>9}{vector_col:>8}"
+                     f"{verdict:>12}")
+        if entry.vector_findings:
+            lines.append("    off the vector path: "
+                         + ", ".join(entry.vector_findings))
     entry = result.counter_example
     verdict = "compliant" if entry.compliant else "REJECTED"
     lines.append(f"{entry.name:<28}{entry.kernels:>9}{entry.violations:>12}"
-                 f"{'-':>10}{'-':>9}{verdict:>12}")
+                 f"{'-':>10}{'-':>9}{'-':>8}{verdict:>12}")
     if entry.violated_rules:
         lines.append(f"    violated rules: {', '.join(entry.violated_rules)}")
     lines.append("")
@@ -186,5 +222,7 @@ def render(result: Optional[ComplianceResult] = None) -> str:
         "Paper claim: the Brook Auto subset is ISO 26262 friendly while "
         "CUDA/OpenCL-style code violates the rules -> "
         f"{'REPRODUCED' if result.reproduced else 'NOT reproduced'}"
+        + ("; all applications vector-clean (BV-300/BV-301)"
+           if result.all_applications_vector_clean else "")
     )
     return "\n".join(lines)

@@ -100,6 +100,15 @@ class _CheckedGatherSource:
     def fetch_count(self) -> int:
         return self._inner.fetch_count
 
+    def dense(self):
+        # The slice path only serves accesses proved in-bounds, so
+        # delegating cannot hide an out-of-bounds finding.
+        dense = getattr(self._inner, "dense", None)
+        return dense() if dense is not None else None
+
+    def add_fetches(self, count: int) -> None:
+        self._inner.add_fetches(count)
+
     def fetch(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         row_idx = np.asarray(np.floor(rows), dtype=np.int64)
         col_idx = np.asarray(np.floor(cols), dtype=np.int64)

@@ -274,3 +274,73 @@ class TestServeBenchSanitize:
         assert sanitized["bitwise_identical"] is True
         assert "overhead_pct" in sanitized
         assert sanitized["sanitizer"]["counts"] == {}
+
+
+class TestVectorizeCommand:
+    DIVERGENT = """
+kernel void shade(float knee, float x<>, out float r<>) {
+    if (x > knee) { r = x * 0.5; } else { r = x * x; }
+}
+"""
+    UNPROVED = """
+kernel void risky(float d, float x<>, out float r<>) {
+    if (x > 0.0) { r = x / d; } else { r = x; }
+}
+"""
+
+    @pytest.fixture
+    def divergent_file(self, tmp_path):
+        path = tmp_path / "shade.br"
+        path.write_text(self.DIVERGENT)
+        return path
+
+    def test_no_inputs_rejected(self, capsys):
+        assert main(["vectorize"]) == 2
+        assert "no inputs" in capsys.readouterr().err
+
+    def test_plain_br_file(self, divergent_file, capsys):
+        # Regression: a path without --apps compiles with empty (not
+        # None) param_bounds/range_specs.
+        assert main(["vectorize", str(divergent_file)]) == 0
+        out = capsys.readouterr().out
+        assert "BV-301" in out
+        assert "1/1 kernel(s) take the vector path" in out
+
+    def test_unproved_obligation_row(self, tmp_path, capsys):
+        path = tmp_path / "risky.br"
+        path.write_text(self.UNPROVED)
+        assert main(["vectorize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "BV-303" in out
+        assert "includes zero" in out
+
+    def test_apps_are_vector_clean(self, capsys):
+        assert main(["vectorize", "--apps"]) == 0
+        out = capsys.readouterr().out
+        assert "15/15 kernel(s) take the vector path" in out
+
+    def test_json_format(self, divergent_file, capsys):
+        assert main(["vectorize", str(divergent_file),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernels"][0]["verdict"] == "BV-301"
+        assert payload["kernels"][0]["file"].endswith("shade.br")
+
+    def test_sarif_format(self, divergent_file, tmp_path, capsys):
+        sarif_path = tmp_path / "vectorize.sarif"
+        assert main(["vectorize", str(divergent_file), "--format", "sarif",
+                     "--output", str(sarif_path)]) == 0
+        run = json.loads(sarif_path.read_text())["runs"][0]
+        assert any(result["ruleId"] == "BV-301"
+                   for result in run["results"])
+
+    def test_certify_vectorize_appends_table(self, divergent_file, capsys):
+        assert main(["certify", str(divergent_file), "--vectorize"]) == 0
+        out = capsys.readouterr().out
+        assert "COMPLIANT" in out
+        assert "brookvec vector-path eligibility:" in out
+        assert "BV-301" in out
+
+    def test_lint_vectorize_merges_notes(self, divergent_file, capsys):
+        assert main(["lint", str(divergent_file), "--vectorize"]) == 0
+        assert "BV-301" in capsys.readouterr().out

@@ -51,7 +51,8 @@ class TestRuleRegistry:
             "BL-100", "BL-101", "BL-102", "BL-103", "BL-104", "BL-105",
             "BL-106", "BL-107", "BL-110", "BL-111", "BL-112",
             "BF-200", "BF-201", "BF-202", "BF-203", "BF-204", "BF-205",
-            "BF-206"}
+            "BF-206",
+            "BV-300", "BV-301", "BV-302", "BV-303"}
 
     def test_severities(self):
         assert LINT_RULES["BL-101"].severity is LintSeverity.ERROR

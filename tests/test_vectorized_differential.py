@@ -1,0 +1,417 @@
+"""Differential suite: the vector path vs. the masked interpreter.
+
+Every kernel brookvec marks BV-300/BV-301 must produce *bitwise*
+identical outputs (and identical statistics) whether it runs through
+``core.exec.vectorized`` or the masked SIMT interpreter - on the cpu and
+gles2 backends, through gathers, in-place launches and the fusion /
+tiling / sharding compositions.  Every BV-302/BV-303 kernel must fall
+back with zero behavior change.
+
+Coverage here mirrors the acceptance criteria: all reference-application
+kernels, seeded random kernels, divergent-branch NaN propagation,
+integer division, gather edge-clamp semantics and the composition
+matrix.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps.base import get_application, list_applications
+from repro.backends.gles2_backend import GLES2Backend
+from repro.core.compiler import CompilerOptions, compile_source
+from repro.core.exec.evaluator import KernelEvaluator
+from repro.core.exec.gather import NumpyGatherSource
+from repro.core.exec.vectorized import build_vector_path
+from repro.gles2.device import GPUDeviceProfile
+from repro.gles2.limits import GLES2Limits
+from repro.runtime import BrookRuntime
+
+INTERP = CompilerOptions(enable_fast_path=False, enable_vector_path=False)
+VECTOR = CompilerOptions(enable_fast_path=False, enable_vector_path=True)
+
+
+def assert_bitwise(got, want, label=""):
+    got = np.asarray(got, dtype=np.float32)
+    want = np.asarray(want, dtype=np.float32)
+    assert got.shape == want.shape, label
+    assert np.array_equal(got.view(np.uint32), want.view(np.uint32)), \
+        f"{label}: vector path diverges from the interpreter"
+
+
+def run_differential(source, kernel, size, stream_inputs, scalar_args=None,
+                     gathers=None):
+    """Interpreter vs. vector path on one kernel; asserts bitwise + stats."""
+    program = compile_source(source, options=CompilerOptions(strict=False))
+    handle = program.kernel(kernel)
+    helpers = program.helpers()
+    evaluator = KernelEvaluator(handle.definition, helpers)
+    interpreted = evaluator.run(
+        size, stream_inputs=stream_inputs, scalar_args=scalar_args,
+        gathers={k: NumpyGatherSource(v._data) for k, v in
+                 (gathers or {}).items()})
+    vec, report = build_vector_path(handle.definition, helpers)
+    assert vec is not None, \
+        f"{kernel}: expected a vector program, got {report.verdict}"
+    vectorized, stats = vec.run(
+        size, stream_inputs=stream_inputs, scalar_args=scalar_args,
+        gathers={k: NumpyGatherSource(v._data) for k, v in
+                 (gathers or {}).items()})
+    assert interpreted.keys() == vectorized.keys()
+    for key in interpreted:
+        assert_bitwise(vectorized[key], interpreted[key], f"{kernel}.{key}")
+    istats = evaluator.stats
+    assert stats.flops == istats.flops
+    assert stats.stream_reads == istats.stream_reads
+    assert stats.stream_writes == istats.stream_writes
+    assert stats.gather_fetches == istats.gather_fetches
+    assert stats.divergent_branches == istats.divergent_branches
+    assert stats.elements == istats.elements
+    return report
+
+
+def run_app(app_name, backend, options, size=None, seed=11, devices=1):
+    app = get_application(app_name)
+    size = size or min(16, app.max_target_size)
+    inputs = app.generate_inputs(size, seed=seed)
+    with BrookRuntime(backend=backend, compiler_options=options,
+                      devices=devices) as rt:
+        module = app.compile(rt)
+        return app.run_brook(rt, module, size, inputs)
+
+
+# --------------------------------------------------------------------------- #
+# All reference applications, cpu and gles2
+# --------------------------------------------------------------------------- #
+class TestApplications:
+    @pytest.mark.parametrize("backend", ["cpu", "gles2"])
+    @pytest.mark.parametrize("app_name", sorted(list_applications()))
+    def test_every_app_is_bitwise_identical(self, app_name, backend):
+        want = run_app(app_name, backend, INTERP)
+        got = run_app(app_name, backend, VECTOR)
+        for key in want:
+            assert_bitwise(got[key], want[key],
+                           f"{app_name}.{key} on {backend}")
+
+    def test_apps_actually_take_the_vector_path(self):
+        # Guard against the suite silently passing because everything
+        # fell back: every app map kernel must carry a vector program.
+        for app_name in list_applications():
+            app = get_application(app_name)
+            with BrookRuntime(backend="cpu",
+                              compiler_options=VECTOR) as rt:
+                module = app.compile(rt)
+                for kernel in module.program.kernels.values():
+                    if kernel.definition.is_reduction:
+                        continue
+                    assert kernel.vector_path is not None, \
+                        f"{app_name}:{kernel.name} fell back " \
+                        f"({kernel.vector_report.verdict})"
+
+
+# --------------------------------------------------------------------------- #
+# Seeded random kernels
+# --------------------------------------------------------------------------- #
+_OPS = ["+", "-", "*"]
+_FUNCS = ["abs", "sqrt", "exp", "floor", "min", "max"]
+
+
+def _random_expr(rnd, depth):
+    if depth <= 0:
+        return rnd.choice(["x", "y", "s", f"{rnd.uniform(-2, 2):.3f}"])
+    choice = rnd.random()
+    if choice < 0.55:
+        a = _random_expr(rnd, depth - 1)
+        b = _random_expr(rnd, depth - 1)
+        return f"({a} {rnd.choice(_OPS)} {b})"
+    if choice < 0.8:
+        func = rnd.choice(_FUNCS)
+        if func in ("min", "max"):
+            return (f"{func}({_random_expr(rnd, depth - 1)}, "
+                    f"{_random_expr(rnd, depth - 1)})")
+        return f"{func}({_random_expr(rnd, depth - 1)})"
+    return f"({_random_expr(rnd, depth - 1)} / (abs(y) + 0.5))"
+
+
+def _random_kernel(seed):
+    rnd = random.Random(seed)
+    body = [f"float t{i} = {_random_expr(rnd, 3)};" for i in range(3)]
+    merged = " + ".join(f"t{i}" for i in range(3))
+    if rnd.random() < 0.5:
+        threshold = f"{rnd.uniform(-1, 1):.3f}"
+        tail = (f"if (x > {threshold}) {{ r = {merged}; }} "
+                f"else {{ r = {_random_expr(rnd, 2)} - ({merged}); }}")
+    else:
+        tail = f"r = {merged};"
+    return ("kernel void fuzzed(float s, float x<>, float y<>, "
+            "out float r<>) { " + " ".join(body) + " " + tail + " }")
+
+
+class TestSeededRandomKernels:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fuzzed_kernel_bitwise(self, seed, rng):
+        source = _random_kernel(seed)
+        size = 257
+        inputs = {
+            "x": rng.uniform(-3.0, 3.0, size).astype(np.float32),
+            "y": rng.uniform(-3.0, 3.0, size).astype(np.float32),
+        }
+        run_differential(source, "fuzzed", size, inputs, {"s": 1.25})
+
+
+# --------------------------------------------------------------------------- #
+# Targeted semantics
+# --------------------------------------------------------------------------- #
+class TestSemanticEdges:
+    def test_divergent_branch_nan_propagation(self, rng):
+        # sqrt of negatives on the speculatively evaluated side must
+        # produce the interpreter's exact NaN bit patterns after the
+        # np.where merge (and the NaNs must stay confined to the lanes
+        # whose branch actually produced them).
+        source = """
+        kernel void nans(float x<>, out float r<>) {
+            if (x > 0.0) {
+                r = sqrt(x - 2.0) * 3.0;
+            } else {
+                r = sqrt(x) - 1.0;
+            }
+        }
+        """
+        size = 128
+        inputs = {"x": rng.uniform(-4.0, 4.0, size).astype(np.float32)}
+        report = run_differential(source, "nans", size, inputs)
+        assert report.divergent
+
+    def test_integer_division_truncation(self, rng):
+        source = """
+        kernel void intdiv(float x<>, out float r<>) {
+            int n = int(x);
+            if (x > 0.0) {
+                r = float(n / 3) + float(n - (n / 3) * 3);
+            } else {
+                r = float(n / 2);
+            }
+        }
+        """
+        size = 200
+        inputs = {"x": rng.uniform(-50.0, 50.0, size).astype(np.float32)}
+        run_differential(source, "intdiv", size, inputs)
+
+    def test_gather_edge_clamp_on_gles2(self, rng):
+        # Unguarded neighbor fetches: the GLES2 gather source clamps to
+        # the edge, and the vector path must observe the identical
+        # clamped values because it fetches through the same source.
+        source = """
+        kernel void blur(float x<>, float src[], out float r<>) {
+            float2 p = indexof(r);
+            r = (src[p.x - 1.0] + src[p.x] + src[p.x + 1.0]) / 3.0;
+        }
+        """
+        data = rng.uniform(0.0, 1.0, (1, 32)).astype(np.float32)
+        results = {}
+        for label, options in (("interp", INTERP), ("vector", VECTOR)):
+            with BrookRuntime(backend="gles2",
+                              compiler_options=options) as rt:
+                module = rt.compile(source, strict=False)
+                src = rt.stream_from(data)
+                out = rt.stream((1, 32))
+                module.blur(src, src, out)
+                results[label] = out.read()
+        assert_bitwise(results["vector"], results["interp"], "blur edge")
+
+    def test_in_place_launch(self, rng):
+        source = ("kernel void bump(float x<>, out float r<>) "
+                  "{ r = x * 1.5 + 0.25; }")
+        data = rng.uniform(-1.0, 1.0, (8, 8)).astype(np.float32)
+        results = {}
+        for label, options in (("interp", INTERP), ("vector", VECTOR)):
+            with BrookRuntime(backend="cpu", compiler_options=options) as rt:
+                module = rt.compile(source)
+                x = rt.stream_from(data)
+                module.bump(x, x)  # in-place: output is the input stream
+                module.bump(x, x)
+                results[label] = x.read()
+        assert_bitwise(results["vector"], results["interp"], "in-place")
+
+    def test_member_store_invalidates_index_binding(self, rng):
+        # Regression: ``p.y = p.y + 3.0`` must kill the indexof-derived
+        # binding, or the stencil slice planner serves shifted rows.
+        source = """
+        kernel void shifted(float src[][], out float dst<>) {
+            float2 p = indexof(dst);
+            p.y = p.y + 3.0;
+            dst = src[min(p.y, 7.0)][p.x];
+        }
+        """
+        data = rng.uniform(0.0, 1.0, (8, 8)).astype(np.float32)
+        program = compile_source(source,
+                                 options=CompilerOptions(strict=False))
+        kernel = program.kernel("shifted")
+        evaluator = KernelEvaluator(kernel.definition, program.helpers())
+        layout = (8, 8)
+        index = np.stack(np.meshgrid(np.arange(8, dtype=np.float32),
+                                     np.arange(8, dtype=np.float32)),
+                         axis=-1).reshape(-1, 2)
+        want = evaluator.run(64, stream_inputs={},
+                             gathers={"src": NumpyGatherSource(data)},
+                             index=index)
+        vec, report = build_vector_path(kernel.definition, program.helpers())
+        assert vec is not None, report.verdict
+        got, _ = vec.run(64, stream_inputs={},
+                         gathers={"src": NumpyGatherSource(data)},
+                         layout=layout)
+        assert_bitwise(got["dst"], want["dst"], "member-store kill")
+
+    def test_stencil_fusion_on_non_square_layout(self, rng):
+        # 3x3 literal-weight stencil on a rows != cols domain: exercises
+        # the fused 2-d padded-slice peephole and its reshape ordering.
+        source = """
+        kernel void filt(float src[][], out float dst<>) {
+            float2 p = indexof(dst);
+            float acc = 0.0;
+            acc = acc + 0.25 * src[p.y - 1.0][p.x];
+            acc = acc + 0.50 * src[p.y][p.x - 1.0];
+            acc = acc + 1.00 * src[p.y][p.x];
+            acc = acc + 0.50 * src[p.y][p.x + 1.0];
+            acc = acc + 0.25 * src[p.y + 1.0][p.x];
+            dst = acc;
+        }
+        """
+        rows, cols = 5, 9
+        data = rng.uniform(-1.0, 1.0, (rows, cols)).astype(np.float32)
+        results = {}
+        for label, options in (("interp", INTERP), ("vector", VECTOR)):
+            with BrookRuntime(backend="gles2",
+                              compiler_options=options) as rt:
+                module = rt.compile(source, strict=False)
+                src = rt.stream_from(data)
+                out = rt.stream((rows, cols))
+                module.filt(src, out)
+                results[label] = out.read()
+        assert_bitwise(results["vector"], results["interp"], "stencil")
+
+
+# --------------------------------------------------------------------------- #
+# Fallback: BV-302/BV-303 kernels change nothing
+# --------------------------------------------------------------------------- #
+class TestFallback:
+    SOURCE = """
+    kernel void spinner(float x<>, out float r<>) {
+        float acc = x;
+        while (acc < 2.0) {
+            acc = acc + 0.5;
+        }
+        r = acc;
+    }
+
+    kernel void risky(float x<>, float d, out float r<>) {
+        if (x > 0.0) {
+            r = x / d;
+        } else {
+            r = x;
+        }
+    }
+    """
+
+    @pytest.mark.parametrize("kernel,args", [("spinner", ()),
+                                             ("risky", (2.0,))])
+    def test_fallback_is_behavior_free(self, kernel, args, rng):
+        data = rng.uniform(-1.0, 1.0, 64).astype(np.float32)
+        results = {}
+        for label, options in (("interp", INTERP), ("vector", VECTOR)):
+            with BrookRuntime(backend="cpu", compiler_options=options) as rt:
+                module = rt.compile(self.SOURCE, strict=False)
+                handle = module.program.kernel(kernel)
+                assert handle.vector_path is None
+                if label == "vector":
+                    assert handle.vector_report is not None
+                    assert not handle.vector_report.vectorizable
+                x = rt.stream_from(data)
+                out = rt.stream(64)
+                module.kernel(kernel)(x, *args, out)
+                results[label] = out.read()
+        assert_bitwise(results["vector"], results["interp"], kernel)
+
+
+# --------------------------------------------------------------------------- #
+# Compositions: fusion, tiling, sharding
+# --------------------------------------------------------------------------- #
+PIPE = """
+kernel void scale(float x<>, float g, out float y<>) {
+    y = x * g;
+}
+
+kernel void clamp01(float y<>, out float z<>) {
+    if (y > 1.0) {
+        z = 1.0;
+    } else {
+        z = y;
+    }
+}
+"""
+
+
+def tiny_gles2_runtime(options, max_texture_size=8):
+    profile = GPUDeviceProfile(
+        name=f"tiny-{max_texture_size}",
+        limits=GLES2Limits(name=f"tiny-{max_texture_size}",
+                           max_texture_size=max_texture_size),
+        effective_gflops=1.0,
+        transfer_gib_per_s=1.0,
+        pass_overhead_us=100.0,
+        texture_fetch_ns=2.0,
+        fill_rate_mpixels=100.0,
+    )
+    return BrookRuntime(backend=GLES2Backend(profile),
+                        compiler_options=options)
+
+
+class TestCompositions:
+    def _run_fused(self, options, data, fuse=True):
+        with BrookRuntime(backend="cpu", compiler_options=options) as rt:
+            module = rt.compile(PIPE)
+            x = rt.stream_from(data)
+            y = rt.stream(data.shape)
+            z = rt.stream(data.shape)
+            plans = [module.scale.bind(x, 1.75, y),
+                     module.clamp01.bind(y, z)]
+            if fuse:
+                rt.fuse(plans).launch()
+            else:
+                for plan in plans:
+                    plan.launch()
+            return z.read(), rt.statistics
+
+    def test_fused_pipeline_bitwise(self, rng):
+        data = rng.uniform(0.0, 2.0, (16, 16)).astype(np.float32)
+        want, _ = self._run_fused(INTERP, data, fuse=False)
+        got, stats = self._run_fused(VECTOR, data, fuse=True)
+        assert stats.kernels_fused == 1
+        assert_bitwise(got, want, "fused")
+
+    def test_tiled_launch_bitwise(self, rng):
+        data = rng.uniform(-1.0, 1.0, (16, 16)).astype(np.float32)
+        results = {}
+        for label, options in (("interp", INTERP), ("vector", VECTOR)):
+            with tiny_gles2_runtime(options) as rt:
+                module = rt.compile(PIPE)
+                x = rt.stream_from(data)
+                z = rt.stream((16, 16))
+                module.clamp01(x, z)
+                results[label] = z.read()
+                assert rt.statistics.launches[-1].tiles > 1
+        assert_bitwise(results["vector"], results["interp"], "tiled")
+
+    def test_sharded_launch_bitwise(self, rng):
+        data = rng.uniform(-1.0, 1.0, (16, 16)).astype(np.float32)
+        results = {}
+        for label, options in (("interp", INTERP), ("vector", VECTOR)):
+            with BrookRuntime(backend="cpu", compiler_options=options,
+                              devices=2) as rt:
+                module = rt.compile(PIPE)
+                x = rt.stream_from(data)
+                z = rt.stream((16, 16))
+                module.clamp01(x, z)
+                results[label] = z.read()
+        assert_bitwise(results["vector"], results["interp"], "sharded")
